@@ -1,0 +1,407 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md §4 for the experiment index).
+
+     table2       - the paper's Table 2 over the 17-workload suite
+     fig2         - the paper's Fig. 2 C -> LLVA example
+     llee         - cold/warm/offline launches through the LLEE manager
+     trace        - software trace cache: relayout effect on dynamic counts
+     ablation     - optimizer levels and register allocators
+     portability  - one virtual object code on all four target configs
+     micro        - bechamel micro-benchmarks of the translator pipeline
+
+   Run with no arguments to execute everything. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* wall-clock of [f], best of [n] runs *)
+let time_best ?(n = 3) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to n do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  r_name : string;
+  r_loc : int;
+  r_native_kb : float;
+  r_llva_kb : float;
+  r_llva_n : int;
+  r_x86_n : int;
+  r_sparc_n : int;
+  r_translate : float; (* seconds, wall clock, whole program JIT *)
+  r_run : float; (* seconds, simulated cycles @ 1 GHz *)
+}
+
+let table2_row (w : Workloads.workload) : row =
+  (* the paper applied the same LLVA optimizations to both the virtual and
+     the native code; we optimize at -O2 once and measure both from it *)
+  let m = Workloads.compile_optimized ~level:2 w in
+  let llva_bytes = String.length (Llva.Encode.encode m) in
+  let llva_n = Llva.Ir.module_instr_count m in
+  (* global data is part of both images; count it into the native size
+     the way a linked executable carries its .data segment *)
+  let lt = Vmem.Layout.for_module m in
+  (* initialized data only: zero-filled globals live in .bss, which takes
+     no space in either image *)
+  let data_bytes =
+    List.fold_left
+      (fun acc g ->
+        match g.Llva.Ir.ginit with
+        | Some { Llva.Ir.ckind = Llva.Ir.Czero; _ } | None -> acc
+        | Some _ -> acc + Vmem.Layout.size_of lt g.Llva.Ir.gty)
+      0 m.Llva.Ir.globals
+  in
+  (* translation time: JIT-compile the whole program (like the paper's
+     X86 JIT timing column), wall clock, best of 3 *)
+  let x86, translate =
+    time_best (fun () ->
+        X86lite.Compile.compile_module (Workloads.compile_optimized ~level:2 w))
+  in
+  (* the paper's static SPARC V9 back-end: simple register allocation,
+     like its X86 JIT (its "higher quality" refers to instruction
+     selection; see EXPERIMENTS.md) *)
+  let sparc =
+    Sparclite.Compile.compile_module ~spill_everything:true
+      (Workloads.compile_optimized ~level:2 w)
+  in
+  let x86_n = X86lite.Compile.module_instr_count x86 in
+  let sparc_n = Sparclite.Compile.module_instr_count sparc in
+  (* the paper's native size column is the statically compiled SPARC V9
+     executable *)
+  let native_bytes = Sparclite.Compile.module_code_size sparc + data_bytes in
+  (* run time: the paper's run column is natively compiled optimized
+     code (gcc -O3); ours is the linear-scan X86-lite build, simulated at
+     1 GHz *)
+  let best_x86 =
+    X86lite.Compile.compile_module ~linear_scan:true
+      (Workloads.compile_optimized ~level:2 w)
+  in
+  let _, st = X86lite.Sim.run_main best_x86 in
+  let run = Int64.to_float st.X86lite.Sim.cycles /. 1e9 in
+  {
+    r_name = w.Workloads.name;
+    r_loc = Workloads.loc w;
+    r_native_kb = float_of_int native_bytes /. 1024.0;
+    r_llva_kb = float_of_int llva_bytes /. 1024.0;
+    r_llva_n = llva_n;
+    r_x86_n = x86_n;
+    r_sparc_n = sparc_n;
+    r_translate = translate;
+    r_run = run;
+  }
+
+let run_table2 () =
+  section "Table 2: code size and low-level nature of the V-ISA";
+  Printf.printf
+    "%-17s %5s %10s %9s %7s %7s %6s %7s %6s %10s %9s %7s\n" "Program" "LOC"
+    "Native KB" "LLVA KB" "#LLVA" "#X86" "Ratio" "#SPARC" "Ratio" "Trans (s)"
+    "Run (s)" "Ratio";
+  let rows = List.map table2_row Workloads.all in
+  let tot = List.fold_left in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-17s %5d %10.1f %9.1f %7d %7d %6.2f %7d %6.2f %10.4f %9.4f %7.4f\n"
+        r.r_name r.r_loc r.r_native_kb r.r_llva_kb r.r_llva_n r.r_x86_n
+        (float_of_int r.r_x86_n /. float_of_int r.r_llva_n)
+        r.r_sparc_n
+        (float_of_int r.r_sparc_n /. float_of_int r.r_llva_n)
+        r.r_translate r.r_run
+        (r.r_translate /. r.r_run))
+    rows;
+  let sum f = tot (fun acc r -> acc +. f r) 0.0 rows in
+  let llva_total = sum (fun r -> float_of_int r.r_llva_n) in
+  let x86_total = sum (fun r -> float_of_int r.r_x86_n) in
+  let sparc_total = sum (fun r -> float_of_int r.r_sparc_n) in
+  Printf.printf
+    "\nSummary (shape checks against the paper):\n\
+    \  native/LLVA size ratio : %.2fx   (paper: 1.3x-2x for its larger rows;\n\
+    \                                    'smaller programs have even larger\n\
+    \                                    ratios' -- all our rows are small)\n\
+    \  LLVA->X86 expansion    : %.2fx   (paper: 2.2 - 3.3)\n\
+    \  LLVA->SPARC expansion  : %.2fx   (paper: 2.3 - 4.2; RISC > CISC: %b)\n\
+    \  translate/run ratio    : %.4f mean (paper: negligible 'except for\n\
+    \                                    very short runs' -- our simulated\n\
+    \                                    runs are milliseconds, i.e. all\n\
+    \                                    short; see EXPERIMENTS.md)\n"
+    (sum (fun r -> r.r_native_kb) /. sum (fun r -> r.r_llva_kb))
+    (x86_total /. llva_total)
+    (sparc_total /. llva_total)
+    (sparc_total > x86_total)
+    (sum (fun r -> r.r_translate /. r.r_run) /. float_of_int (List.length rows));
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_c =
+  {|
+typedef struct QuadTree {
+  double Data;
+  struct QuadTree *Children[4];
+} QT;
+
+void Sum3rdChildren(QT *T, double *Result) {
+  double Ret;
+  if (T == 0) {
+    Ret = 0.0;
+  } else {
+    QT *Child3 = T[0].Children[3];
+    double V;
+    Sum3rdChildren(Child3, &V);
+    Ret = V + T[0].Data;
+  }
+  *Result = Ret;
+}
+
+int main() { return 0; }
+|}
+
+let run_fig2 () =
+  section "Fig. 2: C -> LLVA for the paper's QuadTree example";
+  let m = Minic.Mcodegen.compile_and_verify ~name:"fig2" fig2_c in
+  (* show the function after the compile-time pipeline, which is the
+     form the paper's static compiler would emit *)
+  ignore (Transform.Passmgr.optimize ~level:1 m);
+  (match Llva.Ir.find_func m "Sum3rdChildren" with
+  | Some f -> print_string (Llva.Pretty.func_to_string f)
+  | None -> print_endline "(function missing!)");
+  Printf.printf "module verifies: %b\n" (Llva.Verify.verify_module m = [])
+
+(* ------------------------------------------------------------------ *)
+(* LLEE: offline caching (Fig. 1 / Fig. 3 system organization)          *)
+(* ------------------------------------------------------------------ *)
+
+let run_llee () =
+  section "LLEE: program launch with and without the OS storage API";
+  Printf.printf "%-17s %14s %14s %14s %12s\n" "Program" "cold trans"
+    "cold time(ms)" "warm time(ms)" "cache hits";
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.find name) in
+      (* level 1 keeps the call graph (no inlining), so several functions
+         are translated on demand *)
+      let m = Workloads.compile_optimized ~level:1 w in
+      let bytes = Llva.Encode.encode m in
+      let storage = Llee.Storage.in_memory () in
+      (* cold launch: nothing cached, JIT everything called *)
+      let cold = Llee.load ~storage ~target:Llee.X86 bytes in
+      ignore (Llee.run cold);
+      let cold_t = cold.Llee.stats.Llee.translate_time in
+      let cold_n = cold.Llee.stats.Llee.translations in
+      (* warm launch of the same object code *)
+      let warm = Llee.fresh_run cold in
+      ignore (Llee.run warm);
+      Printf.printf "%-17s %14d %14.3f %14.3f %12d\n" name cold_n
+        (cold_t *. 1000.0)
+        (warm.Llee.stats.Llee.translate_time *. 1000.0)
+        warm.Llee.stats.Llee.cache_hits)
+    [ "255.vortex"; "164.gzip"; "181.mcf"; "ptrdist-anagram" ];
+  Printf.printf
+    "\n(cold launches translate online; warm launches read the offline\n\
+    \ cache through the storage API and translate nothing - the paper's\n\
+    \ central advantage over DAISY/Crusoe, which always translate online)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Trace cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_trace () =
+  section "Software trace cache: profile-guided relayout (paper S4.2)";
+  Printf.printf "%-17s %12s %12s %12s %8s\n" "Program" "cycles" "reopt cycles"
+    "dyn instrs" "gain";
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.find name) in
+      let m = Workloads.compile_optimized ~level:2 w in
+      let eng = Llee.of_module ~target:Llee.Sparc m in
+      ignore (Llee.run eng);
+      let before = eng.Llee.stats.Llee.cycles in
+      let eng2, moved = Llee.reoptimize eng in
+      ignore (Llee.run eng2);
+      let after = eng2.Llee.stats.Llee.cycles in
+      Printf.printf "%-17s %12Ld %12Ld %12Ld %7.2f%% (moved %d blocks)\n" name
+        before after eng2.Llee.stats.Llee.native_instrs
+        (100.0 *. (Int64.to_float before -. Int64.to_float after)
+         /. Int64.to_float before)
+        moved)
+    [ "256.bzip2"; "197.parser"; "181.mcf"; "300.twolf" ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation () =
+  section "Ablation: optimization levels (static/dynamic LLVA, SPARC cycles)";
+  Printf.printf "%-17s %6s %9s %9s %12s\n" "Program" "level" "#LLVA" "dynamic"
+    "SPARC cycles";
+  let subset = [ "ptrdist-anagram"; "181.mcf"; "164.gzip"; "183.equake" ] in
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.find name) in
+      List.iter
+        (fun level ->
+          let m = Workloads.compile_optimized ~level w in
+          let static = Llva.Ir.module_instr_count m in
+          let st = Interp.create ~fuel:100_000_000 m in
+          ignore (Interp.run_main st);
+          let sparc = Sparclite.Compile.compile_module m in
+          let _, sst = Sparclite.Sim.run_main sparc in
+          Printf.printf "%-17s %6d %9d %9d %12Ld\n" name level static
+            st.Interp.stats.Interp.steps sst.Sparclite.Sim.cycles)
+        [ 0; 1; 2 ])
+    subset;
+  section "Ablation: the compact 32-bit instruction form (object-code bytes)";
+  Printf.printf "%-17s %10s %12s %8s\n" "Program" "compact" "self-ext only"
+    "saving";
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.find name) in
+      let m = Workloads.compile_optimized ~level:2 w in
+      let with_c = String.length (Llva.Encode.encode ~compact:true m) in
+      let without = String.length (Llva.Encode.encode ~compact:false m) in
+      Printf.printf "%-17s %10d %12d %7.1f%%\n" name with_c without
+        (100.0 *. float_of_int (without - with_c) /. float_of_int without))
+    subset;
+  section "Ablation: register allocation on X86-lite (cycles)";
+  Printf.printf "%-17s %14s %14s %8s\n" "Program" "spill-all" "linear-scan"
+    "speedup";
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.find name) in
+      let naive =
+        X86lite.Compile.compile_module ~linear_scan:false
+          (Workloads.compile_optimized ~level:2 w)
+      in
+      let _, nst = X86lite.Sim.run_main naive in
+      let ls =
+        X86lite.Compile.compile_module ~linear_scan:true
+          (Workloads.compile_optimized ~level:2 w)
+      in
+      let _, lst = X86lite.Sim.run_main ls in
+      Printf.printf "%-17s %14Ld %14Ld %7.2fx\n" name nst.X86lite.Sim.cycles
+        lst.X86lite.Sim.cycles
+        (Int64.to_float nst.X86lite.Sim.cycles
+        /. Int64.to_float lst.X86lite.Sim.cycles))
+    subset
+
+(* ------------------------------------------------------------------ *)
+(* Portability (paper S3.2)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_portability () =
+  section "Portability: identical behaviour on all four target configs";
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.find name) in
+      let outputs =
+        List.map
+          (fun target ->
+            let m =
+              Minic.Mcodegen.compile_and_verify ~name ~target ~optimize:1
+                w.Workloads.source
+            in
+            let st = Interp.create ~fuel:100_000_000 m in
+            let code = Interp.run_main st in
+            (Llva.Target.to_string target, code, Interp.output st))
+          Llva.Target.all
+      in
+      let _, c0, o0 = List.hd outputs in
+      let agree =
+        List.for_all (fun (_, c, o) -> c = c0 && o = o0) outputs
+      in
+      Printf.printf "%-17s agree=%b  %s" name agree o0;
+      if not agree then
+        List.iter
+          (fun (t, c, o) -> Printf.printf "    %s: code=%d %s" t c o)
+          outputs)
+    [ "ptrdist-anagram"; "ptrdist-bc"; "186.crafty" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro () =
+  section "Micro-benchmarks: translator pipeline stages (bechamel, OLS)";
+  let open Bechamel in
+  let w = Option.get (Workloads.find "164.gzip") in
+  let m = Workloads.compile_optimized ~level:2 w in
+  let bytes = Llva.Encode.encode m in
+  let tests =
+    Test.make_grouped ~name:"pipeline"
+      [
+        Test.make ~name:"table2/x86-translate"
+          (Staged.stage (fun () -> X86lite.Compile.compile_module m));
+        Test.make ~name:"table2/sparc-translate"
+          (Staged.stage (fun () -> Sparclite.Compile.compile_module m));
+        Test.make ~name:"fig2/minic-frontend"
+          (Staged.stage (fun () ->
+               Minic.Mcodegen.compile ~name:"fig2" fig2_c));
+        Test.make ~name:"llee/encode"
+          (Staged.stage (fun () -> Llva.Encode.encode m));
+        Test.make ~name:"llee/decode"
+          (Staged.stage (fun () -> Llva.Decode.decode bytes));
+        Test.make ~name:"verify"
+          (Staged.stage (fun () -> Llva.Verify.verify_module m));
+        Test.make ~name:"optimize-O2"
+          (Staged.stage (fun () ->
+               Transform.Passmgr.optimize ~level:2
+                 (Llva.Decode.decode bytes)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      let t = Hashtbl.find results name in
+      match Analyze.OLS.estimates t with
+      | Some (est :: _) ->
+          Printf.printf "%-32s %12.1f ns/run  (%.3f ms)\n" name est
+            (est /. 1e6)
+      | _ -> Printf.printf "%-32s (no estimate)\n" name)
+    (List.sort compare names)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match which with
+  | "table2" -> ignore (run_table2 ())
+  | "fig2" -> run_fig2 ()
+  | "llee" -> run_llee ()
+  | "trace" -> run_trace ()
+  | "ablation" -> run_ablation ()
+  | "portability" -> run_portability ()
+  | "micro" -> run_micro ()
+  | "all" ->
+      ignore (run_table2 ());
+      run_fig2 ();
+      run_llee ();
+      run_trace ();
+      run_ablation ();
+      run_portability ();
+      run_micro ()
+  | other ->
+      Printf.eprintf
+        "unknown benchmark %S (try: table2 fig2 llee trace ablation \
+         portability micro all)\n"
+        other;
+      exit 1);
+  print_newline ()

@@ -1,0 +1,1 @@
+bin/llva_as.ml: Arg Cmd Cmdliner Filename Llva Printf String Term Tool_common

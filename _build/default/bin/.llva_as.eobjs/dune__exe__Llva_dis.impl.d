@@ -1,0 +1,1 @@
+bin/llva_dis.ml: Arg Cmd Cmdliner Hashtbl Llva Printf Sparclite Term Tool_common X86lite

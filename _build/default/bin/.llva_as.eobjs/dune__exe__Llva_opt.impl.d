@@ -1,0 +1,1 @@
+bin/llva_opt.ml: Arg Cmd Cmdliner Filename List Llva Option Printf String Term Tool_common Transform

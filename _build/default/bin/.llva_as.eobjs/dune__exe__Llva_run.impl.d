@@ -1,0 +1,1 @@
+bin/llva_run.ml: Arg Cmd Cmdliner Interp List Llee Printf Sparclite Term Tool_common Transform X86lite

@@ -1,0 +1,1 @@
+bin/llva_run.mli:

@@ -1,0 +1,1 @@
+bin/minicc.ml: Arg Cmd Cmdliner Filename Llva Minic Printf Term Tool_common

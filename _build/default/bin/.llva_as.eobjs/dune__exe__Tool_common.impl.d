@@ -1,0 +1,1 @@
+bin/tool_common.ml: Filename List Llva Printf String

@@ -1,0 +1,33 @@
+(* llva-as: assemble textual LLVA into virtual object code.
+
+     llva_as input.ll [-o output.bc] *)
+
+open Cmdliner
+
+let run input output =
+  let m = Tool_common.load_module input in
+  Tool_common.check_verify m;
+  let bytes = Llva.Encode.encode m in
+  let out =
+    match output with
+    | Some o -> o
+    | None -> Filename.remove_extension input ^ ".bc"
+  in
+  Tool_common.write_file out bytes;
+  Printf.printf "%s: %d instructions, %d bytes of virtual object code -> %s\n"
+    input
+    (Llva.Ir.module_instr_count m)
+    (String.length bytes) out
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.ll")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.bc")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "llva-as" ~doc:"assemble textual LLVA into virtual object code")
+    Term.(const run $ input $ output)
+
+let () = exit (Cmd.eval cmd)

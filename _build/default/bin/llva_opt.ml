@@ -1,0 +1,66 @@
+(* llva-opt: run optimization passes over LLVA (text or object code).
+
+     llva_opt input.ll -passes mem2reg,sccp,dce [-o out.ll]
+     llva_opt input.bc -O2 -o out.bc *)
+
+open Cmdliner
+
+let run input output level passes list_passes =
+  if list_passes then begin
+    List.iter
+      (fun p ->
+        Printf.printf "%-14s %s\n" p.Transform.Passmgr.name
+          p.Transform.Passmgr.description)
+      Transform.Passmgr.all_passes;
+    exit 0
+  end;
+  let input =
+    match input with
+    | Some i -> i
+    | None ->
+        prerr_endline "an input file is required";
+        exit 1
+  in
+  let m = Tool_common.load_module input in
+  Tool_common.check_verify m;
+  let changes =
+    match passes with
+    | Some plist -> (
+        let names = String.split_on_char ',' plist in
+        try Transform.Passmgr.run_pipeline ~verify:true m names
+        with Transform.Passmgr.Unknown_pass p ->
+          Printf.eprintf "unknown pass %s (use --list-passes)\n" p;
+          exit 1)
+    | None -> Transform.Passmgr.optimize ~level ~verify:true m
+  in
+  Printf.eprintf "applied %d changes; %d instructions remain\n" changes
+    (Llva.Ir.module_instr_count m);
+  let text_out = Filename.check_suffix (Option.value output ~default:"-.ll") ".ll" in
+  match output with
+  | None -> print_string (Llva.Pretty.module_to_string m)
+  | Some o ->
+      if text_out then Tool_common.write_file o (Llva.Pretty.module_to_string m)
+      else Tool_common.write_file o (Llva.Encode.encode m);
+      Printf.printf "wrote %s\n" o
+
+let input = Arg.(value & pos 0 (some file) None & info [] ~docv:"INPUT")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT")
+
+let level = Arg.(value & opt int 2 & info [ "O" ] ~docv:"LEVEL")
+
+let passes =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "passes" ] ~docv:"P1,P2,..." ~doc:"comma-separated pass pipeline")
+
+let list_passes = Arg.(value & flag & info [ "list-passes" ])
+
+let cmd =
+  Cmd.v
+    (Cmd.info "llva-opt" ~doc:"optimize LLVA modules")
+    Term.(const run $ input $ output $ level $ passes $ list_passes)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,103 @@
+(* llva-run: execute an LLVA program (text or object code) on one of the
+   execution engines.
+
+     llva_run prog.bc                          # reference interpreter
+     llva_run prog.bc --engine x86             # X86-lite simulator
+     llva_run prog.bc --engine llee-sparc      # LLEE JIT, cached on disk
+     llva_run prog.bc --stats                  # print execution statistics *)
+
+open Cmdliner
+
+let run input engine stats opt cache_dir =
+  let m = Tool_common.load_module input in
+  Tool_common.check_verify m;
+  if opt > 0 then ignore (Transform.Passmgr.optimize ~level:opt m);
+  let finish code output st_lines =
+    print_string output;
+    if stats then begin
+      Printf.eprintf "--- stats ---\n";
+      List.iter (fun l -> Printf.eprintf "%s\n" l) st_lines
+    end;
+    exit code
+  in
+  match engine with
+  | "interp" ->
+      let st = Interp.create m in
+      let code =
+        try Interp.run_main st with
+        | Interp.Trap k ->
+            Printf.eprintf "trap: %s\n" (Interp.trap_to_string k);
+            134
+        | Interp.Unwound ->
+            Printf.eprintf "uncaught unwind\n";
+            134
+      in
+      finish code (Interp.output st)
+        [
+          Printf.sprintf "llva instructions executed: %d"
+            st.Interp.stats.Interp.steps;
+          Printf.sprintf "calls: %d" st.Interp.stats.Interp.calls;
+          Printf.sprintf "max call depth: %d" st.Interp.stats.Interp.max_depth;
+        ]
+  | "x86" ->
+      let cm = X86lite.Compile.compile_module m in
+      let code, st = X86lite.Sim.run_main cm in
+      finish code (X86lite.Sim.output st)
+        [
+          Printf.sprintf "native instructions: %Ld" st.X86lite.Sim.icount;
+          Printf.sprintf "cycles: %Ld" st.X86lite.Sim.cycles;
+          Printf.sprintf "static native instructions: %d"
+            (X86lite.Compile.module_instr_count cm);
+          Printf.sprintf "native code bytes: %d"
+            (X86lite.Compile.module_code_size cm);
+        ]
+  | "sparc" ->
+      let cm = Sparclite.Compile.compile_module m in
+      let code, st = Sparclite.Sim.run_main cm in
+      finish code (Sparclite.Sim.output st)
+        [
+          Printf.sprintf "native instructions: %Ld" st.Sparclite.Sim.icount;
+          Printf.sprintf "cycles: %Ld" st.Sparclite.Sim.cycles;
+          Printf.sprintf "static native instructions: %d"
+            (Sparclite.Compile.module_instr_count cm);
+        ]
+  | "llee-x86" | "llee-sparc" ->
+      let target = if engine = "llee-x86" then Llee.X86 else Llee.Sparc in
+      let storage =
+        match cache_dir with
+        | Some dir -> Llee.Storage.on_disk ~dir
+        | None -> Llee.Storage.none
+      in
+      let eng = Llee.of_module ~storage ~target m in
+      let code, output = Llee.run eng in
+      finish code output
+        [
+          Printf.sprintf "functions translated: %d"
+            eng.Llee.stats.Llee.translations;
+          Printf.sprintf "cache hits: %d" eng.Llee.stats.Llee.cache_hits;
+          Printf.sprintf "translate time: %.3f ms"
+            (eng.Llee.stats.Llee.translate_time *. 1000.0);
+          Printf.sprintf "cycles: %Ld" eng.Llee.stats.Llee.cycles;
+        ]
+  | e ->
+      Printf.eprintf
+        "unknown engine %s (interp, x86, sparc, llee-x86, llee-sparc)\n" e;
+      exit 1
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM")
+let engine = Arg.(value & opt string "interp" & info [ "engine"; "e" ] ~docv:"ENGINE")
+let stats = Arg.(value & flag & info [ "stats" ])
+let opt = Arg.(value & opt int 0 & info [ "O" ] ~docv:"LEVEL")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR" ~doc:"offline code cache for llee engines")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "llva-run" ~doc:"execute LLVA programs")
+    Term.(const run $ input $ engine $ stats $ opt $ cache_dir)
+
+let () = exit (Cmd.eval cmd)

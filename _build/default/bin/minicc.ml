@@ -1,0 +1,65 @@
+(* minicc: the MiniC front-end driver — compile a C-subset source file to
+   textual LLVA or virtual object code.
+
+     minicc prog.c -o prog.bc [-O2] [--emit-llva] [--target 64le] *)
+
+open Cmdliner
+
+let parse_target = function
+  | "32le" -> Ok Llva.Target.little32
+  | "32be" -> Ok Llva.Target.big32
+  | "64le" -> Ok Llva.Target.little64
+  | "64be" -> Ok Llva.Target.big64
+  | t -> Error (Printf.sprintf "unknown target %s (32le, 32be, 64le, 64be)" t)
+
+let run input output level emit_llva target_str =
+  let target =
+    match parse_target target_str with
+    | Ok t -> t
+    | Error e ->
+        prerr_endline e;
+        exit 1
+  in
+  let src = Tool_common.read_file input in
+  let name = Filename.remove_extension (Filename.basename input) in
+  let m =
+    try Minic.Mcodegen.compile_and_verify ~name ~target ~optimize:level src
+    with
+    | Minic.Mlexer.Error (msg, line) ->
+        Printf.eprintf "%s:%d: lexical error: %s\n" input line msg;
+        exit 1
+    | Minic.Mparser.Error (msg, line) ->
+        Printf.eprintf "%s:%d: syntax error: %s\n" input line msg;
+        exit 1
+    | Minic.Mcodegen.Error (msg, line) ->
+        Printf.eprintf "%s:%d: error: %s\n" input line msg;
+        exit 1
+  in
+  let out =
+    match output with
+    | Some o -> o
+    | None ->
+        Filename.remove_extension input ^ if emit_llva then ".ll" else ".bc"
+  in
+  if emit_llva then Tool_common.write_file out (Llva.Pretty.module_to_string m)
+  else Tool_common.write_file out (Llva.Encode.encode m);
+  Printf.printf "%s -> %s (%d LLVA instructions)\n" input out
+    (Llva.Ir.module_instr_count m)
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.c")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT")
+
+let level = Arg.(value & opt int 0 & info [ "O" ] ~docv:"LEVEL")
+let emit_llva = Arg.(value & flag & info [ "emit-llva"; "S" ])
+
+let target =
+  Arg.(value & opt string "32le" & info [ "target" ] ~docv:"TARGET")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "minicc" ~doc:"compile MiniC (a C subset) to LLVA")
+    Term.(const run $ input $ output $ level $ emit_llva $ target)
+
+let () = exit (Cmd.eval cmd)

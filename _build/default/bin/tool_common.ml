@@ -1,0 +1,30 @@
+(* Shared helpers for the command-line tools. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let is_object_code data =
+  String.length data >= 4 && String.sub data 0 4 = "LLVA"
+
+(* Load a module from either textual assembly (.ll) or virtual object
+   code (.bc), sniffing the magic. *)
+let load_module path =
+  let data = read_file path in
+  if is_object_code data then Llva.Decode.decode data
+  else Llva.Resolve.parse_module ~name:(Filename.remove_extension (Filename.basename path)) data
+
+let check_verify m =
+  match Llva.Verify.verify_module m with
+  | [] -> ()
+  | errs ->
+      List.iter (fun e -> Printf.eprintf "verify: %s\n" e) errs;
+      exit 1

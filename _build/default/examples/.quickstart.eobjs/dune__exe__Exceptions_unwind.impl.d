@@ -1,0 +1,1 @@
+examples/exceptions_unwind.ml: Array Interp List Llva Printf Resolve Verify Vmem X86lite

@@ -1,0 +1,1 @@
+examples/jit_caching.ml: Array Filename Llee Llva Minic Printf String Sys

@@ -1,0 +1,1 @@
+examples/minic_pipeline.ml: Hashtbl Interp List Llva Minic Printf Sparclite String Transform X86lite

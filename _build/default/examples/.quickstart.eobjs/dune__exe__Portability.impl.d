@@ -1,0 +1,1 @@
+examples/portability.ml: Interp List Llva Minic Printf String Vmem

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Encode Interp Ir List Llee Llva Pretty Printf Sparclite String Transform Types Verify X86lite

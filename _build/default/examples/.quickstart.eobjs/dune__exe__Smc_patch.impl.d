@@ -1,0 +1,1 @@
+examples/smc_patch.ml: Interp List Llee Llva Printf Resolve Verify

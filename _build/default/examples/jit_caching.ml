@@ -1,0 +1,81 @@
+(* The LLEE translation strategy (paper §4.1): "offline translation when
+   possible, online translation whenever necessary."
+
+   This example ships a program as virtual object code and launches it
+   four times:
+     1. with no OS storage API       -> everything JIT-compiled online
+     2. cold, with an on-disk cache  -> JIT + write-back
+     3. warm                         -> all native code read from cache
+     4. after offline translation of a new program version
+
+     dune exec examples/jit_caching.exe *)
+
+let program =
+  {|
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+
+int collatz_len(long n) {
+  int len = 0;
+  while (n != 1) {
+    if (n % 2 == 0) n = n / 2;
+    else n = 3 * n + 1;
+    len++;
+  }
+  return len;
+}
+
+int main() {
+  print_str("fib(18) = ");
+  print_int(fib(18));
+  print_nl();
+  print_str("collatz(27) = ");
+  print_int(collatz_len(27));
+  print_nl();
+  return 0;
+}
+|}
+
+let show tag (eng : Llee.t) (code, out) =
+  Printf.printf
+    "%-28s exit=%d translated=%d cache-hits=%d translate-time=%.3f ms\n" tag
+    code eng.Llee.stats.Llee.translations eng.Llee.stats.Llee.cache_hits
+    (eng.Llee.stats.Llee.translate_time *. 1000.0);
+  print_string out
+
+let () =
+  let m = Minic.Mcodegen.compile_and_verify ~name:"jitdemo" ~optimize:1 program in
+  let bytes = Llva.Encode.encode m in
+  Printf.printf "virtual object code: %d bytes (%d LLVA instructions)\n\n"
+    (String.length bytes)
+    (Llva.Ir.module_instr_count m);
+
+  (* 1. no storage API: the DAISY/Crusoe situation; always online *)
+  let eng1 = Llee.load ~target:Llee.X86 bytes in
+  show "1. no storage (pure JIT):" eng1 (Llee.run eng1);
+
+  (* 2+3. with an on-disk cache through the OS-independent storage API *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "llva_demo_cache" in
+  let storage = Llee.Storage.on_disk ~dir in
+  let cold = Llee.load ~storage ~target:Llee.X86 bytes in
+  show "2. cold launch (disk cache):" cold (Llee.run cold);
+  let warm = Llee.fresh_run cold in
+  show "3. warm launch:" warm (Llee.run warm);
+  Printf.printf "   (cache now holds %d bytes of native translations)\n"
+    (storage.Llee.Storage.size ());
+
+  (* 4. idle-time offline translation: later launches never JIT *)
+  let eng4 = Llee.load ~storage ~target:Llee.Sparc bytes in
+  Llee.translate_offline eng4;
+  Printf.printf
+    "4. offline translation done:  %d functions pre-translated for %s\n"
+    eng4.Llee.stats.Llee.translations "sparc-lite";
+  let launch = Llee.fresh_run eng4 in
+  show "   subsequent launch:" launch (Llee.run launch);
+
+  (* cleanup *)
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir)

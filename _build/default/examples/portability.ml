@@ -1,0 +1,101 @@
+(* Representation portability (paper §3.2): the same type-safe source
+   behaves identically on every target configuration the V-ISA abstracts
+   over (32/64-bit pointers, little/big endian), because getelementptr
+   expresses pointer arithmetic in terms of abstract type properties.
+
+   The program builds a binary search tree with pointer-heavy nodes —
+   exactly the kind of code whose struct offsets differ across configs —
+   and we check behaviour on all four; then we show the offsets that
+   differed underneath.
+
+     dune exec examples/portability.exe *)
+
+let c_source =
+  {|
+typedef struct Node {
+  char tag;              /* forces interesting padding */
+  struct Node *left;
+  struct Node *right;
+  long key;
+} Node;
+
+Node *insert(Node *t, long key) {
+  if (!t) {
+    Node *n = (Node *) malloc(sizeof(Node));
+    n->tag = 'n';
+    n->left = 0;
+    n->right = 0;
+    n->key = key;
+    return n;
+  }
+  if (key < t->key) t->left = insert(t->left, key);
+  else if (key > t->key) t->right = insert(t->right, key);
+  return t;
+}
+
+long sum_depths(Node *t, long depth) {
+  if (!t) return 0;
+  return depth + sum_depths(t->left, depth + 1) + sum_depths(t->right, depth + 1);
+}
+
+unsigned seed = 99u;
+unsigned rnd() { seed = seed * 1103515245u + 12345u; return (seed >> 16) & 32767u; }
+
+int main() {
+  Node *root = 0;
+  int i;
+  for (i = 0; i < 200; i++) root = insert(root, (long)(rnd() % 1000u));
+  print_str("sum of depths = ");
+  print_long(sum_depths(root, 0));
+  print_nl();
+  print_str("sizeof(Node) = ");
+  print_int((int)sizeof(Node));
+  print_nl();
+  return 0;
+}
+|}
+
+let () =
+  Printf.printf "%-24s %-10s %s\n" "target config" "exit" "output";
+  let results =
+    List.map
+      (fun target ->
+        let m =
+          Minic.Mcodegen.compile_and_verify ~name:"bst" ~target c_source
+        in
+        let st = Interp.create m in
+        let code = Interp.run_main st in
+        let out = Interp.output st in
+        Printf.printf "%-24s %-10d %s" (Llva.Target.to_string target) code
+          (String.concat " | " (String.split_on_char '\n' out));
+        print_newline ();
+        (code, out))
+      Llva.Target.all
+  in
+  (* the observable *behaviour* agrees except for sizeof, which the V-ISA
+     deliberately exposes (it is one of the two I-ISA details a program
+     may depend on, with endianness) *)
+  let first_line (_, out) = List.hd (String.split_on_char '\n' out) in
+  let all_same =
+    List.for_all (fun r -> first_line r = first_line (List.hd results)) results
+  in
+  Printf.printf "\ntree behaviour identical on all configs: %b\n" all_same;
+
+  (* peek underneath: the same getelementptr lowers to different byte
+     offsets per config — this is what the translator hides *)
+  print_endline "\nbyte offset of Node.key computed by the translator:";
+  List.iter
+    (fun target ->
+      let m = Minic.Mcodegen.compile_and_verify ~name:"bst" ~target c_source in
+      let lt = Vmem.Layout.for_module m in
+      let node_ty = Llva.Types.Named "struct.Node" in
+      let off, _ =
+        Vmem.Layout.gep_offset lt
+          (Llva.Types.Pointer node_ty)
+          [ (Llva.Types.Long, 0L); (Llva.Types.Uint, 3L) ]
+      in
+      Printf.printf "  %-22s offset = %2d bytes (sizeof = %d)\n"
+        (Llva.Target.to_string target)
+        off
+        (Vmem.Layout.size_of lt node_ty))
+    Llva.Target.all

@@ -1,0 +1,102 @@
+(* Self-modifying code under the paper's §3.4 rules: a program patches one
+   of its own functions through the llva.smc.replace intrinsic. The change
+   affects only *future* invocations — an invocation already on the stack
+   keeps executing the old body — and LLEE invalidates the cached native
+   code of the patched function.
+
+   The scenario is a runtime instrumentation tool: the program swaps its
+   "step" function for an instrumented variant mid-run, from *inside* an
+   active invocation of the driver that keeps calling it.
+
+     dune exec examples/smc_patch.exe *)
+
+open Llva
+
+let program =
+  {|
+declare void %print_str(sbyte*)
+declare void %print_int(int)
+declare void %print_nl()
+declare void %llva.smc.replace(int (int)*, int (int)*)
+
+%count = global int 0
+%msg.plain = constant [8 x sbyte] c"plain: \00"
+%msg.done = constant [7 x sbyte] c"calls=\00"
+
+; the original step function
+int %step(int %x) {
+entry:
+  %r = add int %x, 1
+  ret int %r
+}
+
+; the instrumented replacement: counts invocations
+int %step_instrumented(int %x) {
+entry:
+  %c = load int* %count
+  %c2 = add int %c, 1
+  store int %c2, int* %count
+  %r = add int %x, 1
+  ret int %r
+}
+
+; drive N iterations; patch after the first half, in the middle of this
+; (still active) invocation
+int %drive(int %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %inext, %cont ]
+  %acc = phi int [ 0, %entry ], [ %acc2, %cont ]
+  %acc2 = call int %step(int %acc)
+  %inext = add int %i, 1
+  %ishalf = seteq int %inext, %n
+  br bool %ishalf, label %patch, label %cont
+patch:
+  ; future invocations of %step are the instrumented version
+  call void %llva.smc.replace(int (int)* %step, int (int)* %step_instrumented)
+  br label %cont
+cont:
+  %twice = mul int %n, 2
+  %done = setge int %inext, %twice
+  br bool %done, label %out, label %loop
+out:
+  ret int %acc2
+}
+
+int %main() {
+entry:
+  %total = call int %drive(int 5)
+  %p1 = getelementptr [8 x sbyte]* %msg.plain, long 0, long 0
+  call void %print_str(sbyte* %p1)
+  call void %print_int(int %total)
+  call void %print_nl()
+  ; only the 5 post-patch invocations were counted
+  %p2 = getelementptr [7 x sbyte]* %msg.done, long 0, long 0
+  call void %print_str(sbyte* %p2)
+  %c = load int* %count
+  call void %print_int(int %c)
+  call void %print_nl()
+  ret int 0
+}
+|}
+
+let () =
+  let m = Resolve.parse_module ~name:"smc" program in
+  (match Verify.verify_module m with
+  | [] -> ()
+  | errs ->
+      List.iter print_endline errs;
+      exit 1);
+
+  print_endline "--- reference interpreter ---";
+  let st = Interp.create m in
+  ignore (Interp.run_main st);
+  print_string (Interp.output st);
+
+  print_endline "--- through LLEE (native, with code-cache invalidation) ---";
+  let eng = Llee.of_module ~target:Llee.X86 m in
+  let _, out = Llee.run eng in
+  print_string out;
+  Printf.printf "functions JIT-compiled: %d (replacement translated on demand)\n"
+    eng.Llee.stats.Llee.translations

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Array Hashtbl Ir List Llva

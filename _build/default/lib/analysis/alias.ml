@@ -1,0 +1,166 @@
+(* Alias analysis over LLVA pointers.
+
+   The paper (§3.3, §5.1) argues that the V-ISA's type information, SSA and
+   explicit CFG enable "sophisticated alias analysis algorithms in the
+   translator". This module provides the must/may-alias queries the
+   optimizer needs:
+
+   - base-object disambiguation: two pointers rooted at distinct stack
+     allocations, or at a stack allocation vs. a global, cannot alias;
+   - offset disambiguation: getelementptrs off the same base whose
+     constant byte ranges are disjoint (computed with the target data
+     layout) cannot alias;
+   - escape analysis for allocas: a non-escaping alloca cannot be touched
+     by a call. *)
+
+open Llva
+
+type base =
+  | Balloca of Ir.instr
+  | Bglobal of Ir.global
+  | Bfunc of Ir.func
+  | Barg of Ir.arg (* incoming pointer: unknown object *)
+  | Bunknown
+
+(* Chase a pointer value to its base object through geps and
+   pointer-to-pointer casts. *)
+let rec base_object (v : Ir.value) : base =
+  match v with
+  | Ir.Vglobal g -> Bglobal g
+  | Ir.Vfunc f -> Bfunc f
+  | Ir.Varg a -> Barg a
+  | Ir.Vreg i -> (
+      match i.Ir.op with
+      | Ir.Alloca -> Balloca i
+      | Ir.Getelementptr -> base_object i.Ir.operands.(0)
+      | Ir.Cast -> (
+          match Ir.type_of_value i.Ir.operands.(0) with
+          | Types.Pointer _ -> base_object i.Ir.operands.(0)
+          | _ -> Bunknown)
+      | _ -> Bunknown)
+  | Ir.Const { ckind = Ir.Cglobal_ref _; _ } -> Bunknown
+  | _ -> Bunknown
+
+(* Constant byte offset of [v] from its base object, or None if any gep
+   index on the way is non-constant. Pointer-to-pointer casts keep the
+   offset. *)
+let rec const_offset (lt : Vmem.Layout.t) (v : Ir.value) : int option =
+  match v with
+  | Ir.Vreg ({ Ir.op = Ir.Getelementptr; _ } as i) -> (
+      match const_offset lt i.Ir.operands.(0) with
+      | None -> None
+      | Some base_off -> (
+          let rec collect k acc =
+            if k >= Array.length i.Ir.operands then Some (List.rev acc)
+            else
+              match i.Ir.operands.(k) with
+              | Ir.Const { cty; ckind = Ir.Cint n } -> collect (k + 1) ((cty, n) :: acc)
+              | _ -> None
+          in
+          match collect 1 [] with
+          | None -> None
+          | Some indexes -> (
+              match
+                Vmem.Layout.gep_offset lt
+                  (Ir.type_of_value i.Ir.operands.(0))
+                  indexes
+              with
+              | off, _ -> Some (base_off + off)
+              | exception (Invalid_argument _ | Types.Unresolved _) -> None)))
+  | Ir.Vreg ({ Ir.op = Ir.Cast; _ } as i) -> (
+      match Ir.type_of_value i.Ir.operands.(0) with
+      | Types.Pointer _ -> const_offset lt i.Ir.operands.(0)
+      | _ -> None)
+  | Ir.Vreg { Ir.op = Ir.Alloca; _ } | Ir.Vglobal _ -> Some 0
+  | _ -> None
+
+type result = No_alias | May_alias | Must_alias
+
+let same_base a b =
+  match (a, b) with
+  | Balloca x, Balloca y -> x == y
+  | Bglobal x, Bglobal y -> x == y
+  | Bfunc x, Bfunc y -> x == y
+  | Barg x, Barg y -> x == y
+  | _ -> false
+
+let distinct_identified a b =
+  (* bases that are provably distinct memory objects *)
+  match (a, b) with
+  | Balloca x, Balloca y -> not (x == y)
+  | Bglobal x, Bglobal y -> not (x == y)
+  | Balloca _, Bglobal _ | Bglobal _, Balloca _ -> true
+  | Bfunc _, (Balloca _ | Bglobal _) | (Balloca _ | Bglobal _), Bfunc _ -> true
+  | _ -> false
+
+(* Byte size of the scalar a pointer's load/store would access, if known. *)
+let access_size lt (p : Ir.value) =
+  match Types.resolve lt.Vmem.Layout.env (Ir.type_of_value p) with
+  | Types.Pointer elem -> (
+      match Types.resolve lt.Vmem.Layout.env elem with
+      | t when Types.is_scalar t -> Some (Vmem.Layout.size_of lt t)
+      | _ -> None
+      | exception Types.Unresolved _ -> None)
+  | _ -> None
+  | exception Types.Unresolved _ -> None
+
+let alias lt (p : Ir.value) (q : Ir.value) : result =
+  if Ir.value_equal p q then Must_alias
+  else
+    let bp = base_object p and bq = base_object q in
+    if distinct_identified bp bq then No_alias
+    else if same_base bp bq then
+      match (const_offset lt p, const_offset lt q) with
+      | Some op_, Some oq -> (
+          match (access_size lt p, access_size lt q) with
+          | Some sp, Some sq ->
+              if op_ = oq && sp = sq then Must_alias
+              else if op_ + sp <= oq || oq + sq <= op_ then No_alias
+              else May_alias
+          | _ -> if op_ = oq then May_alias else May_alias)
+      | _ -> May_alias
+    else May_alias
+
+(* Does an alloca escape (its address stored, passed to a call, returned,
+   or cast to a non-pointer)? Non-escaping allocas cannot be modified by
+   calls, which lets LICM and GVN keep values in registers across them. *)
+let alloca_escapes (alloca : Ir.instr) : bool =
+  let rec value_escapes (v : Ir.value) (seen : int list) =
+    match v with
+    | Ir.Vreg i when List.mem i.Ir.iid seen -> false
+    | Ir.Vreg i ->
+        List.exists
+          (fun (u : Ir.use) ->
+            let user = u.Ir.user in
+            match user.Ir.op with
+            | Ir.Load -> false
+            | Ir.Store -> u.Ir.uidx = 0 (* storing the pointer itself *)
+            | Ir.Getelementptr when u.Ir.uidx = 0 ->
+                value_escapes (Ir.Vreg user) (i.Ir.iid :: seen)
+            | Ir.Cast -> (
+                match user.Ir.ity with
+                | Types.Pointer _ -> value_escapes (Ir.Vreg user) (i.Ir.iid :: seen)
+                | _ -> true)
+            | Ir.Call | Ir.Invoke -> true
+            | Ir.Ret -> true
+            | Ir.Setcc _ -> false
+            | Ir.Phi | Ir.Binop _ -> true
+            | _ -> true)
+          i.Ir.iuses
+    | _ -> true
+  in
+  value_escapes (Ir.Vreg alloca) []
+
+(* May a call modify memory reachable through [p]? *)
+let call_may_modify (call : Ir.instr) (p : Ir.value) =
+  ignore call;
+  match base_object p with
+  | Balloca a -> alloca_escapes a
+  | _ -> true
+
+let instr_may_write_to lt (i : Ir.instr) (p : Ir.value) =
+  match i.Ir.op with
+  | Ir.Store -> (
+      match alias lt i.Ir.operands.(1) p with No_alias -> false | _ -> true)
+  | Ir.Call | Ir.Invoke -> call_may_modify i p
+  | _ -> false

@@ -1,0 +1,70 @@
+(* Control-flow graph utilities over a function's explicit CFG (paper
+   §3.1: every function is a list of basic blocks whose terminators name
+   their successors, so these are all structurally trivial to compute —
+   the very property the V-ISA is designed to provide). *)
+
+open Llva
+
+type t = {
+  func : Ir.func;
+  blocks : Ir.block array; (* reverse postorder; entry first *)
+  index : (int, int) Hashtbl.t; (* block id -> index *)
+  succs : int list array;
+  preds : int list array;
+}
+
+(* Depth-first postorder from the entry block; unreachable blocks are
+   excluded entirely (passes should run [Transform.Simplifycfg] to drop
+   them from the function). *)
+let build (f : Ir.func) : t =
+  let visited = Hashtbl.create 32 in
+  let postorder = ref [] in
+  let rec dfs (b : Ir.block) =
+    if not (Hashtbl.mem visited b.Ir.blid) then begin
+      Hashtbl.replace visited b.Ir.blid ();
+      List.iter dfs (Ir.successors b);
+      postorder := b :: !postorder
+    end
+  in
+  (match f.Ir.fblocks with [] -> () | entry :: _ -> dfs entry);
+  let blocks = Array.of_list !postorder in
+  let index = Hashtbl.create (Array.length blocks) in
+  Array.iteri (fun k b -> Hashtbl.replace index b.Ir.blid k) blocks;
+  let succs =
+    Array.map
+      (fun b ->
+        List.filter_map (fun s -> Hashtbl.find_opt index s.Ir.blid) (Ir.successors b))
+      blocks
+  in
+  let preds = Array.make (Array.length blocks) [] in
+  Array.iteri
+    (fun k ss -> List.iter (fun s -> preds.(s) <- k :: preds.(s)) ss)
+    succs;
+  { func = f; blocks; index; succs; preds }
+
+let n_blocks cfg = Array.length cfg.blocks
+let block cfg k = cfg.blocks.(k)
+
+let index_of cfg (b : Ir.block) =
+  match Hashtbl.find_opt cfg.index b.Ir.blid with
+  | Some k -> k
+  | None -> invalid_arg ("Cfg.index_of: unreachable block %" ^ b.Ir.bname)
+
+let is_reachable cfg (b : Ir.block) = Hashtbl.mem cfg.index b.Ir.blid
+
+let unreachable_blocks (f : Ir.func) =
+  let cfg = build f in
+  List.filter (fun b -> not (is_reachable cfg b)) f.Ir.fblocks
+
+(* blocks in reverse postorder *)
+let rpo cfg = Array.to_list cfg.blocks
+
+let iter_rpo f cfg = Array.iter f cfg.blocks
+
+(* edge list as (src, dst) index pairs *)
+let edges cfg =
+  let acc = ref [] in
+  Array.iteri
+    (fun k ss -> List.iter (fun s -> acc := (k, s) :: !acc) ss)
+    cfg.succs;
+  List.rev !acc

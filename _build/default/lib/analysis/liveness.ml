@@ -1,0 +1,110 @@
+(* Classic backward liveness over SSA values (instruction results and
+   arguments). Used by the code generators to build live intervals for
+   linear-scan register allocation. *)
+
+open Llva
+
+(* A "live unit" is an SSA value identified by its defining id. *)
+let def_id_of_value = function
+  | Ir.Vreg i -> Some i.Ir.iid
+  | Ir.Varg a -> Some a.Ir.aid
+  | _ -> None
+
+type t = {
+  cfg : Cfg.t;
+  live_in : (int, unit) Hashtbl.t array; (* per block index: set of ids *)
+  live_out : (int, unit) Hashtbl.t array;
+}
+
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.n_blocks cfg in
+  let live_in = Array.init n (fun _ -> Hashtbl.create 16) in
+  let live_out = Array.init n (fun _ -> Hashtbl.create 16) in
+  (* uses and defs per block; phi uses count on the incoming edge, i.e.
+     they are live-out of the predecessor, not live-in of the phi block *)
+  let defs = Array.init n (fun _ -> Hashtbl.create 16) in
+  let upward_uses = Array.init n (fun _ -> Hashtbl.create 16) in
+  for k = 0 to n - 1 do
+    let b = Cfg.block cfg k in
+    List.iter
+      (fun (i : Ir.instr) ->
+        if i.Ir.op <> Ir.Phi then
+          Array.iter
+            (fun v ->
+              match def_id_of_value v with
+              | Some id when not (Hashtbl.mem defs.(k) id) ->
+                  Hashtbl.replace upward_uses.(k) id ()
+              | _ -> ())
+            i.Ir.operands;
+        if not (Types.equal i.Ir.ity Types.Void) then
+          Hashtbl.replace defs.(k) i.Ir.iid ())
+      b.Ir.instrs
+  done;
+  (* phi edge uses: value v flowing from pred p is live-out of p *)
+  let phi_edge_uses = Array.init n (fun _ -> Hashtbl.create 8) in
+  for k = 0 to n - 1 do
+    let b = Cfg.block cfg k in
+    List.iter
+      (fun phi ->
+        List.iter
+          (fun (v, pred) ->
+            match def_id_of_value v with
+            | Some id when Cfg.is_reachable cfg pred ->
+                let p = Cfg.index_of cfg pred in
+                Hashtbl.replace phi_edge_uses.(p) id ()
+            | _ -> ())
+          (Ir.phi_incoming phi))
+      (Ir.block_phis b)
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for k = n - 1 downto 0 do
+      (* live_out = union of successor live_in + phi edge uses *)
+      let out = live_out.(k) in
+      List.iter
+        (fun s ->
+          Hashtbl.iter
+            (fun id () ->
+              if not (Hashtbl.mem out id) then begin
+                Hashtbl.replace out id ();
+                changed := true
+              end)
+            live_in.(s))
+        cfg.Cfg.succs.(k);
+      Hashtbl.iter
+        (fun id () ->
+          if not (Hashtbl.mem out id) then begin
+            Hashtbl.replace out id ();
+            changed := true
+          end)
+        phi_edge_uses.(k);
+      (* live_in = upward_uses ∪ (live_out \ defs) ∪ phi defs handling:
+         a phi's result is defined at block entry, so it is not live-in *)
+      let inn = live_in.(k) in
+      Hashtbl.iter
+        (fun id () ->
+          if not (Hashtbl.mem inn id) then begin
+            Hashtbl.replace inn id ();
+            changed := true
+          end)
+        upward_uses.(k);
+      Hashtbl.iter
+        (fun id () ->
+          if (not (Hashtbl.mem defs.(k) id)) && not (Hashtbl.mem inn id) then begin
+            Hashtbl.replace inn id ();
+            changed := true
+          end)
+        out
+    done
+  done;
+  { cfg; live_in; live_out }
+
+let live_in t (b : Ir.block) =
+  t.live_in.(Cfg.index_of t.cfg b) |> Hashtbl.to_seq_keys |> List.of_seq
+
+let live_out t (b : Ir.block) =
+  t.live_out.(Cfg.index_of t.cfg b) |> Hashtbl.to_seq_keys |> List.of_seq
+
+let is_live_out t (b : Ir.block) id =
+  Hashtbl.mem t.live_out.(Cfg.index_of t.cfg b) id

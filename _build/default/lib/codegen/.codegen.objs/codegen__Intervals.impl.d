@@ -1,0 +1,1 @@
+lib/codegen/intervals.ml: Analysis Array Hashtbl Ir List Llva Types

@@ -1,0 +1,1 @@
+lib/codegen/phiplan.ml: Hashtbl Ir List Llva

@@ -1,0 +1,133 @@
+(* Live intervals for SSA values over a linearized block order, built from
+   [Analysis.Liveness]. Both back-ends allocate registers over these
+   intervals before instruction selection: values assigned a register are
+   used directly, the rest live in stack slots. *)
+
+open Llva
+
+type klass = Kint | Kfloat
+
+let klass_of_type env ty =
+  match Types.resolve env ty with
+  | Types.Float | Types.Double -> Kfloat
+  | _ -> Kint
+
+type interval = {
+  vid : int; (* instr id or arg id *)
+  klass : klass;
+  mutable start_pos : int;
+  mutable end_pos : int;
+  mutable weight : int; (* use count, loop-depth scaled: spill priority *)
+}
+
+type t = {
+  intervals : (int, interval) Hashtbl.t;
+  order : Ir.block list; (* linearization used for positions *)
+  positions : (int, int) Hashtbl.t; (* instr id -> position *)
+  block_range : (int, int * int) Hashtbl.t; (* block id -> (first, last) *)
+}
+
+let get_or_make t env ~vid ~ty pos =
+  match Hashtbl.find_opt t.intervals vid with
+  | Some iv -> iv
+  | None ->
+      let iv =
+        { vid; klass = klass_of_type env ty; start_pos = pos; end_pos = pos;
+          weight = 0 }
+      in
+      Hashtbl.replace t.intervals vid iv;
+      iv
+
+let extend iv pos =
+  if pos < iv.start_pos then iv.start_pos <- pos;
+  if pos > iv.end_pos then iv.end_pos <- pos
+
+let build ?(env = Types.empty_env ()) (f : Ir.func) : t =
+  let cfg = Analysis.Cfg.build f in
+  let live = Analysis.Liveness.compute cfg in
+  let loops = Analysis.Loops.compute cfg (Analysis.Dominance.compute cfg) in
+  let order = f.Ir.fblocks in
+  let t =
+    {
+      intervals = Hashtbl.create 64;
+      order;
+      positions = Hashtbl.create 256;
+      block_range = Hashtbl.create 16;
+    }
+  in
+  (* assign positions; leave gaps of 2 for copies inserted later *)
+  let pos = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let first = !pos in
+      List.iter
+        (fun (i : Ir.instr) ->
+          Hashtbl.replace t.positions i.Ir.iid !pos;
+          pos := !pos + 2)
+        b.Ir.instrs;
+      Hashtbl.replace t.block_range b.Ir.blid (first, max first (!pos - 1)))
+    order;
+  (* arguments are defined at position -1 *)
+  List.iter
+    (fun (a : Ir.arg) ->
+      let iv = get_or_make t env ~vid:a.Ir.aid ~ty:a.Ir.aty (-1) in
+      extend iv (-1))
+    f.Ir.fargs;
+  (* defs and uses *)
+  let use_weight (b : Ir.block) =
+    1 + (4 * Analysis.Loops.loop_depth loops b)
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          let p = Hashtbl.find t.positions i.Ir.iid in
+          if not (Types.equal i.Ir.ity Types.Void) then begin
+            let iv = get_or_make t env ~vid:i.Ir.iid ~ty:i.Ir.ity p in
+            extend iv p;
+            iv.weight <- iv.weight + use_weight b
+          end;
+          Array.iter
+            (fun v ->
+              match v with
+              | Ir.Vreg d ->
+                  if not (Types.equal d.Ir.ity Types.Void) then begin
+                    let iv = get_or_make t env ~vid:d.Ir.iid ~ty:d.Ir.ity p in
+                    extend iv p;
+                    iv.weight <- iv.weight + use_weight b
+                  end
+              | Ir.Varg a ->
+                  let iv = get_or_make t env ~vid:a.Ir.aid ~ty:a.Ir.aty p in
+                  extend iv p;
+                  iv.weight <- iv.weight + use_weight b
+              | _ -> ())
+            i.Ir.operands)
+        b.Ir.instrs)
+    order;
+  (* extend across blocks where the value is live-in/out *)
+  List.iter
+    (fun (b : Ir.block) ->
+      if Analysis.Cfg.is_reachable cfg b then begin
+        let first, last = Hashtbl.find t.block_range b.Ir.blid in
+        List.iter
+          (fun vid ->
+            match Hashtbl.find_opt t.intervals vid with
+            | Some iv -> extend iv first
+            | None -> ())
+          (Analysis.Liveness.live_in live b);
+        List.iter
+          (fun vid ->
+            match Hashtbl.find_opt t.intervals vid with
+            | Some iv -> extend iv last
+            | None -> ())
+          (Analysis.Liveness.live_out live b)
+      end)
+    order;
+  t
+
+let all t =
+  Hashtbl.fold (fun _ iv acc -> iv :: acc) t.intervals []
+  |> List.sort (fun a b -> compare a.start_pos b.start_pos)
+
+let position_of t (i : Ir.instr) =
+  match Hashtbl.find_opt t.positions i.Ir.iid with Some p -> p | None -> 0

@@ -1,0 +1,68 @@
+(* Phi elimination plan. The translator "eliminates the φ-nodes by
+   introducing copy operations into predecessor basic blocks" (paper
+   §3.1). To stay correct for parallel phis (swap/lost-copy problems),
+   every phi gets a dedicated transfer slot:
+
+     in each predecessor, before the terminator:   slot[phi] := incoming
+     at the start of the phi's own block:          phi      := slot[phi]
+
+   Since all reads of incoming values happen before any slot is consumed,
+   simultaneous-assignment semantics are preserved without cycle
+   detection. Back-ends lower both copy lists with their own moves; the
+   transfer slots are ordinary spill slots. *)
+
+open Llva
+
+type edge_copy = {
+  transfer_slot : int; (* index into the per-function transfer slots *)
+  src : Ir.value; (* value flowing along this edge *)
+  phi : Ir.instr;
+}
+
+type t = {
+  (* copies to emit at the end of each predecessor block *)
+  at_block_end : (int, edge_copy list) Hashtbl.t; (* block id -> copies *)
+  (* copies to emit at the start of each block: (slot, phi) *)
+  at_block_start : (int, (int * Ir.instr) list) Hashtbl.t;
+  n_transfer_slots : int;
+}
+
+let build (f : Ir.func) : t =
+  let at_block_end = Hashtbl.create 16 in
+  let at_block_start = Hashtbl.create 16 in
+  let slot_counter = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let phis = Ir.block_phis b in
+      let entry_copies =
+        List.map
+          (fun (phi : Ir.instr) ->
+            let slot = !slot_counter in
+            incr slot_counter;
+            List.iter
+              (fun (src, pred) ->
+                let existing =
+                  match Hashtbl.find_opt at_block_end pred.Ir.blid with
+                  | Some l -> l
+                  | None -> []
+                in
+                Hashtbl.replace at_block_end pred.Ir.blid
+                  (existing @ [ { transfer_slot = slot; src; phi } ]))
+              (Ir.phi_incoming phi);
+            (slot, phi))
+          phis
+      in
+      if entry_copies <> [] then
+        Hashtbl.replace at_block_start b.Ir.blid entry_copies)
+    f.Ir.fblocks;
+  { at_block_end; at_block_start; n_transfer_slots = !slot_counter }
+
+let end_copies t (b : Ir.block) =
+  match Hashtbl.find_opt t.at_block_end b.Ir.blid with
+  | Some l -> l
+  | None -> []
+
+let start_copies t (b : Ir.block) =
+  match Hashtbl.find_opt t.at_block_start b.Ir.blid with
+  | Some l -> l
+  | None -> []

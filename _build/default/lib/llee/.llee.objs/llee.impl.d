@@ -1,0 +1,1 @@
+lib/llee/llee.ml: Array Decode Digest Encode Hashtbl Int64 Ir List Llva Marshal Option Printf Profile Sparclite Storage String Trace Types Unix Vmem X86lite

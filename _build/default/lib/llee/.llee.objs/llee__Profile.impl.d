@@ -1,0 +1,1 @@
+lib/llee/profile.ml: Buffer Hashtbl Interp Ir List Llva Printf String

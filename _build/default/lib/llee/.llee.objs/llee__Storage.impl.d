@@ -1,0 +1,1 @@
+lib/llee/storage.ml: Array Filename Hashtbl String Sys Unix

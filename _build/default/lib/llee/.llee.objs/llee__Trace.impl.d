@@ -1,0 +1,1 @@
+lib/llee/trace.ml: Array Hashtbl Ir List Llva Profile

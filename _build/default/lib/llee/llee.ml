@@ -1,0 +1,281 @@
+(* LLEE: the Low-Level Execution Environment (paper §4.1).
+
+   "Offline translation when possible, online translation whenever
+   necessary": given virtual object code, LLEE looks for cached native
+   translations through the OS-independent storage API, validates their
+   timestamps, and falls back to JIT-compiling functions on demand; any
+   newly translated code is written back to the cache when storage is
+   available. During idle time the OS may request offline translation
+   ([translate_offline]) so later launches need no JIT at all.
+
+   Profiles collected during execution drive the software trace cache
+   ([reoptimize]): hot traces re-lay-out the code and the program is
+   retranslated. Self-modifying code (the §3.4 intrinsics) invalidates
+   per-function cache entries. *)
+
+open Llva
+
+(* re-export the library's submodules (llee.ml is the library interface) *)
+module Storage = Storage
+module Profile = Profile
+module Trace = Trace
+
+type target = X86 | Sparc
+
+let target_name = function X86 -> "x86lite" | Sparc -> "sparclite"
+
+type stats = {
+  mutable translations : int; (* functions JIT-compiled this run *)
+  mutable cache_hits : int; (* functions loaded from offline storage *)
+  mutable translate_time : float; (* seconds spent translating *)
+  mutable cycles : int64; (* simulated execution cycles *)
+  mutable native_instrs : int64; (* dynamic native instruction count *)
+  mutable invalidations : int; (* SMC-triggered cache invalidations *)
+}
+
+let fresh_stats () =
+  {
+    translations = 0;
+    cache_hits = 0;
+    translate_time = 0.0;
+    cycles = 0L;
+    native_instrs = 0L;
+    invalidations = 0;
+  }
+
+type t = {
+  bytes : string; (* the virtual object code as shipped *)
+  m : Ir.modl;
+  key : string; (* content hash: identifies the program version *)
+  storage : Storage.t;
+  target : target;
+  program_timestamp : float;
+  stats : stats;
+}
+
+(* "Load the executable": decode virtual object code, remember its content
+   hash (this plays the role of the program timestamp check: a changed
+   program never matches stale cache entries, and an explicitly newer
+   [timestamp] invalidates older ones). *)
+let load ?(storage = Storage.none) ?(timestamp = 0.0) ~target bytes =
+  let m = Decode.decode bytes in
+  {
+    bytes;
+    m;
+    key = Digest.to_hex (Digest.string bytes);
+    storage;
+    target;
+    program_timestamp = timestamp;
+    stats = fresh_stats ();
+  }
+
+let of_module ?(storage = Storage.none) ?(timestamp = 0.0) ~target m =
+  load ~storage ~timestamp ~target (Encode.encode m)
+
+let cache_name t fname =
+  Printf.sprintf "%s.%s.%s" t.key fname (target_name t.target)
+
+let read_cached t fname : string option =
+  match t.storage.Storage.read (cache_name t fname) with
+  | Some entry when entry.Storage.timestamp >= t.program_timestamp ->
+      Some entry.Storage.data
+  | Some _ ->
+      (* stale translation: drop it *)
+      t.storage.Storage.delete (cache_name t fname);
+      None
+  | None -> None
+
+(* Cached entries are framed with a magic prefix so a corrupted or
+   foreign cache entry is treated as a miss instead of crashing the
+   deserializer. *)
+let cache_magic = "LLEE1\x00"
+
+let frame_entry data = cache_magic ^ data
+
+let unframe_entry data =
+  let n = String.length cache_magic in
+  if String.length data > n && String.sub data 0 n = cache_magic then
+    Some (String.sub data n (String.length data - n))
+  else None
+
+let timed t f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  t.stats.translate_time <-
+    t.stats.translate_time +. (Unix.gettimeofday () -. start);
+  result
+
+(* ---------- per-target drivers ---------- *)
+
+let find_function t name =
+  List.find_opt
+    (fun (f : Ir.func) ->
+      String.equal f.Ir.fname name && not (Ir.is_declaration f))
+    t.m.Ir.funcs
+
+let run_x86 t ?fuel () =
+  let image = Vmem.Image.load t.m in
+  let cmod =
+    { X86lite.Compile.cm = t.m; image; funcs = Hashtbl.create 32 }
+  in
+  let lookup (st : X86lite.Sim.state) name =
+    ignore st;
+    match Hashtbl.find_opt cmod.X86lite.Compile.funcs name with
+    | Some cf -> Some cf
+    | None -> (
+        match find_function t name with
+        | None -> None (* external: the simulator dispatches by name *)
+        | Some f -> (
+            match
+              Option.bind (read_cached t name) (fun data ->
+                  match unframe_entry data with
+                  | Some payload -> (
+                      try Some (Marshal.from_string payload 0 : X86lite.Compile.cfunc)
+                      with Failure _ -> None)
+                  | None -> None)
+            with
+            | Some cf ->
+                t.stats.cache_hits <- t.stats.cache_hits + 1;
+                Hashtbl.replace cmod.X86lite.Compile.funcs name cf;
+                Some cf
+            | None ->
+                (* JIT: translate on demand, write back to the cache *)
+                let cf =
+                  timed t (fun () ->
+                      X86lite.Compile.compile_function t.m image f)
+                in
+                t.stats.translations <- t.stats.translations + 1;
+                t.storage.Storage.write (cache_name t name)
+                  (frame_entry (Marshal.to_string cf []));
+                Hashtbl.replace cmod.X86lite.Compile.funcs name cf;
+                Some cf))
+  in
+  let st = X86lite.Sim.create ?fuel cmod in
+  st.X86lite.Sim.lookup <- lookup;
+  st.X86lite.Sim.regs.(X86lite.X86.sp) <- Vmem.Memory.stack_top;
+  st.X86lite.Sim.regs.(X86lite.X86.bp) <- Vmem.Memory.stack_top;
+  let code =
+    match X86lite.Sim.call_function st "main" [] with
+    | v -> Int64.to_int (Ir.normalize_int Types.Int v)
+    | exception Vmem.Runtime.Exit_called c -> c
+  in
+  t.stats.cycles <- st.X86lite.Sim.cycles;
+  t.stats.native_instrs <- st.X86lite.Sim.icount;
+  t.stats.invalidations <- Hashtbl.length st.X86lite.Sim.redirects;
+  (code, X86lite.Sim.output st)
+
+let run_sparc t ?fuel () =
+  let image = Vmem.Image.load t.m in
+  let cmod =
+    { Sparclite.Compile.cm = t.m; image; funcs = Hashtbl.create 32 }
+  in
+  let lookup (st : Sparclite.Sim.state) name =
+    ignore st;
+    match Hashtbl.find_opt cmod.Sparclite.Compile.funcs name with
+    | Some cf -> Some cf
+    | None -> (
+        match find_function t name with
+        | None -> None
+        | Some f -> (
+            match
+              Option.bind (read_cached t name) (fun data ->
+                  match unframe_entry data with
+                  | Some payload -> (
+                      try Some (Marshal.from_string payload 0 : Sparclite.Compile.cfunc)
+                      with Failure _ -> None)
+                  | None -> None)
+            with
+            | Some cf ->
+                t.stats.cache_hits <- t.stats.cache_hits + 1;
+                Hashtbl.replace cmod.Sparclite.Compile.funcs name cf;
+                Some cf
+            | None ->
+                let cf =
+                  timed t (fun () ->
+                      Sparclite.Compile.compile_function t.m image f)
+                in
+                t.stats.translations <- t.stats.translations + 1;
+                t.storage.Storage.write (cache_name t name)
+                  (frame_entry (Marshal.to_string cf []));
+                Hashtbl.replace cmod.Sparclite.Compile.funcs name cf;
+                Some cf))
+  in
+  let st = Sparclite.Sim.create ?fuel cmod in
+  st.Sparclite.Sim.lookup <- lookup;
+  st.Sparclite.Sim.regs.(Sparclite.Sparc.sp) <- Vmem.Memory.stack_top;
+  st.Sparclite.Sim.regs.(Sparclite.Sparc.fp) <- Vmem.Memory.stack_top;
+  let code =
+    match Sparclite.Sim.call_function st "main" [] with
+    | v -> Int64.to_int (Ir.normalize_int Types.Int v)
+    | exception Vmem.Runtime.Exit_called c -> c
+  in
+  t.stats.cycles <- st.Sparclite.Sim.cycles;
+  t.stats.native_instrs <- st.Sparclite.Sim.icount;
+  t.stats.invalidations <- Hashtbl.length st.Sparclite.Sim.redirects;
+  (code, Sparclite.Sim.output st)
+
+(* Launch the program: JIT with transparent offline caching. *)
+let run ?fuel t =
+  match t.target with X86 -> run_x86 t ?fuel () | Sparc -> run_sparc t ?fuel ()
+
+(* Idle-time offline translation: translate every function and populate
+   the cache without executing (paper: "flagging it for translation and
+   not actual execution"). *)
+let translate_offline t =
+  if not t.storage.Storage.available then
+    invalid_arg "Llee.translate_offline: no storage API registered";
+  let image = Vmem.Image.load t.m in
+  List.iter
+    (fun (f : Ir.func) ->
+      if not (Ir.is_declaration f) then
+        match t.target with
+        | X86 ->
+            let cf =
+              timed t (fun () -> X86lite.Compile.compile_function t.m image f)
+            in
+            t.stats.translations <- t.stats.translations + 1;
+            t.storage.Storage.write
+              (cache_name t f.Ir.fname)
+              (frame_entry (Marshal.to_string cf []))
+        | Sparc ->
+            let cf =
+              timed t (fun () -> Sparclite.Compile.compile_function t.m image f)
+            in
+            t.stats.translations <- t.stats.translations + 1;
+            t.storage.Storage.write
+              (cache_name t f.Ir.fname)
+              (frame_entry (Marshal.to_string cf [])))
+    t.m.Ir.funcs
+
+(* Collect a profile with the instrumented reference engine, then apply
+   the software trace cache: hot-trace relayout + retranslation. Returns
+   the relaid-out engine (cache entries of the old layout are unreachable
+   through the new content hash). *)
+let fresh_run t = { t with stats = fresh_stats () }
+
+let reoptimize ?fuel ?(validate = true) t : t * int =
+  (* profile and relayout the same decoded copy so block ids line up *)
+  let m = Decode.decode t.bytes in
+  let prof, _, _ = Profile.collect ?fuel m in
+  let moved = Trace.relayout_module prof m in
+  let t' =
+    of_module ~storage:t.storage ~timestamp:t.program_timestamp
+      ~target:t.target m
+  in
+  if moved = 0 then (t', 0)
+  else if not validate then (t', moved)
+  else begin
+    (* idle-time validation: block reordering also perturbs downstream
+       register allocation, so measure both translations and keep the
+       faster one (this is exactly the offline feedback loop the storage
+       API enables, §4.2) *)
+    let baseline = fresh_run t in
+    ignore (run ?fuel:(Option.map (fun f -> f * 8) fuel) baseline);
+    let candidate = fresh_run t' in
+    ignore (run ?fuel:(Option.map (fun f -> f * 8) fuel) candidate);
+    if
+      Int64.compare candidate.stats.cycles baseline.stats.cycles < 0
+    then (fresh_run t', moved)
+    else (fresh_run t, 0)
+  end
+

@@ -1,0 +1,64 @@
+(* Edge profiling (paper §4.2: "static instrumentation to assist runtime
+   path profiling ... using the CFG at runtime to perform path profiling
+   within frequently executed loop regions"). Profiles are keyed by block
+   ids and serializable, so LLEE can persist them through the storage API
+   for idle-time profile-guided optimization. *)
+
+open Llva
+
+type t = {
+  edges : (int * int, int) Hashtbl.t; (* (src blid, dst blid) -> count *)
+  blocks : (int, int) Hashtbl.t; (* blid -> execution count *)
+}
+
+let create () = { edges = Hashtbl.create 64; blocks = Hashtbl.create 64 }
+
+let bump tbl key n =
+  let cur = match Hashtbl.find_opt tbl key with Some c -> c | None -> 0 in
+  Hashtbl.replace tbl key (cur + n)
+
+let record t (src : Ir.block) (dst : Ir.block) =
+  bump t.edges (src.Ir.blid, dst.Ir.blid) 1;
+  bump t.blocks dst.Ir.blid 1
+
+let edge_count t (src : Ir.block) (dst : Ir.block) =
+  match Hashtbl.find_opt t.edges (src.Ir.blid, dst.Ir.blid) with
+  | Some c -> c
+  | None -> 0
+
+let block_count t (b : Ir.block) =
+  match Hashtbl.find_opt t.blocks b.Ir.blid with Some c -> c | None -> 0
+
+(* Attach to an interpreter and run %main, collecting the profile. *)
+let collect ?fuel (m : Ir.modl) : t * int * string =
+  let st = Interp.create ?fuel m in
+  let t = create () in
+  st.Interp.on_edge <- Some (fun src dst -> record t src dst);
+  let code = Interp.run_main st in
+  (t, code, Interp.output st)
+
+(* ---------- serialization (for offline caching) ---------- *)
+
+let serialize t =
+  let buf = Buffer.create 256 in
+  Hashtbl.iter
+    (fun (s, d) c -> Buffer.add_string buf (Printf.sprintf "e %d %d %d\n" s d c))
+    t.edges;
+  Hashtbl.iter
+    (fun b c -> Buffer.add_string buf (Printf.sprintf "b %d %d\n" b c))
+    t.blocks;
+  Buffer.contents buf
+
+let deserialize data =
+  let t = create () in
+  String.split_on_char '\n' data
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' line with
+         | [ "e"; s; d; c ] ->
+             Hashtbl.replace t.edges
+               (int_of_string s, int_of_string d)
+               (int_of_string c)
+         | [ "b"; b; c ] ->
+             Hashtbl.replace t.blocks (int_of_string b) (int_of_string c)
+         | _ -> ());
+  t

@@ -1,0 +1,89 @@
+(* The OS-independent storage API of paper §4.1: "routines to create,
+   delete, and query the size of an offline cache, read or write a vector
+   of N bytes tagged by a unique string name from/to a cache, and check a
+   timestamp". The OS may implement it (in-memory or on-disk here); when
+   absent ([none]) everything still works, with online translation on
+   every launch — exactly the DAISY/Crusoe situation the paper improves
+   on. *)
+
+type entry = { data : string; timestamp : float }
+
+type t = {
+  read : string -> entry option;
+  write : string -> string -> unit;
+  delete : string -> unit;
+  size : unit -> int; (* total bytes cached *)
+  available : bool;
+}
+
+(* No OS support: every read misses, writes are dropped. *)
+let none =
+  {
+    read = (fun _ -> None);
+    write = (fun _ _ -> ());
+    delete = (fun _ -> ());
+    size = (fun () -> 0);
+    available = false;
+  }
+
+(* An in-memory cache (models OS support with a RAM-backed store). The
+   clock is a logical counter so behaviour is deterministic. *)
+let in_memory () =
+  let table : (string, entry) Hashtbl.t = Hashtbl.create 32 in
+  let clock = ref 0.0 in
+  {
+    read = (fun name -> Hashtbl.find_opt table name);
+    write =
+      (fun name data ->
+        clock := !clock +. 1.0;
+        Hashtbl.replace table name { data; timestamp = !clock });
+    delete = (fun name -> Hashtbl.remove table name);
+    size =
+      (fun () ->
+        Hashtbl.fold (fun _ e acc -> acc + String.length e.data) table 0);
+    available = true;
+  }
+
+(* An on-disk cache rooted at [dir]; names are sanitized to file names. *)
+let on_disk ~dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path name =
+    let safe =
+      String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c
+          | _ -> '_')
+        name
+    in
+    Filename.concat dir safe
+  in
+  {
+    read =
+      (fun name ->
+        let p = path name in
+        if Sys.file_exists p then begin
+          let ic = open_in_bin p in
+          let len = in_channel_length ic in
+          let data = really_input_string ic len in
+          close_in ic;
+          let timestamp = (Unix.stat p).Unix.st_mtime in
+          Some { data; timestamp }
+        end
+        else None);
+    write =
+      (fun name data ->
+        let oc = open_out_bin (path name) in
+        output_string oc data;
+        close_out oc);
+    delete =
+      (fun name -> try Sys.remove (path name) with Sys_error _ -> ());
+    size =
+      (fun () ->
+        Array.fold_left
+          (fun acc f ->
+            try acc + (Unix.stat (Filename.concat dir f)).Unix.st_size
+            with Unix.Unix_error _ -> acc)
+          0 (Sys.readdir dir));
+    available = true;
+  }

@@ -1,0 +1,1 @@
+lib/llva/builder.ml: Array Int64 Ir List Printf Types

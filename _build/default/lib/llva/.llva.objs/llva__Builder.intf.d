@@ -1,0 +1,1 @@
+lib/llva/builder.mli: Ir Types

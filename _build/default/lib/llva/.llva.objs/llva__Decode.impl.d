@@ -1,0 +1,1 @@
+lib/llva/decode.ml: Array Char Int64 Ir List Printf String Target Types

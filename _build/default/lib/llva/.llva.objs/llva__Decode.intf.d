@@ -1,0 +1,1 @@
+lib/llva/decode.mli: Ir

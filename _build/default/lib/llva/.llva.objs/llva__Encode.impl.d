@@ -1,0 +1,1 @@
+lib/llva/encode.ml: Array Buffer Char Hashtbl Int64 Ir List Option Pretty String Target Types

@@ -1,0 +1,1 @@
+lib/llva/encode.mli: Ir

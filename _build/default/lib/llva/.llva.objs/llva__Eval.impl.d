@@ -1,0 +1,1 @@
+lib/llva/eval.ml: Bool Float Int32 Int64 Ir Printf Target Types

@@ -1,0 +1,1 @@
+lib/llva/eval.mli: Ir Target Types

@@ -1,0 +1,1 @@
+lib/llva/intrinsics.ml: List String

@@ -1,0 +1,1 @@
+lib/llva/ir.ml: Array Int64 List Printf String Target Types

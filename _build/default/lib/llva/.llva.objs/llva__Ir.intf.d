@@ -1,0 +1,1 @@
+lib/llva/ir.mli: Target Types

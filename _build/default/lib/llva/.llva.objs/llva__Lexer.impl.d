@@ -1,0 +1,1 @@
+lib/llva/lexer.ml: Buffer Char Int64 Printf String

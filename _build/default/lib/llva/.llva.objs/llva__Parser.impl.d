@@ -1,0 +1,1 @@
+lib/llva/parser.ml: Int64 Ir Lexer List Printf String Target Types

@@ -1,0 +1,1 @@
+lib/llva/pretty.ml: Array Buffer Char Float Hashtbl Int64 Ir List Printf String Target Types

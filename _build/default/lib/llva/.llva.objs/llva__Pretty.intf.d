@@ -1,0 +1,1 @@
+lib/llva/pretty.mli: Ir

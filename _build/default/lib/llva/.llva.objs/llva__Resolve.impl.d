@@ -1,0 +1,1 @@
+lib/llva/resolve.ml: Array Hashtbl Int64 Ir List Option Parser Printf Types

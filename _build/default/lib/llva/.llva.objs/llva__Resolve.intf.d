@@ -1,0 +1,1 @@
+lib/llva/resolve.mli: Ir Parser

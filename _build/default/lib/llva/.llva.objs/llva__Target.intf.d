@@ -1,0 +1,1 @@
+lib/llva/target.mli:

@@ -1,0 +1,1 @@
+lib/llva/types.ml: Format Hashtbl List Printf String Target

@@ -1,0 +1,1 @@
+lib/llva/types.mli: Format Hashtbl Target

@@ -1,0 +1,1 @@
+lib/llva/verify.ml: Array Hashtbl Ir List Printf Types

@@ -1,0 +1,1 @@
+lib/llva/verify.mli: Ir

@@ -1,0 +1,92 @@
+(** A positioned instruction builder over the LLVA IR, in the style of
+    LLVM's IRBuilder. Emit functions append to the current insertion
+    block, check the operand types they can check locally (the verifier
+    re-checks whole functions), and return the instruction's SSA value. *)
+
+type t
+
+val create : Ir.modl -> t
+(** A builder whose named types resolve through the given module. *)
+
+val create_no_module : unit -> t
+
+val position_at_end : Ir.block -> t -> unit
+val insertion_block : t -> Ir.block
+
+(** {1 Arithmetic and logic}
+
+    Operands must share a type; shifts take a [ubyte] amount. The
+    optional [name] seeds the printed SSA register name. *)
+
+val binop : ?name:string -> t -> Ir.binop -> Ir.value -> Ir.value -> Ir.value
+val add : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val sub : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val mul : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val div : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val rem : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val and_ : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val or_ : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val xor : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val shl : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val shr : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+
+(** {1 Comparisons} (result type [bool]) *)
+
+val setcc : ?name:string -> t -> Ir.cmp -> Ir.value -> Ir.value -> Ir.value
+val seteq : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val setne : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val setlt : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val setgt : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val setle : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+val setge : ?name:string -> t -> Ir.value -> Ir.value -> Ir.value
+
+(** {1 Memory} *)
+
+val alloca : ?name:string -> ?count:Ir.value -> t -> Types.t -> Ir.value
+(** Stack allocation of the element type; the result is a typed pointer
+    (paper §3.2: the stack frame is abstracted by explicit allocas). *)
+
+val gep_result_type : Types.env -> Types.t -> Ir.value list -> Types.t
+
+val getelementptr : ?name:string -> t -> Ir.value -> Ir.value list -> Ir.value
+(** Typed pointer arithmetic: the first index steps over the pointer,
+    later indexes walk into arrays (any integer) and structures
+    (constant field numbers). *)
+
+val load : ?name:string -> t -> Ir.value -> Ir.value
+val store : t -> Ir.value -> Ir.value -> unit
+
+(** {1 Control flow} *)
+
+val ret : t -> Ir.value option -> unit
+val br : t -> Ir.block -> unit
+val cond_br : t -> Ir.value -> Ir.block -> Ir.block -> unit
+
+val mbr : t -> Ir.value -> default:Ir.block -> (int64 * Ir.block) list -> unit
+(** Multi-way branch on integer case values. *)
+
+val unwind : t -> unit
+
+(** {1 Calls} *)
+
+val call : ?name:string -> t -> Ir.value -> Ir.value list -> Ir.value
+
+val invoke :
+  ?name:string ->
+  t ->
+  Ir.value ->
+  Ir.value list ->
+  normal:Ir.block ->
+  except:Ir.block ->
+  Ir.value
+
+(** {1 Conversions and phis} *)
+
+val cast : ?name:string -> t -> Ir.value -> Types.t -> Ir.value
+
+val phi : ?name:string -> t -> Types.t -> (Ir.value * Ir.block) list -> Ir.value
+(** Appends at the current position; use {!phi_at_front} to satisfy the
+    phis-first block rule when the block already has instructions. *)
+
+val phi_at_front :
+  ?name:string -> t -> Types.t -> (Ir.value * Ir.block) list -> Ir.value

@@ -1,0 +1,11 @@
+(** Virtual object code decoder; inverse of {!Encode}.
+
+    [decode (Encode.encode m)] reconstructs a module that verifies,
+    behaves identically, and re-encodes to the same bytes. Decoding also
+    serves as a deep copy of a module. *)
+
+exception Error of string
+(** Malformed object code (bad magic, truncation, bad indices...). *)
+
+val decode : string -> Ir.modl
+(** @raise Error on malformed input. *)

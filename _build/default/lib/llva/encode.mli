@@ -1,0 +1,18 @@
+(** Virtual object code encoder.
+
+    The instruction stream follows the paper's design (§3.1): a fixed
+    32-bit compact form holds most instructions — opcode, result-type
+    index, up to two one-byte relative operand references — with a
+    self-extending variable-length form for everything else. The module
+    header records the target flags (§3.2); types are structurally
+    interned into a pool; symbols are referenced by name. [Decode] is the
+    exact inverse. *)
+
+val encode : ?compact:bool -> Ir.modl -> string
+(** Serialize a module to virtual object code (starts with ["LLVA"]).
+    [compact] (default true) enables the fixed 32-bit instruction form;
+    disabling it emits only the self-extending form — the encoding
+    ablation in the benchmark harness. *)
+
+val size_bytes : Ir.modl -> int
+(** [String.length (encode m)] — the paper's "LLVA code size" metric. *)

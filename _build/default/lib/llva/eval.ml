@@ -1,0 +1,242 @@
+(* Exact scalar semantics of LLVA arithmetic, comparison and cast
+   instructions. Shared by the interpreter, the constant folder and the
+   machine simulators so that all execution paths agree bit-for-bit.
+
+   Integer values are stored as canonical int64 representatives (see
+   [Ir.normalize_int]); [Float]-typed values are rounded through 32-bit
+   precision after every operation. *)
+
+type scalar =
+  | B of bool
+  | I of Types.t * int64
+  | F of Types.t * float
+  | P of int64 (* a pointer is an address in simulated memory *)
+  | Undef of Types.t
+
+exception Division_by_zero
+exception Overflow (* reserved: delivered only when ExceptionsEnabled *)
+
+let type_of = function
+  | B _ -> Types.Bool
+  | I (ty, _) -> ty
+  | F (ty, _) -> ty
+  | P _ -> Types.Pointer Types.Sbyte (* representative pointer type *)
+  | Undef ty -> ty
+
+let round_float ty v =
+  if Types.equal ty Types.Float then Int32.float_of_bits (Int32.bits_of_float v)
+  else v
+
+let to_bool = function
+  | B b -> b
+  | I (_, v) -> not (Int64.equal v 0L)
+  | P a -> not (Int64.equal a 0L)
+  | F (_, v) -> v <> 0.0
+  | Undef _ -> false
+
+let to_int64 = function
+  | B b -> if b then 1L else 0L
+  | I (_, v) -> v
+  | P a -> a
+  | F (_, v) -> Int64.of_float v
+  | Undef _ -> 0L
+
+let to_float = function
+  | F (_, v) -> v
+  | I (ty, v) ->
+      if Types.is_signed ty then Int64.to_float v
+      else if Int64.compare v 0L >= 0 then Int64.to_float v
+      else Int64.to_float v +. 18446744073709551616.0 (* 2^64 *)
+  | B b -> if b then 1.0 else 0.0
+  | P a -> Int64.to_float a
+  | Undef _ -> 0.0
+
+let norm ty v = I (ty, Ir.normalize_int ty v)
+
+(* Unsigned 64-bit division helpers. *)
+let udiv64 a b = Int64.unsigned_div a b
+let urem64 a b = Int64.unsigned_rem a b
+
+let int_binop op ty a b =
+  let open Int64 in
+  match op with
+  | Ir.Add -> norm ty (add a b)
+  | Ir.Sub -> norm ty (sub a b)
+  | Ir.Mul -> norm ty (mul a b)
+  | Ir.Div ->
+      if equal b 0L then raise Division_by_zero
+      else if Types.is_signed ty then norm ty (div a b)
+      else
+        (* operate on the unsigned canonical bits within the width *)
+        let mask v =
+          if Types.bitwidth ty = 64 then v
+          else logand v (sub (shift_left 1L (Types.bitwidth ty)) 1L)
+        in
+        norm ty (udiv64 (mask a) (mask b))
+  | Ir.Rem ->
+      if equal b 0L then raise Division_by_zero
+      else if Types.is_signed ty then norm ty (rem a b)
+      else
+        let mask v =
+          if Types.bitwidth ty = 64 then v
+          else logand v (sub (shift_left 1L (Types.bitwidth ty)) 1L)
+        in
+        norm ty (urem64 (mask a) (mask b))
+  | Ir.And -> norm ty (logand a b)
+  | Ir.Or -> norm ty (logor a b)
+  | Ir.Xor -> norm ty (logxor a b)
+  | Ir.Shl ->
+      let sh = to_int (logand b 63L) in
+      norm ty (shift_left a sh)
+  | Ir.Shr ->
+      let sh = to_int (logand b 63L) in
+      if Types.is_signed ty then norm ty (shift_right a sh)
+      else
+        let w = Types.bitwidth ty in
+        let mask v =
+          if w = 64 then v else logand v (sub (shift_left 1L w) 1L)
+        in
+        norm ty (shift_right_logical (mask a) sh)
+
+let float_binop op ty a b =
+  let r =
+    match op with
+    | Ir.Add -> a +. b
+    | Ir.Sub -> a -. b
+    | Ir.Mul -> a *. b
+    | Ir.Div -> a /. b
+    | Ir.Rem -> Float.rem a b
+    | _ -> invalid_arg "Eval.float_binop: bitwise op on float"
+  in
+  F (ty, round_float ty r)
+
+let binop op a b =
+  match (a, b) with
+  | I (ty, x), I (_, y) -> int_binop op ty x y
+  | F (ty, x), F (_, y) -> float_binop op ty x y
+  | B x, B y -> (
+      match op with
+      | Ir.And -> B (x && y)
+      | Ir.Or -> B (x || y)
+      | Ir.Xor -> B (x <> y)
+      | Ir.Add -> B (x <> y)
+      | Ir.Mul -> B (x && y)
+      | _ -> invalid_arg "Eval.binop: unsupported bool op")
+  | P x, I (_, y) -> (
+      (* pointer +/- integer arises only from lowered code; keep it exact *)
+      match op with
+      | Ir.Add -> P (Int64.add x y)
+      | Ir.Sub -> P (Int64.sub x y)
+      | _ -> invalid_arg "Eval.binop: pointer arithmetic")
+  | P x, P y -> (
+      match op with
+      | Ir.Sub -> I (Types.Long, Int64.sub x y)
+      | _ -> invalid_arg "Eval.binop: pointer/pointer")
+  | Undef ty, _ | _, Undef ty -> Undef ty
+  | _ -> invalid_arg "Eval.binop: mixed operand kinds"
+
+let compare_scalars ty cmp a b =
+  let c =
+    match (a, b) with
+    | I (ity, x), I (_, y) ->
+        if Types.is_signed ity then Int64.compare x y
+        else Int64.unsigned_compare x y
+    | F (_, x), F (_, y) -> Float.compare x y
+    | B x, B y -> Bool.compare x y
+    | P x, P y -> Int64.unsigned_compare x y
+    | P x, I (_, y) | I (_, y), P x ->
+        ignore x;
+        ignore y;
+        invalid_arg "Eval.compare: pointer vs int"
+    | Undef _, _ | _, Undef _ -> 0
+    | _ -> invalid_arg ("Eval.compare: mixed kinds at " ^ Types.to_string ty)
+  in
+  let r =
+    match cmp with
+    | Ir.Eq -> c = 0
+    | Ir.Ne -> c <> 0
+    | Ir.Lt -> c < 0
+    | Ir.Gt -> c > 0
+    | Ir.Le -> c <= 0
+    | Ir.Ge -> c >= 0
+  in
+  B r
+
+(* The paper's cast instruction: the sole conversion mechanism. Sign
+   extension follows the *source* type's signedness (original LLVM 1.x
+   semantics). *)
+let cast ~src_ty ~dst_ty v =
+  let to_int_bits () =
+    match v with
+    | B b -> if b then 1L else 0L
+    | I (_, x) -> x
+    | P a -> a
+    | F (_, x) ->
+        (* fp -> int truncates toward zero *)
+        if Float.is_nan x then 0L else Int64.of_float x
+    | Undef _ -> 0L
+  in
+  match dst_ty with
+  | Types.Bool -> B (to_bool v)
+  | ty when Types.is_integer ty -> (
+      match v with
+      | F (_, x) ->
+          let x = if Float.is_nan x then 0.0 else x in
+          norm ty (Int64.of_float x)
+      | _ -> norm ty (to_int_bits ()))
+  | Types.Float | Types.Double -> (
+      let fty = dst_ty in
+      match v with
+      | F (_, x) -> F (fty, round_float fty x)
+      | I (sty, x) ->
+          let f =
+            if Types.is_signed sty then Int64.to_float x
+            else if Int64.compare x 0L >= 0 then Int64.to_float x
+            else Int64.to_float x +. 18446744073709551616.0
+          in
+          F (fty, round_float fty f)
+      | B b -> F (fty, if b then 1.0 else 0.0)
+      | P a -> F (fty, Int64.to_float a)
+      | Undef _ -> Undef fty)
+  | Types.Pointer _ -> (
+      match v with
+      | P a -> P a
+      | I (ity, x) ->
+          (* truncate/extend through the source width; addresses are
+             unsigned *)
+          let bits =
+            if Types.is_signed ity then x
+            else Ir.normalize_int (Types.unsigned_variant ity) x
+          in
+          P bits
+      | B b -> P (if b then 1L else 0L)
+      | Undef _ -> Undef dst_ty
+      | F _ -> invalid_arg "Eval.cast: float to pointer")
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Eval.cast: %s -> %s" (Types.to_string src_ty)
+           (Types.to_string dst_ty))
+
+(* Mask a pointer value to the target's pointer width, modelling a 32-bit
+   address space on 32-bit configurations. *)
+let mask_pointer (target : Target.config) a =
+  if target.ptr_size = 4 then Int64.logand a 0xFFFFFFFFL else a
+
+let equal a b =
+  match (a, b) with
+  | B x, B y -> x = y
+  | I (tx, x), I (ty, y) -> Types.equal tx ty && Int64.equal x y
+  | F (tx, x), F (ty, y) ->
+      Types.equal tx ty && Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | P x, P y -> Int64.equal x y
+  | Undef tx, Undef ty -> Types.equal tx ty
+  | _ -> false
+
+let to_string = function
+  | B b -> string_of_bool b
+  | I (ty, v) ->
+      if Types.is_signed ty then Int64.to_string v
+      else Printf.sprintf "%Lu" v
+  | F (_, v) -> string_of_float v
+  | P a -> Printf.sprintf "0x%Lx" a
+  | Undef ty -> "undef:" ^ Types.to_string ty

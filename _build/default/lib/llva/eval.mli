@@ -1,0 +1,49 @@
+(** Exact scalar semantics of LLVA arithmetic, comparison and cast
+    instructions, shared by the interpreter, the constant folder and the
+    machine simulators so every execution path agrees bit-for-bit.
+
+    Integer values are stored as canonical [int64] representatives (see
+    {!Ir.normalize_int}); [Float]-typed values round through 32-bit
+    precision after every operation. *)
+
+type scalar =
+  | B of bool
+  | I of Types.t * int64
+  | F of Types.t * float
+  | P of int64  (** a pointer is an address in simulated memory *)
+  | Undef of Types.t
+
+exception Division_by_zero
+exception Overflow
+
+val type_of : scalar -> Types.t
+val round_float : Types.t -> float -> float
+
+(** {1 Coercions} *)
+
+val to_bool : scalar -> bool
+val to_int64 : scalar -> int64
+val to_float : scalar -> float
+
+(** {1 Operations} *)
+
+val int_binop : Ir.binop -> Types.t -> int64 -> int64 -> scalar
+(** Integer operation at the given type's width and signedness.
+    @raise Division_by_zero on a zero divisor. *)
+
+val binop : Ir.binop -> scalar -> scalar -> scalar
+(** Dispatch on operand kinds (integer, float, bool, pointer). *)
+
+val compare_scalars : Types.t -> Ir.cmp -> scalar -> scalar -> scalar
+(** The [setcc] instructions; signedness follows the operand type. *)
+
+val cast : src_ty:Types.t -> dst_ty:Types.t -> scalar -> scalar
+(** The paper's sole conversion mechanism; sign extension follows the
+    source type's signedness. *)
+
+val mask_pointer : Target.config -> int64 -> int64
+(** Truncate an address to the target's pointer width (32-bit configs
+    model a 32-bit address space). *)
+
+val equal : scalar -> scalar -> bool
+val to_string : scalar -> string

@@ -1,0 +1,70 @@
+(* The LLVA intrinsic functions (paper §3.5): the mechanism by which the
+   V-ISA exposes kernel-level operations and runtime services without
+   growing the instruction set. Intrinsics are implemented by the
+   translator (here: by each execution engine); privileged ones trap when
+   the privileged bit is clear.
+
+   This is the single registry all engines dispatch against, so the
+   interpreter and both simulators cannot drift apart. *)
+
+type info = {
+  name : string;
+  privileged : bool;
+  arity : int;
+  description : string;
+}
+
+let registry =
+  [
+    {
+      name = "llva.trap.register";
+      privileged = false;
+      arity = 1;
+      description = "register the trap handler (an ordinary LLVA function)";
+    };
+    {
+      name = "llva.smc.replace";
+      privileged = false;
+      arity = 2;
+      description =
+        "redirect future invocations of a function to a replacement (§3.4)";
+    };
+    {
+      name = "llva.stack.depth";
+      privileged = false;
+      arity = 0;
+      description = "current call depth (stack-walking support, §3.5)";
+    };
+    {
+      name = "llva.priv.set";
+      privileged = false;
+      arity = 1;
+      description = "set or clear the privileged bit";
+    };
+    {
+      name = "llva.pgtable.map";
+      privileged = true;
+      arity = 2;
+      description = "kernel page-table manipulation (stub)";
+    };
+    {
+      name = "llva.pgtable.unmap";
+      privileged = true;
+      arity = 1;
+      description = "kernel page-table manipulation (stub)";
+    };
+    {
+      name = "llva.io.port";
+      privileged = true;
+      arity = 2;
+      description = "low-level device I/O (stub)";
+    };
+  ]
+
+let is_intrinsic name =
+  String.length name > 5 && String.sub name 0 5 = "llva."
+
+let find name = List.find_opt (fun i -> i.name = name) registry
+
+let is_privileged name =
+  match find name with Some i -> i.privileged | None -> false

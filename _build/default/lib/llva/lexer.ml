@@ -1,0 +1,251 @@
+(* Hand-written lexer for textual LLVA assembly. *)
+
+type token =
+  | Percent of string (* %name *)
+  | Word of string (* bare keyword / identifier *)
+  | Label_def of string (* name: at start of a block *)
+  | Int_lit of int64
+  | Float_lit of float
+  | String_lit of string (* c"..." with escapes decoded *)
+  | Equals
+  | Comma
+  | Semi
+  | Star
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Ellipsis
+  | At_ee of bool (* @ee(true) / @ee(false) *)
+  | Eof
+
+exception Error of string * int (* message, line *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable peeked : token option;
+}
+
+let create src = { src; pos = 0; line = 1; peeked = None }
+
+let fail lx msg = raise (Error (msg, lx.line))
+
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '$' -> true
+  | _ -> false
+
+let rec skip_ws lx =
+  if lx.pos >= String.length lx.src then ()
+  else
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' ->
+        lx.pos <- lx.pos + 1;
+        skip_ws lx
+    | '\n' ->
+        lx.pos <- lx.pos + 1;
+        lx.line <- lx.line + 1;
+        skip_ws lx
+    | ';' ->
+        (* comment to end of line *)
+        while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+          lx.pos <- lx.pos + 1
+        done;
+        skip_ws lx
+    | _ -> ()
+
+let read_ident lx =
+  let start = lx.pos in
+  while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+(* Numbers: decimal ints (optionally negative), decimal floats with '.' or
+   exponent, and hex floats 0x1.8p3 as printed by the printer. A plain 0x
+   prefix without '.'/'p' is a hex integer. *)
+let read_number lx =
+  let start = lx.pos in
+  if lx.src.[lx.pos] = '-' then lx.pos <- lx.pos + 1;
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' | 'x' | 'X' | '.' | 'p' | 'P'
+    | '+' | '-' ->
+        true
+    | _ -> false
+  in
+  (* Greedily read, but stop '+'/'-' unless preceded by exponent marker. *)
+  let rec go () =
+    if lx.pos >= String.length lx.src then ()
+    else
+      let c = lx.src.[lx.pos] in
+      if not (is_num_char c) then ()
+      else if
+        (c = '+' || c = '-')
+        && lx.pos > start
+        &&
+        let prev = lx.src.[lx.pos - 1] in
+        not (prev = 'e' || prev = 'E' || prev = 'p' || prev = 'P')
+      then ()
+      else begin
+        lx.pos <- lx.pos + 1;
+        go ()
+      end
+  in
+  go ();
+  let text = String.sub lx.src start (lx.pos - start) in
+  let is_hex =
+    (String.length text >= 2 && text.[0] = '0' && (text.[1] = 'x' || text.[1] = 'X'))
+    || String.length text >= 3
+       && text.[0] = '-'
+       && text.[1] = '0'
+       && (text.[2] = 'x' || text.[2] = 'X')
+  in
+  let is_float =
+    String.contains text '.'
+    || String.contains text 'p'
+    || String.contains text 'P'
+    || ((not is_hex) && (String.contains text 'e' || String.contains text 'E'))
+  in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Float_lit f
+    | None -> fail lx ("bad float literal: " ^ text)
+  else
+    match Int64.of_string_opt text with
+    | Some v -> Int_lit v
+    | None -> (
+        (* large unsigned decimal that overflows Int64.of_string *)
+        match Int64.of_string_opt ("0u" ^ text) with
+        | Some v -> Int_lit v
+        | None -> fail lx ("bad integer literal: " ^ text))
+
+let read_string lx =
+  (* called with lx.pos at the opening quote *)
+  lx.pos <- lx.pos + 1;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if lx.pos >= String.length lx.src then fail lx "unterminated string"
+    else
+      match lx.src.[lx.pos] with
+      | '"' -> lx.pos <- lx.pos + 1
+      | '\\' ->
+          if lx.pos + 2 >= String.length lx.src then fail lx "bad escape"
+          else begin
+            let hex = String.sub lx.src (lx.pos + 1) 2 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code -> Buffer.add_char buf (Char.chr code)
+            | None -> fail lx ("bad escape: \\" ^ hex));
+            lx.pos <- lx.pos + 3;
+            go ()
+          end
+      | c ->
+          Buffer.add_char buf c;
+          lx.pos <- lx.pos + 1;
+          go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_token lx =
+  skip_ws lx;
+  if lx.pos >= String.length lx.src then Eof
+  else
+    let c = lx.src.[lx.pos] in
+    match c with
+    | '%' ->
+        lx.pos <- lx.pos + 1;
+        Percent (read_ident lx)
+    | '=' ->
+        lx.pos <- lx.pos + 1;
+        Equals
+    | ',' ->
+        lx.pos <- lx.pos + 1;
+        Comma
+    | '*' ->
+        lx.pos <- lx.pos + 1;
+        Star
+    | '(' ->
+        lx.pos <- lx.pos + 1;
+        Lparen
+    | ')' ->
+        lx.pos <- lx.pos + 1;
+        Rparen
+    | '[' ->
+        lx.pos <- lx.pos + 1;
+        Lbracket
+    | ']' ->
+        lx.pos <- lx.pos + 1;
+        Rbracket
+    | '{' ->
+        lx.pos <- lx.pos + 1;
+        Lbrace
+    | '}' ->
+        lx.pos <- lx.pos + 1;
+        Rbrace
+    | '@' ->
+        (* @ee(true) / @ee(false) *)
+        lx.pos <- lx.pos + 1;
+        let word = read_ident lx in
+        if word <> "ee" then fail lx ("unknown attribute @" ^ word);
+        skip_ws lx;
+        if lx.pos >= String.length lx.src || lx.src.[lx.pos] <> '(' then
+          fail lx "expected ( after @ee";
+        lx.pos <- lx.pos + 1;
+        let v = read_ident lx in
+        skip_ws lx;
+        if lx.pos >= String.length lx.src || lx.src.[lx.pos] <> ')' then
+          fail lx "expected ) after @ee(";
+        lx.pos <- lx.pos + 1;
+        At_ee
+          (match v with
+          | "true" -> true
+          | "false" -> false
+          | _ -> fail lx ("bad @ee value: " ^ v))
+    | '.' ->
+        if
+          lx.pos + 2 < String.length lx.src
+          && lx.src.[lx.pos + 1] = '.'
+          && lx.src.[lx.pos + 2] = '.'
+        then begin
+          lx.pos <- lx.pos + 3;
+          Ellipsis
+        end
+        else fail lx "unexpected '.'"
+    | '-' | '0' .. '9' -> read_number lx
+    | 'c' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '"'
+      ->
+        lx.pos <- lx.pos + 1;
+        String_lit (read_string lx)
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let word = read_ident lx in
+        if lx.pos < String.length lx.src && lx.src.[lx.pos] = ':' then begin
+          lx.pos <- lx.pos + 1;
+          Label_def word
+        end
+        else Word word
+    | ':' ->
+        lx.pos <- lx.pos + 1;
+        fail lx "unexpected ':'"
+    | c -> fail lx (Printf.sprintf "unexpected character %C" c)
+
+let peek lx =
+  match lx.peeked with
+  | Some t -> t
+  | None ->
+      let t = lex_token lx in
+      lx.peeked <- Some t;
+      t
+
+let next lx =
+  match lx.peeked with
+  | Some t ->
+      lx.peeked <- None;
+      t
+  | None -> lex_token lx
+
+let line lx = lx.line

@@ -1,0 +1,597 @@
+(* Recursive-descent parser: tokens -> syntactic AST. Name resolution into
+   the IR happens in [Resolve]; keeping the phases separate allows forward
+   references (mutually recursive functions, loop phis). *)
+
+type aval = Vname of string | Vconst of aconst | Vundef
+
+and aconst =
+  | Abool of bool
+  | Aint of int64
+  | Afloat of float
+  | Anull
+  | Azero
+  | Astring of string
+  | Aarray of (Types.t * aval) list
+  | Astruct of (Types.t * aval) list
+
+type typed_val = Types.t * aval
+
+type abody =
+  | Ibinop of Ir.binop * Types.t * aval * aval
+  | Isetcc of Ir.cmp * Types.t * aval * aval
+  | Iret of typed_val option
+  | Ibr of string
+  | Icbr of typed_val * string * string
+  | Imbr of typed_val * string * (typed_val * string) list
+  | Iinvoke of Types.t * aval * typed_val list * string * string
+  | Iunwind
+  | Iload of typed_val
+  | Istore of typed_val * typed_val
+  | Igep of typed_val list
+  | Ialloca of Types.t * typed_val option
+  | Icast of typed_val * Types.t
+  | Icall of Types.t * aval * typed_val list
+  | Iphi of Types.t * (aval * string) list
+
+type ainstr = { result : string option; ee : bool option; body : abody }
+type ablock = { alabel : string; ainstrs : ainstr list }
+
+type afunc = {
+  areturn : Types.t;
+  afname : string;
+  aparams : (Types.t * string) list;
+  avarargs : bool;
+  ablocks : ablock list; (* [] means declaration *)
+  adeclared : bool;
+}
+
+type aglobal = {
+  agname : string;
+  agconst : bool;
+  agexternal : bool;
+  agty : Types.t; (* pointee type *)
+  aginit : (Types.t * aval) option;
+}
+
+type amodule = {
+  amname : string;
+  atarget : Target.config;
+  atypedefs : (string * Types.t) list;
+  aglobals : aglobal list;
+  afuncs : afunc list;
+}
+
+exception Error of string * int
+
+type st = { lx : Lexer.t }
+
+let fail st msg = raise (Error (msg, Lexer.line st.lx))
+
+let expect st tok what =
+  let t = Lexer.next st.lx in
+  if t <> tok then fail st ("expected " ^ what)
+
+let expect_word st w =
+  match Lexer.next st.lx with
+  | Lexer.Word w' when w' = w -> ()
+  | _ -> fail st ("expected '" ^ w ^ "'")
+
+let percent st what =
+  match Lexer.next st.lx with
+  | Lexer.Percent n -> n
+  | _ -> fail st ("expected %name for " ^ what)
+
+(* ---------- types ---------- *)
+
+let prim_of_word = function
+  | "void" -> Some Types.Void
+  | "bool" -> Some Types.Bool
+  | "ubyte" -> Some Types.Ubyte
+  | "sbyte" -> Some Types.Sbyte
+  | "ushort" -> Some Types.Ushort
+  | "short" -> Some Types.Short
+  | "uint" -> Some Types.Uint
+  | "int" -> Some Types.Int
+  | "ulong" -> Some Types.Ulong
+  | "long" -> Some Types.Long
+  | "float" -> Some Types.Float
+  | "double" -> Some Types.Double
+  | "label" -> Some Types.Label
+  | _ -> None
+
+let rec parse_type st =
+  let base =
+    match Lexer.next st.lx with
+    | Lexer.Word w -> (
+        match prim_of_word w with
+        | Some t -> t
+        | None -> fail st ("unknown type name: " ^ w))
+    | Lexer.Percent n -> Types.Named n
+    | Lexer.Lbracket ->
+        (* [ N x ty ] *)
+        let n =
+          match Lexer.next st.lx with
+          | Lexer.Int_lit v -> Int64.to_int v
+          | _ -> fail st "expected array length"
+        in
+        expect_word st "x";
+        let elem = parse_type st in
+        expect st Lexer.Rbracket "]";
+        Types.Array (n, elem)
+    | Lexer.Lbrace ->
+        (* { ty, ty, ... } *)
+        if Lexer.peek st.lx = Lexer.Rbrace then begin
+          ignore (Lexer.next st.lx);
+          Types.Struct []
+        end
+        else
+          let rec fields acc =
+            let f = parse_type st in
+            match Lexer.next st.lx with
+            | Lexer.Comma -> fields (f :: acc)
+            | Lexer.Rbrace -> List.rev (f :: acc)
+            | _ -> fail st "expected , or } in struct type"
+          in
+          Types.Struct (fields [])
+    | _ -> fail st "expected a type"
+  in
+  parse_type_suffix st base
+
+and parse_type_suffix st base =
+  match Lexer.peek st.lx with
+  | Lexer.Star ->
+      ignore (Lexer.next st.lx);
+      parse_type_suffix st (Types.Pointer base)
+  | Lexer.Lparen ->
+      ignore (Lexer.next st.lx);
+      let rec params acc varargs =
+        match Lexer.peek st.lx with
+        | Lexer.Rparen ->
+            ignore (Lexer.next st.lx);
+            (List.rev acc, varargs)
+        | Lexer.Ellipsis ->
+            ignore (Lexer.next st.lx);
+            expect st Lexer.Rparen ")";
+            (List.rev acc, true)
+        | Lexer.Comma ->
+            ignore (Lexer.next st.lx);
+            params acc varargs
+        | _ ->
+            let t = parse_type st in
+            params (t :: acc) varargs
+      in
+      let ps, varargs = params [] false in
+      parse_type_suffix st (Types.Func (base, ps, varargs))
+  | _ -> base
+
+(* ---------- values ---------- *)
+
+let rec parse_value st =
+  match Lexer.next st.lx with
+  | Lexer.Percent n -> Vname n
+  | Lexer.Int_lit v -> Vconst (Aint v)
+  | Lexer.Float_lit v -> Vconst (Afloat v)
+  | Lexer.String_lit s ->
+      (* the printer appends an explicit \00; strip it back off *)
+      let s =
+        if String.length s > 0 && s.[String.length s - 1] = '\000' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      Vconst (Astring s)
+  | Lexer.Word "true" -> Vconst (Abool true)
+  | Lexer.Word "false" -> Vconst (Abool false)
+  | Lexer.Word "null" -> Vconst Anull
+  | Lexer.Word "zeroinitializer" -> Vconst Azero
+  | Lexer.Word "undef" -> Vundef
+  | Lexer.Lbracket ->
+      let rec elems acc =
+        match Lexer.peek st.lx with
+        | Lexer.Rbracket ->
+            ignore (Lexer.next st.lx);
+            List.rev acc
+        | Lexer.Comma ->
+            ignore (Lexer.next st.lx);
+            elems acc
+        | _ ->
+            let tv = parse_typed_value st in
+            elems (tv :: acc)
+      in
+      Vconst (Aarray (elems []))
+  | Lexer.Lbrace ->
+      let rec elems acc =
+        match Lexer.peek st.lx with
+        | Lexer.Rbrace ->
+            ignore (Lexer.next st.lx);
+            List.rev acc
+        | Lexer.Comma ->
+            ignore (Lexer.next st.lx);
+            elems acc
+        | _ ->
+            let tv = parse_typed_value st in
+            elems (tv :: acc)
+      in
+      Vconst (Astruct (elems []))
+  | _ -> fail st "expected a value"
+
+and parse_typed_value st =
+  let ty = parse_type st in
+  let v = parse_value st in
+  (ty, v)
+
+let parse_label st =
+  expect_word st "label";
+  percent st "label"
+
+(* ---------- instructions ---------- *)
+
+let binop_of_word = function
+  | "add" -> Some Ir.Add
+  | "sub" -> Some Ir.Sub
+  | "mul" -> Some Ir.Mul
+  | "div" -> Some Ir.Div
+  | "rem" -> Some Ir.Rem
+  | "and" -> Some Ir.And
+  | "or" -> Some Ir.Or
+  | "xor" -> Some Ir.Xor
+  | "shl" -> Some Ir.Shl
+  | "shr" -> Some Ir.Shr
+  | _ -> None
+
+let cmp_of_word = function
+  | "seteq" -> Some Ir.Eq
+  | "setne" -> Some Ir.Ne
+  | "setlt" -> Some Ir.Lt
+  | "setgt" -> Some Ir.Gt
+  | "setle" -> Some Ir.Le
+  | "setge" -> Some Ir.Ge
+  | _ -> None
+
+let parse_call_args st =
+  expect st Lexer.Lparen "(";
+  let rec go acc =
+    match Lexer.peek st.lx with
+    | Lexer.Rparen ->
+        ignore (Lexer.next st.lx);
+        List.rev acc
+    | Lexer.Comma ->
+        ignore (Lexer.next st.lx);
+        go acc
+    | _ ->
+        let tv = parse_typed_value st in
+        go (tv :: acc)
+  in
+  go []
+
+let parse_body st opword =
+  match binop_of_word opword with
+  | Some op ->
+      let ty = parse_type st in
+      let a = parse_value st in
+      expect st Lexer.Comma ",";
+      (* shifts carry a typed ubyte amount *)
+      let b =
+        match op with
+        | Ir.Shl | Ir.Shr ->
+            let _, v = parse_typed_value st in
+            v
+        | _ -> parse_value st
+      in
+      Ibinop (op, ty, a, b)
+  | None -> (
+      match cmp_of_word opword with
+      | Some c ->
+          let ty = parse_type st in
+          let a = parse_value st in
+          expect st Lexer.Comma ",";
+          let b = parse_value st in
+          Isetcc (c, ty, a, b)
+      | None -> (
+          match opword with
+          | "ret" ->
+              if Lexer.peek st.lx = Lexer.Word "void" then begin
+                ignore (Lexer.next st.lx);
+                Iret None
+              end
+              else Iret (Some (parse_typed_value st))
+          | "br" ->
+              if Lexer.peek st.lx = Lexer.Word "label" then
+                Ibr (parse_label st)
+              else begin
+                let tv = parse_typed_value st in
+                expect st Lexer.Comma ",";
+                let t = parse_label st in
+                expect st Lexer.Comma ",";
+                let f = parse_label st in
+                Icbr (tv, t, f)
+              end
+          | "mbr" ->
+              let tv = parse_typed_value st in
+              expect st Lexer.Comma ",";
+              let default = parse_label st in
+              expect st Lexer.Lbracket "[";
+              let rec cases acc =
+                match Lexer.peek st.lx with
+                | Lexer.Rbracket ->
+                    ignore (Lexer.next st.lx);
+                    List.rev acc
+                | Lexer.Semi | Lexer.Comma ->
+                    ignore (Lexer.next st.lx);
+                    cases acc
+                | _ ->
+                    let cv = parse_typed_value st in
+                    expect st Lexer.Comma ",";
+                    let dest = parse_label st in
+                    cases ((cv, dest) :: acc)
+              in
+              Imbr (tv, default, cases [])
+          | "invoke" ->
+              let ret = parse_type st in
+              let callee = parse_value st in
+              let args = parse_call_args st in
+              expect_word st "to";
+              let normal = parse_label st in
+              expect_word st "except";
+              let except = parse_label st in
+              Iinvoke (ret, callee, args, normal, except)
+          | "unwind" -> Iunwind
+          | "load" -> Iload (parse_typed_value st)
+          | "store" ->
+              let v = parse_typed_value st in
+              expect st Lexer.Comma ",";
+              let p = parse_typed_value st in
+              Istore (v, p)
+          | "getelementptr" ->
+              let rec parts acc =
+                let tv = parse_typed_value st in
+                if Lexer.peek st.lx = Lexer.Comma then begin
+                  ignore (Lexer.next st.lx);
+                  parts (tv :: acc)
+                end
+                else List.rev (tv :: acc)
+              in
+              Igep (parts [])
+          | "alloca" ->
+              let elem = parse_type st in
+              if Lexer.peek st.lx = Lexer.Comma then begin
+                ignore (Lexer.next st.lx);
+                Ialloca (elem, Some (parse_typed_value st))
+              end
+              else Ialloca (elem, None)
+          | "cast" ->
+              let tv = parse_typed_value st in
+              expect_word st "to";
+              let dst = parse_type st in
+              Icast (tv, dst)
+          | "call" ->
+              let ty = parse_type st in
+              let callee = parse_value st in
+              let args = parse_call_args st in
+              Icall (ty, callee, args)
+          | "phi" ->
+              let ty = parse_type st in
+              let rec pairs acc =
+                expect st Lexer.Lbracket "[";
+                let v = parse_value st in
+                expect st Lexer.Comma ",";
+                let b = percent st "phi predecessor" in
+                expect st Lexer.Rbracket "]";
+                if Lexer.peek st.lx = Lexer.Comma then begin
+                  ignore (Lexer.next st.lx);
+                  pairs ((v, b) :: acc)
+                end
+                else List.rev ((v, b) :: acc)
+              in
+              Iphi (ty, pairs [])
+          | w -> fail st ("unknown instruction: " ^ w)))
+
+let parse_instr st first =
+  match first with
+  | Lexer.Percent result ->
+      expect st Lexer.Equals "=";
+      let opword =
+        match Lexer.next st.lx with
+        | Lexer.Word w -> w
+        | _ -> fail st "expected opcode"
+      in
+      let body = parse_body st opword in
+      let ee =
+        match Lexer.peek st.lx with
+        | Lexer.At_ee b ->
+            ignore (Lexer.next st.lx);
+            Some b
+        | _ -> None
+      in
+      { result = Some result; ee; body }
+  | Lexer.Word opword ->
+      let body = parse_body st opword in
+      let ee =
+        match Lexer.peek st.lx with
+        | Lexer.At_ee b ->
+            ignore (Lexer.next st.lx);
+            Some b
+        | _ -> None
+      in
+      { result = None; ee; body }
+  | _ -> fail st "expected an instruction"
+
+(* ---------- functions ---------- *)
+
+let parse_params st =
+  expect st Lexer.Lparen "(";
+  let counter = ref 0 in
+  let rec go acc varargs =
+    match Lexer.peek st.lx with
+    | Lexer.Rparen ->
+        ignore (Lexer.next st.lx);
+        (List.rev acc, varargs)
+    | Lexer.Comma ->
+        ignore (Lexer.next st.lx);
+        go acc varargs
+    | Lexer.Ellipsis ->
+        ignore (Lexer.next st.lx);
+        expect st Lexer.Rparen ")";
+        (List.rev acc, true)
+    | _ ->
+        let ty = parse_type st in
+        let name =
+          match Lexer.peek st.lx with
+          | Lexer.Percent n ->
+              ignore (Lexer.next st.lx);
+              n
+          | _ ->
+              incr counter;
+              Printf.sprintf "arg%d" !counter
+        in
+        go ((ty, name) :: acc) varargs
+  in
+  go [] false
+
+let parse_blocks st =
+  (* first token after '{' must be a label definition *)
+  let rec blocks acc =
+    match Lexer.next st.lx with
+    | Lexer.Rbrace -> List.rev acc
+    | Lexer.Label_def name ->
+        let rec instrs iacc =
+          match Lexer.peek st.lx with
+          | Lexer.Label_def _ | Lexer.Rbrace -> List.rev iacc
+          | _ ->
+              let first = Lexer.next st.lx in
+              instrs (parse_instr st first :: iacc)
+        in
+        blocks ({ alabel = name; ainstrs = instrs [] } :: acc)
+    | _ -> fail st "expected a block label"
+  in
+  blocks []
+
+let parse_function st ~declared =
+  let areturn = parse_type st in
+  let afname = percent st "function name" in
+  let aparams, avarargs = parse_params st in
+  if declared then
+    { areturn; afname; aparams; avarargs; ablocks = []; adeclared = true }
+  else begin
+    expect st Lexer.Lbrace "{";
+    let ablocks = parse_blocks st in
+    { areturn; afname; aparams; avarargs; ablocks; adeclared = false }
+  end
+
+(* ---------- module ---------- *)
+
+(* The printer records the module name in a "; ModuleID = '...'" comment;
+   recover it so print/parse round-trips exactly. *)
+let scan_module_id src =
+  let prefix = "; ModuleID = '" in
+  let rec find_line pos =
+    if pos >= String.length src then None
+    else
+      let eol =
+        match String.index_from_opt src pos '\n' with
+        | Some e -> e
+        | None -> String.length src
+      in
+      let line = String.sub src pos (eol - pos) in
+      if String.length line > String.length prefix
+         && String.sub line 0 (String.length prefix) = prefix
+      then
+        let rest = String.sub line (String.length prefix)
+            (String.length line - String.length prefix)
+        in
+        match String.index_opt rest '\'' with
+        | Some q -> Some (String.sub rest 0 q)
+        | None -> None
+      else find_line (eol + 1)
+  in
+  find_line 0
+
+let parse_module ?name src =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> ( match scan_module_id src with Some n -> n | None -> "parsed")
+  in
+  let st = { lx = Lexer.create src } in
+  let target = ref Target.default in
+  let typedefs = ref [] in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec top () =
+    match Lexer.peek st.lx with
+    | Lexer.Eof -> ()
+    | Lexer.Word "target" ->
+        ignore (Lexer.next st.lx);
+        (match Lexer.next st.lx with
+        | Lexer.Word "pointersize" ->
+            expect st Lexer.Equals "=";
+            let bits =
+              match Lexer.next st.lx with
+              | Lexer.Int_lit v -> Int64.to_int v
+              | _ -> fail st "expected pointer size"
+            in
+            target := { !target with Target.ptr_size = bits / 8 }
+        | Lexer.Word "endian" ->
+            expect st Lexer.Equals "=";
+            let e =
+              match Lexer.next st.lx with
+              | Lexer.Word "little" -> Target.Little
+              | Lexer.Word "big" -> Target.Big
+              | _ -> fail st "expected little or big"
+            in
+            target := { !target with Target.endian = e }
+        | _ -> fail st "expected pointersize or endian");
+        top ()
+    | Lexer.Word "declare" ->
+        ignore (Lexer.next st.lx);
+        funcs := parse_function st ~declared:true :: !funcs;
+        top ()
+    | Lexer.Percent n -> (
+        ignore (Lexer.next st.lx);
+        expect st Lexer.Equals "=";
+        match Lexer.next st.lx with
+        | Lexer.Word "type" ->
+            typedefs := (n, parse_type st) :: !typedefs;
+            top ()
+        | Lexer.Word (("global" | "constant") as kind) ->
+            let init = parse_typed_value st in
+            globals :=
+              {
+                agname = n;
+                agconst = kind = "constant";
+                agexternal = false;
+                agty = fst init;
+                aginit = Some init;
+              }
+              :: !globals;
+            top ()
+        | Lexer.Word "external" ->
+            let kind =
+              match Lexer.next st.lx with
+              | Lexer.Word (("global" | "constant") as k) -> k
+              | _ -> fail st "expected global or constant"
+            in
+            let ty = parse_type st in
+            globals :=
+              {
+                agname = n;
+                agconst = kind = "constant";
+                agexternal = true;
+                agty = ty;
+                aginit = None;
+              }
+              :: !globals;
+            top ()
+        | _ -> fail st "expected type/global/constant/external")
+    | _ ->
+        (* a function definition starts with its return type *)
+        funcs := parse_function st ~declared:false :: !funcs;
+        top ()
+  in
+  top ();
+  {
+    amname = name;
+    atarget = !target;
+    atypedefs = List.rev !typedefs;
+    aglobals = List.rev !globals;
+    afuncs = List.rev !funcs;
+  }

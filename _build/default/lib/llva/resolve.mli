@@ -1,0 +1,13 @@
+(** Second parsing phase: resolve a syntactic {!Parser.amodule} into the
+    in-memory IR, handling forward references (mutually recursive
+    functions, loop phis). *)
+
+exception Error of string
+
+val resolve_module : Parser.amodule -> Ir.modl
+(** @raise Error on unknown names, duplicate definitions, etc. *)
+
+val parse_module : ?name:string -> string -> Ir.modl
+(** [Parser.parse_module] followed by {!resolve_module}: text to IR in
+    one call. When [name] is omitted it is recovered from the
+    ["; ModuleID = '...'"] header comment if present. *)

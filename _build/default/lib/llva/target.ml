@@ -1,0 +1,26 @@
+(* Target configuration flags carried in every LLVA module (paper §3.2):
+   the only implementation details the V-ISA exposes are pointer size and
+   endianness, and only non-type-safe code may depend on them. *)
+
+type endianness = Little | Big
+
+type config = {
+  ptr_size : int; (* bytes: 4 or 8 *)
+  endian : endianness;
+}
+
+let little32 = { ptr_size = 4; endian = Little }
+let big32 = { ptr_size = 4; endian = Big }
+let little64 = { ptr_size = 8; endian = Little }
+let big64 = { ptr_size = 8; endian = Big }
+
+let default = little32
+
+let equal a b = a.ptr_size = b.ptr_size && a.endian = b.endian
+
+let to_string c =
+  Printf.sprintf "%d-bit %s-endian"
+    (c.ptr_size * 8)
+    (match c.endian with Little -> "little" | Big -> "big")
+
+let all = [ little32; big32; little64; big64 ]

@@ -1,0 +1,29 @@
+(** Target configuration flags carried in every LLVA module.
+
+    Per paper §3.2, pointer size and endianness are the only
+    implementation details the V-ISA exposes; they are recorded in the
+    module header (and in virtual object code) so a translator for a
+    different configuration can still execute the program. *)
+
+type endianness = Little | Big
+
+type config = {
+  ptr_size : int;  (** pointer size in bytes: 4 or 8 *)
+  endian : endianness;
+}
+
+val little32 : config
+val big32 : config
+val little64 : config
+val big64 : config
+
+val default : config
+(** [little32], matching the paper's primary IA-32 target. *)
+
+val equal : config -> config -> bool
+
+val to_string : config -> string
+(** e.g. ["32-bit little-endian"]. *)
+
+val all : config list
+(** The four supported configurations, for portability sweeps. *)

@@ -1,0 +1,409 @@
+(* The LLVA verifier: structural well-formedness, the strict type rules of
+   §3.1 ("no mixed-type operations, no implicit coercion"), and SSA
+   dominance (every def dominates its uses; phi operands dominate the
+   incoming edge). Returns a list of human-readable problems; empty means
+   the module is well-formed. *)
+
+open Ir
+
+type ctx = {
+  env : Types.env;
+  mutable errors : string list;
+  mutable where : string;
+}
+
+let err ctx fmt =
+  Printf.ksprintf (fun s -> ctx.errors <- (ctx.where ^ ": " ^ s) :: ctx.errors) fmt
+
+let resolve ctx ty =
+  try Types.resolve ctx.env ty
+  with Types.Unresolved n ->
+    err ctx "unresolved type name %%%s" n;
+    Types.Void
+
+(* ---------- per-instruction type rules ---------- *)
+
+let check_instr ctx i =
+  let opnd k = i.operands.(k) in
+  let ty k = type_of_value (opnd k) in
+  let rty k = resolve ctx (ty k) in
+  let nops = Array.length i.operands in
+  let expect_n n =
+    if nops <> n then err ctx "%s expects %d operands, has %d" (opcode_name i.op) n nops
+  in
+  match i.op with
+  | Binop op -> (
+      expect_n 2;
+      if nops = 2 then
+        match op with
+        | Shl | Shr ->
+            if not (Types.is_integer (rty 0)) then
+              err ctx "%s requires integer first operand" (binop_name op);
+            if not (Types.equal (rty 1) Types.Ubyte) then
+              err ctx "%s shift amount must be ubyte" (binop_name op)
+        | And | Or | Xor ->
+            if not (Types.equal_resolved ctx.env (ty 0) (ty 1)) then
+              err ctx "%s operand types differ" (binop_name op);
+            let t = rty 0 in
+            if not (Types.is_integer t || Types.equal t Types.Bool) then
+              err ctx "%s requires integral operands" (binop_name op)
+        | Add | Sub | Mul | Div | Rem ->
+            if not (Types.equal_resolved ctx.env (ty 0) (ty 1)) then
+              err ctx "%s operand types differ" (binop_name op);
+            let t = rty 0 in
+            if not (Types.is_integer t || Types.is_fp t) then
+              err ctx "%s requires arithmetic operands, got %s" (binop_name op)
+                (Types.to_string t);
+            if not (Types.equal_resolved ctx.env i.ity (ty 0)) then
+              err ctx "%s result type mismatch" (binop_name op))
+  | Setcc c ->
+      expect_n 2;
+      if nops = 2 then begin
+        if not (Types.equal_resolved ctx.env (ty 0) (ty 1)) then
+          err ctx "%s operand types differ: %s vs %s" (cmp_name c)
+            (Types.to_string (ty 0))
+            (Types.to_string (ty 1));
+        if not (Types.is_scalar (rty 0)) then
+          err ctx "%s requires scalar operands" (cmp_name c);
+        if not (Types.equal i.ity Types.Bool) then
+          err ctx "%s must produce bool" (cmp_name c)
+      end
+  | Ret -> () (* checked against the function signature by the caller *)
+  | Br ->
+      if nops = 1 then begin
+        match opnd 0 with
+        | Vblock _ -> ()
+        | _ -> err ctx "br target must be a label"
+      end
+      else if nops = 3 then begin
+        if not (Types.equal (rty 0) Types.Bool) then
+          err ctx "br condition must be bool";
+        (match opnd 1 with Vblock _ -> () | _ -> err ctx "br target must be a label");
+        match opnd 2 with Vblock _ -> () | _ -> err ctx "br target must be a label"
+      end
+      else err ctx "br expects 1 or 3 operands"
+  | Mbr ->
+      if nops < 2 || nops mod 2 <> 0 then err ctx "mbr operand count invalid"
+      else begin
+        if not (Types.is_integer (rty 0)) then err ctx "mbr selector must be integer";
+        let rec go k =
+          if k + 1 < nops then begin
+            (match opnd k with
+            | Const { ckind = Cint _; _ } -> ()
+            | _ -> err ctx "mbr case must be an integer constant");
+            (match opnd (k + 1) with
+            | Vblock _ -> ()
+            | _ -> err ctx "mbr case target must be a label");
+            go (k + 2)
+          end
+        in
+        (match opnd 1 with Vblock _ -> () | _ -> err ctx "mbr default must be a label");
+        go 2
+      end
+  | Invoke | Call -> (
+      let min_ops = if i.op = Call then 1 else 3 in
+      if nops < min_ops then err ctx "call/invoke missing callee"
+      else
+        match resolve ctx (ty 0) with
+        | Types.Pointer fty | (Types.Func _ as fty) -> (
+            match resolve ctx fty with
+            | Types.Func (ret, params, varargs) ->
+                let args =
+                  if i.op = Call then
+                    Array.to_list (Array.sub i.operands 1 (nops - 1))
+                  else Array.to_list (Array.sub i.operands 3 (nops - 3))
+                in
+                let nparams = List.length params in
+                if List.length args < nparams then err ctx "too few call arguments"
+                else if (not varargs) && List.length args > nparams then
+                  err ctx "too many call arguments";
+                List.iteri
+                  (fun k arg ->
+                    match List.nth_opt params k with
+                    | Some pty ->
+                        if
+                          not
+                            (Types.equal_resolved ctx.env (type_of_value arg) pty)
+                        then
+                          err ctx "call argument %d: %s, expected %s" k
+                            (Types.to_string (type_of_value arg))
+                            (Types.to_string pty)
+                    | None -> ())
+                  args;
+                if not (Types.equal_resolved ctx.env i.ity ret) then
+                  err ctx "call result type %s, callee returns %s"
+                    (Types.to_string i.ity) (Types.to_string ret)
+            | t -> err ctx "callee is not a function: %s" (Types.to_string t))
+        | t -> err ctx "callee is not a function pointer: %s" (Types.to_string t))
+  | Unwind -> expect_n 0
+  | Load -> (
+      expect_n 1;
+      if nops = 1 then
+        match rty 0 with
+        | Types.Pointer elem ->
+            if not (Types.is_scalar (resolve ctx elem)) then
+              err ctx "load of non-scalar %s" (Types.to_string elem);
+            if not (Types.equal_resolved ctx.env i.ity elem) then
+              err ctx "load result type mismatch"
+        | t -> err ctx "load from non-pointer %s" (Types.to_string t))
+  | Store -> (
+      expect_n 2;
+      if nops = 2 then
+        match rty 1 with
+        | Types.Pointer elem ->
+            if not (Types.equal_resolved ctx.env (ty 0) elem) then
+              err ctx "store of %s into %s*"
+                (Types.to_string (ty 0))
+                (Types.to_string elem)
+        | t -> err ctx "store to non-pointer %s" (Types.to_string t))
+  | Getelementptr ->
+      if nops < 1 then err ctx "getelementptr missing pointer"
+      else begin
+        (match rty 0 with
+        | Types.Pointer _ -> ()
+        | t -> err ctx "getelementptr on non-pointer %s" (Types.to_string t));
+        for k = 1 to nops - 1 do
+          if not (Types.is_integer (rty k)) then
+            err ctx "getelementptr index %d not an integer" k
+        done
+      end
+  | Alloca -> (
+      if nops > 1 then err ctx "alloca expects at most one operand";
+      if nops = 1 && not (Types.is_integer (rty 0)) then
+        err ctx "alloca count must be an integer";
+      match resolve ctx i.ity with
+      | Types.Pointer _ -> ()
+      | t -> err ctx "alloca must produce a pointer, got %s" (Types.to_string t))
+  | Cast ->
+      expect_n 1;
+      if nops = 1 then begin
+        let src = rty 0 and dst = resolve ctx i.ity in
+        if not (Types.is_scalar src) then
+          err ctx "cast source must be scalar, got %s" (Types.to_string src);
+        if not (Types.is_scalar dst) then
+          err ctx "cast target must be scalar, got %s" (Types.to_string dst);
+        if Types.is_fp src && Types.is_pointer dst then
+          err ctx "cast from floating point to pointer"
+      end
+  | Phi ->
+      if nops = 0 || nops mod 2 <> 0 then err ctx "phi operand count invalid"
+      else
+        let rec go k =
+          if k + 1 < nops then begin
+            if not (Types.equal_resolved ctx.env (ty k) i.ity) then
+              err ctx "phi operand %d type %s, expected %s" (k / 2)
+                (Types.to_string (ty k))
+                (Types.to_string i.ity);
+            (match opnd (k + 1) with
+            | Vblock _ -> ()
+            | _ -> err ctx "phi predecessor must be a label");
+            go (k + 2)
+          end
+        in
+        go 0
+
+(* ---------- dominance (local, bitset-based iterative solver) ---------- *)
+
+let compute_dominators f =
+  let blocks = Array.of_list f.fblocks in
+  let n = Array.length blocks in
+  let index = Hashtbl.create n in
+  Array.iteri (fun k b -> Hashtbl.replace index b.blid k) blocks;
+  let preds =
+    Array.map
+      (fun b ->
+        List.filter_map (fun p -> Hashtbl.find_opt index p.blid) (predecessors b))
+      blocks
+  in
+  let full = Array.make n true in
+  let dom = Array.init n (fun k -> if k = 0 then Array.init n (fun j -> j = 0) else Array.copy full) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for k = 1 to n - 1 do
+      let nd = Array.make n false in
+      nd.(k) <- true;
+      (match preds.(k) with
+      | [] -> ()
+      | first :: rest ->
+          let inter = Array.copy dom.(first) in
+          List.iter (fun p -> Array.iteri (fun j v -> inter.(j) <- v && inter.(j)) dom.(p)) rest;
+          Array.iteri (fun j v -> if v then nd.(j) <- true) inter);
+      if nd <> dom.(k) then begin
+        dom.(k) <- nd;
+        changed := true
+      end
+    done
+  done;
+  (blocks, index, dom)
+
+(* ---------- per-function checks ---------- *)
+
+let check_function ctx f =
+  ctx.where <- Printf.sprintf "function %%%s" f.fname;
+  if is_declaration f then ()
+  else begin
+    (* structure: nonempty blocks, single trailing terminator, leading phis *)
+    List.iter
+      (fun b ->
+        ctx.where <- Printf.sprintf "function %%%s block %%%s" f.fname b.bname;
+        (match b.instrs with
+        | [] -> err ctx "empty basic block"
+        | instrs -> (
+            let rec split seen_non_phi = function
+              | [] -> ()
+              | [ last ] ->
+                  if not (is_terminator last) then
+                    err ctx "block does not end with a terminator"
+              | x :: rest ->
+                  if is_terminator x then
+                    err ctx "terminator %s in the middle of a block"
+                      (opcode_name x.op);
+                  if x.op = Phi && seen_non_phi then
+                    err ctx "phi after non-phi instruction";
+                  split (seen_non_phi || x.op <> Phi) rest
+            in
+            split false instrs;
+            match instrs with
+            | first :: _ when first.op = Phi && b == entry_block f ->
+                err ctx "phi in entry block"
+            | _ -> ()));
+        List.iter
+          (fun i ->
+            (match i.iparent with
+            | Some p when p == b -> ()
+            | _ -> err ctx "instruction with wrong parent");
+            check_instr ctx i;
+            (* ret must match the signature *)
+            if i.op = Ret then begin
+              let n = Array.length i.operands in
+              if Types.equal f.freturn Types.Void then begin
+                if n <> 0 then err ctx "ret with value in void function"
+              end
+              else if n <> 1 then err ctx "ret missing value"
+              else if
+                not
+                  (Types.equal_resolved ctx.env
+                     (type_of_value i.operands.(0))
+                     f.freturn)
+              then err ctx "ret type does not match function return type"
+            end)
+          b.instrs)
+      f.fblocks;
+    (* phi incoming lists must exactly cover the predecessors *)
+    List.iter
+      (fun b ->
+        ctx.where <- Printf.sprintf "function %%%s block %%%s" f.fname b.bname;
+        let preds = predecessors b in
+        List.iter
+          (fun phi ->
+            let incoming = phi_incoming phi in
+            let inc_blocks = List.map snd incoming in
+            List.iter
+              (fun p ->
+                if not (List.exists (fun ib -> ib == p) inc_blocks) then
+                  err ctx "phi missing incoming for predecessor %%%s" p.bname)
+              preds;
+            List.iter
+              (fun ib ->
+                if not (List.exists (fun p -> p == ib) preds) then
+                  err ctx "phi has incoming for non-predecessor %%%s" ib.bname)
+              inc_blocks)
+          (block_phis b))
+      f.fblocks;
+    (* entry block must not have predecessors *)
+    (match f.fblocks with
+    | entry :: _ ->
+        if predecessors entry <> [] then begin
+          ctx.where <- Printf.sprintf "function %%%s" f.fname;
+          err ctx "entry block has predecessors"
+        end
+    | [] -> ());
+    (* SSA dominance *)
+    let blocks, index, dom = compute_dominators f in
+    ignore blocks;
+    let block_index b = Hashtbl.find_opt index b.blid in
+    let dominates def_b use_b =
+      match (block_index def_b, block_index use_b) with
+      | Some d, Some u -> dom.(u).(d)
+      | _ -> true (* unreachable block: skip *)
+    in
+    let instr_pos = Hashtbl.create 64 in
+    List.iter
+      (fun b ->
+        List.iteri (fun k i -> Hashtbl.replace instr_pos i.iid (b, k)) b.instrs)
+      f.fblocks;
+    let def_dominates_use (def : instr) (use : instr) op_idx =
+      match (Hashtbl.find_opt instr_pos def.iid, Hashtbl.find_opt instr_pos use.iid) with
+      | Some (db, dk), Some (ub, uk) ->
+          if use.op = Phi then
+            (* the def must dominate the incoming edge's source block *)
+            let pred =
+              match use.operands.(op_idx + 1) with
+              | Vblock p -> Some p
+              | _ -> None
+            in
+            (match pred with
+            | Some p -> dominates db p
+            | None -> true)
+          else if db == ub then dk < uk
+          else dominates db ub
+      | _ -> true
+    in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            Array.iteri
+              (fun op_idx v ->
+                match v with
+                | Vreg def ->
+                    if not (def_dominates_use def i op_idx) then begin
+                      ctx.where <-
+                        Printf.sprintf "function %%%s block %%%s" f.fname b.bname;
+                      err ctx "use of %%%s (id %d) not dominated by its definition"
+                        def.iname def.iid
+                    end
+                | _ -> ())
+              i.operands)
+          b.instrs)
+      f.fblocks
+  end
+
+let verify_module (m : modl) : string list =
+  let ctx = { env = Ir.type_env m; errors = []; where = "module" } in
+  (* symbol uniqueness *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem seen g.gname then err ctx "duplicate global %%%s" g.gname;
+      Hashtbl.replace seen g.gname ())
+    m.globals;
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.fname then err ctx "duplicate symbol %%%s" f.fname;
+      Hashtbl.replace seen f.fname ())
+    m.funcs;
+  List.iter (fun f -> check_function ctx f) m.funcs;
+  List.rev ctx.errors
+
+let verify_function f =
+  let ctx =
+    {
+      env =
+        (match f.fparent with
+        | Some m -> Ir.type_env m
+        | None -> Types.empty_env ());
+      errors = [];
+      where = "function";
+    }
+  in
+  check_function ctx f;
+  List.rev ctx.errors
+
+exception Invalid of string list
+
+(* Raise on the first invalid module; used by pipeline stages that require
+   well-formed input. *)
+let assert_valid m =
+  match verify_module m with [] -> () | errs -> raise (Invalid errs)

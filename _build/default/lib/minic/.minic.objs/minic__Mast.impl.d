@@ -1,0 +1,1 @@
+lib/minic/mast.ml: List Printf String

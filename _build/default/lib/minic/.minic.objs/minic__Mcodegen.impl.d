@@ -1,0 +1,1 @@
+lib/minic/mcodegen.ml: Builder Char Hashtbl Int64 Ir List Llva Mast Mparser Option Printf String Target Transform Types Verify Vmem

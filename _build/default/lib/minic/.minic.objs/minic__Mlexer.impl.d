@@ -1,0 +1,1 @@
+lib/minic/mlexer.ml: Buffer Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/minic/mparser.ml: Char Hashtbl Int64 List Mast Mlexer Printf

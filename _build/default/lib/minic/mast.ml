@@ -1,0 +1,115 @@
+(* MiniC abstract syntax: a C subset rich enough for the paper's workload
+   programs (structs, pointers, arrays, function pointers, enums, switch,
+   the full statement and operator set). *)
+
+type cty =
+  | Cvoid
+  | Cchar
+  | Cuchar
+  | Cshort
+  | Cushort
+  | Cint
+  | Cuint
+  | Clong
+  | Culong
+  | Cfloat
+  | Cdouble
+  | Cptr of cty
+  | Carr of int * cty
+  | Cstruct of string
+  | Cfunc of cty * cty list
+
+let rec cty_to_string = function
+  | Cvoid -> "void"
+  | Cchar -> "char"
+  | Cuchar -> "unsigned char"
+  | Cshort -> "short"
+  | Cushort -> "unsigned short"
+  | Cint -> "int"
+  | Cuint -> "unsigned"
+  | Clong -> "long"
+  | Culong -> "unsigned long"
+  | Cfloat -> "float"
+  | Cdouble -> "double"
+  | Cptr t -> cty_to_string t ^ "*"
+  | Carr (n, t) -> Printf.sprintf "%s[%d]" (cty_to_string t) n
+  | Cstruct s -> "struct " ^ s
+  | Cfunc (r, args) ->
+      Printf.sprintf "%s(*)(%s)" (cty_to_string r)
+        (String.concat "," (List.map cty_to_string args))
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Band
+  | Bor
+  | Bxor
+  | Bshl
+  | Bshr
+  | Beq
+  | Bne
+  | Blt
+  | Bgt
+  | Ble
+  | Bge
+  | Bland (* && *)
+  | Blor (* || *)
+
+type unop = Uneg | Unot (* ! *) | Ubnot (* ~ *)
+
+type expr = { desc : expr_desc; eline : int }
+
+and expr_desc =
+  | Eint of int64
+  | Efloat of float
+  | Estr of string
+  | Echar of char
+  | Eident of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eassign of expr * expr (* lvalue = rvalue *)
+  | Eopassign of binop * expr * expr (* lvalue op= rvalue *)
+  | Ecall of expr * expr list
+  | Eindex of expr * expr (* a[i] *)
+  | Efield of expr * string (* s.f *)
+  | Earrow of expr * string (* p->f *)
+  | Ederef of expr (* *p *)
+  | Eaddr of expr (* &lv *)
+  | Ecast of cty * expr
+  | Esizeof of cty
+  | Econd of expr * expr * expr (* ?: *)
+  | Epreincr of int * expr (* ++x / --x: delta is +1/-1 *)
+  | Epostincr of int * expr (* x++ / x-- *)
+
+type stmt = { sdesc : stmt_desc; sline : int }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of cty * string * expr option
+  | Sblock of stmt list
+  | Sseq of stmt list (* like Sblock but introduces no scope *)
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sswitch of expr * (int64 option * stmt list) list
+    (* cases in order; None = default; fallthrough preserved *)
+
+type init =
+  | Iexpr of expr
+  | Ilist of init list (* brace initializer *)
+
+type decl =
+  | Dstruct of string * (cty * string) list
+  | Dtypedef of string * cty
+  | Denum of (string * int64) list
+  | Dglobal of cty * string * init option
+  | Dfunc of cty * string * (cty * string) list * stmt list
+
+type program = decl list

@@ -1,0 +1,1 @@
+lib/sparclite/compile.ml: Array Buffer Codegen Eval Hashtbl Int64 Ir List Llva Printf Sparc Target Types Vmem

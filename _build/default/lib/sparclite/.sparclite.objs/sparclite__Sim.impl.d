@@ -1,0 +1,1 @@
+lib/sparclite/sim.ml: Array Compile Eval Float Hashtbl Int32 Int64 Ir List Llva Sparc Types Vmem

@@ -1,0 +1,1 @@
+lib/sparclite/sparc.ml: Int64 Llva Printf

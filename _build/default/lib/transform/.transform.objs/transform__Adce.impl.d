@@ -1,0 +1,1 @@
+lib/transform/adce.ml: Array Hashtbl Ir List Llva Queue

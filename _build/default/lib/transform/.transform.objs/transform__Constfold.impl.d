@@ -1,0 +1,1 @@
+lib/transform/constfold.ml: Array Eval Int64 Ir Llva Option Types

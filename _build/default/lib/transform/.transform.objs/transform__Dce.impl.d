@@ -1,0 +1,1 @@
+lib/transform/dce.ml: Ir List Llva

@@ -1,0 +1,1 @@
+lib/transform/deadargelim.ml: Analysis Array Ir List Llva

@@ -1,0 +1,1 @@
+lib/transform/globaldce.ml: Analysis Array Hashtbl Ir List Llva

@@ -1,0 +1,1 @@
+lib/transform/gvn.ml: Analysis Array Ir List Llva Pretty Printf String Types Vmem

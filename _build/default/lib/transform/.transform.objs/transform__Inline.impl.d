@@ -1,0 +1,1 @@
+lib/transform/inline.ml: Analysis Array Hashtbl Ir List Llva Option Types

@@ -1,0 +1,1 @@
+lib/transform/instcombine.ml: Array Constfold Int64 Ir List Llva Types

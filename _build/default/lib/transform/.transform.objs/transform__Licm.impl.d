@@ -1,0 +1,1 @@
+lib/transform/licm.ml: Analysis Array Ir Lazy List Llva Option Types Vmem

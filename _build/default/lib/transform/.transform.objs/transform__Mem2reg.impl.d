@@ -1,0 +1,1 @@
+lib/transform/mem2reg.ml: Analysis Array Hashtbl Ir List Llva Queue Types

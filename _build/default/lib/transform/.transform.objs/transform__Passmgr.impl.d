@@ -1,0 +1,1 @@
+lib/transform/passmgr.ml: Adce Dce Deadargelim Globaldce Gvn Inline Instcombine Ir Licm List Llva Mem2reg Printf Sccp Simplifycfg String Verify

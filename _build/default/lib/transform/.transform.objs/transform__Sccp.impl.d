@@ -1,0 +1,1 @@
+lib/transform/sccp.ml: Array Constfold Eval Hashtbl Int64 Ir List Llva Option Queue Types

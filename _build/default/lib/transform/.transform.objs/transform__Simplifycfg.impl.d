@@ -1,0 +1,1 @@
+lib/transform/simplifycfg.ml: Analysis Array Constfold Ir List Llva Types

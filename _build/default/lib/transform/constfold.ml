@@ -1,0 +1,89 @@
+(* Constant folding of individual instructions, shared by SCCP, GVN and
+   instcombine. Folding never changes observable behaviour: operations
+   that could trap at runtime (div/rem by zero) are left alone. *)
+
+open Llva
+
+let scalar_of_const (c : Ir.const) : Eval.scalar option =
+  match c.Ir.ckind with
+  | Ir.Cbool b -> Some (Eval.B b)
+  | Ir.Cint v -> Some (Eval.I (c.Ir.cty, v))
+  | Ir.Cfloat v -> Some (Eval.F (c.Ir.cty, Eval.round_float c.Ir.cty v))
+  | Ir.Cnull -> Some (Eval.P 0L)
+  | Ir.Czero -> (
+      match c.Ir.cty with
+      | Types.Bool -> Some (Eval.B false)
+      | t when Types.is_integer t -> Some (Eval.I (t, 0L))
+      | t when Types.is_fp t -> Some (Eval.F (t, 0.0))
+      | Types.Pointer _ -> Some (Eval.P 0L)
+      | _ -> None)
+  | _ -> None
+
+let const_of_scalar ty (s : Eval.scalar) : Ir.value option =
+  match s with
+  | Eval.B b -> Some (Ir.const_bool b)
+  | Eval.I (_, v) -> Some (Ir.const_int ty v)
+  | Eval.F (_, v) -> Some (Ir.const_float ty v)
+  | Eval.P 0L -> Some (Ir.const_null ty)
+  | Eval.P _ -> None (* cannot name an arbitrary address statically *)
+  | Eval.Undef _ -> Some (Ir.undef ty)
+
+let operand_scalar (v : Ir.value) : Eval.scalar option =
+  match v with
+  | Ir.Const c -> scalar_of_const c
+  | Ir.Vundef ty -> Some (Eval.Undef ty)
+  | _ -> None
+
+(* Try to fold [i] to a constant value. *)
+let fold_instr (i : Ir.instr) : Ir.value option =
+  let all_const =
+    Array.for_all
+      (fun v -> match operand_scalar v with Some _ -> true | None -> false)
+      i.Ir.operands
+  in
+  if not all_const then None
+  else
+    let s k = Option.get (operand_scalar i.Ir.operands.(k)) in
+    match i.Ir.op with
+    | Ir.Binop op -> (
+        match Eval.binop op (s 0) (s 1) with
+        | result -> const_of_scalar i.Ir.ity result
+        | exception Eval.Division_by_zero -> None (* preserve the trap *)
+        | exception Invalid_argument _ -> None)
+    | Ir.Setcc c -> (
+        match
+          Eval.compare_scalars (Ir.type_of_value i.Ir.operands.(0)) c (s 0) (s 1)
+        with
+        | result -> const_of_scalar i.Ir.ity result
+        | exception Invalid_argument _ -> None)
+    | Ir.Cast -> (
+        let src_ty = Ir.type_of_value i.Ir.operands.(0) in
+        match Eval.cast ~src_ty ~dst_ty:i.Ir.ity (s 0) with
+        | result -> const_of_scalar i.Ir.ity result
+        | exception Invalid_argument _ -> None)
+    | _ -> None
+
+(* The branch target a constant-condition terminator will take, if
+   statically known. *)
+let fold_terminator (i : Ir.instr) : Ir.block option =
+  match i.Ir.op with
+  | Ir.Br when Array.length i.Ir.operands = 3 -> (
+      match operand_scalar i.Ir.operands.(0) with
+      | Some (Eval.B true) -> Some (Ir.block_of_value i.Ir.operands.(1))
+      | Some (Eval.B false) -> Some (Ir.block_of_value i.Ir.operands.(2))
+      | _ -> None)
+  | Ir.Mbr -> (
+      match operand_scalar i.Ir.operands.(0) with
+      | Some (Eval.I (_, sel)) ->
+          let rec find k =
+            if k + 1 >= Array.length i.Ir.operands then
+              Some (Ir.block_of_value i.Ir.operands.(1))
+            else
+              match i.Ir.operands.(k) with
+              | Ir.Const { ckind = Ir.Cint c; _ } when Int64.equal c sel ->
+                  Some (Ir.block_of_value i.Ir.operands.(k + 1))
+              | _ -> find (k + 2)
+          in
+          find 2
+      | _ -> None)
+  | _ -> None

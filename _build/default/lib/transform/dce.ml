@@ -1,0 +1,39 @@
+(* Dead code elimination: delete instructions with no uses and no side
+   effects, iterating to a fixpoint (deleting one instruction can make its
+   operands dead). Returns the number of instructions removed. *)
+
+open Llva
+
+let has_side_effects (i : Ir.instr) =
+  match i.Ir.op with
+  | Ir.Store | Ir.Call | Ir.Invoke | Ir.Ret | Ir.Br | Ir.Mbr | Ir.Unwind ->
+      true
+  | Ir.Load | Ir.Binop Ir.Div | Ir.Binop Ir.Rem ->
+      (* may trap when exceptions are enabled *)
+      i.Ir.exceptions_enabled
+  | Ir.Alloca -> false (* an unused alloca is just dead stack space *)
+  | _ -> false
+
+let is_trivially_dead (i : Ir.instr) =
+  i.Ir.iuses = [] && not (has_side_effects i)
+
+let run_function (f : Ir.func) : int =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Ir.block) ->
+        let dead = List.filter is_trivially_dead b.Ir.instrs in
+        List.iter
+          (fun i ->
+            Ir.remove_instr i;
+            incr removed;
+            changed := true)
+          dead)
+      f.Ir.fblocks
+  done;
+  !removed
+
+let run_module (m : Ir.modl) : int =
+  List.fold_left (fun n f -> n + run_function f) 0 m.Ir.funcs

@@ -1,0 +1,68 @@
+(* Dead-argument elimination: a link-time interprocedural transformation
+   (paper §4.2 — link time is "the first time that most or all modules of
+   an application are simultaneously available"). For every function whose
+   call sites are all visible (not address-taken, not varargs), arguments
+   that no instruction reads are removed from the signature and from every
+   call site, shrinking both codegen work and call overhead. *)
+
+open Llva
+
+let run_module (m : Ir.modl) : int =
+  let cg = Analysis.Callgraph.compute m in
+  let removed = ref 0 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if
+        (not (Ir.is_declaration f))
+        && (not f.Ir.fvarargs)
+        && (not (Analysis.Callgraph.is_address_taken cg f))
+        && f.Ir.fname <> "main"
+      then begin
+        let dead_indices =
+          List.filteri (fun _ (a : Ir.arg) -> a.Ir.auses = []) f.Ir.fargs
+          |> List.map (fun (a : Ir.arg) ->
+                 let rec idx k = function
+                   | [] -> -1
+                   | x :: _ when x == a -> k
+                   | _ :: rest -> idx (k + 1) rest
+                 in
+                 idx 0 f.Ir.fargs)
+        in
+        if dead_indices <> [] then begin
+          (* every direct caller drops the operand; callers are complete
+             because the function's address never escapes *)
+          let callers = Analysis.Callgraph.callers cg f in
+          let call_sites =
+            List.concat_map
+              (fun (caller : Ir.func) ->
+                Ir.fold_instrs
+                  (fun acc i ->
+                    match i.Ir.op with
+                    | Ir.Call | Ir.Invoke -> (
+                        match Ir.call_callee i with
+                        | Ir.Vfunc g when g == f -> i :: acc
+                        | _ -> acc)
+                    | _ -> acc)
+                  [] caller)
+              callers
+          in
+          let arg_base (i : Ir.instr) = if i.Ir.op = Ir.Call then 1 else 3 in
+          List.iter
+            (fun (site : Ir.instr) ->
+              let base = arg_base site in
+              let keep =
+                Array.to_list site.Ir.operands
+                |> List.filteri (fun k _ ->
+                       k < base || not (List.mem (k - base) dead_indices))
+              in
+              Ir.unregister_operand_uses site;
+              site.Ir.operands <- Array.of_list keep;
+              Ir.register_operand_uses site)
+            call_sites;
+          f.Ir.fargs <-
+            List.filteri (fun k _ -> not (List.mem k dead_indices)) f.Ir.fargs;
+          removed := !removed + List.length dead_indices
+        end
+      end)
+    m.Ir.funcs;
+  !removed

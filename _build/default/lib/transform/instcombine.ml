@@ -1,0 +1,174 @@
+(* Peephole algebraic simplification. Each rule either folds the
+   instruction to an existing value (RAUW + delete) or rewrites it in
+   place to a cheaper form. Applied to a fixpoint per function. *)
+
+open Llva
+
+let is_zero = function
+  | Ir.Const { ckind = Ir.Cint 0L; _ } -> true
+  | Ir.Const { ckind = Ir.Cfloat v; _ } -> v = 0.0
+  | Ir.Const { ckind = Ir.Cbool false; _ } -> true
+  | _ -> false
+
+let is_one = function
+  | Ir.Const { ckind = Ir.Cint 1L; _ } -> true
+  | Ir.Const { ckind = Ir.Cfloat v; _ } -> v = 1.0
+  | _ -> false
+
+let is_all_ones ty = function
+  | Ir.Const { ckind = Ir.Cint v; _ } ->
+      Types.is_integer ty && Int64.equal v (Ir.normalize_int ty (-1L))
+  | Ir.Const { ckind = Ir.Cbool true; _ } -> true
+  | _ -> false
+
+let int_const = function
+  | Ir.Const { ckind = Ir.Cint v; _ } -> Some v
+  | _ -> None
+
+(* power of two -> shift amount *)
+let log2_exact (v : int64) =
+  if Int64.compare v 0L <= 0 then None
+  else
+    let rec go k =
+      let p = Int64.shift_left 1L k in
+      if Int64.equal p v then Some k
+      else if Int64.unsigned_compare p v > 0 || k >= 63 then None
+      else go (k + 1)
+    in
+    go 0
+
+type action = Replace of Ir.value | Rewrite | Nothing
+
+let simplify (i : Ir.instr) : action =
+  let x () = i.Ir.operands.(0) and y () = i.Ir.operands.(1) in
+  let ty = i.Ir.ity in
+  let int_ty = Types.is_integer ty in
+  match i.Ir.op with
+  | Ir.Binop Ir.Add ->
+      if int_ty && is_zero (y ()) then Replace (x ())
+      else if int_ty && is_zero (x ()) then Replace (y ())
+      else Nothing
+  | Ir.Binop Ir.Sub ->
+      if int_ty && is_zero (y ()) then Replace (x ())
+      else if int_ty && Ir.value_equal (x ()) (y ()) then
+        Replace (Ir.const_int ty 0L)
+      else Nothing
+  | Ir.Binop Ir.Mul -> (
+      if not int_ty then Nothing
+      else if is_one (y ()) then Replace (x ())
+      else if is_one (x ()) then Replace (y ())
+      else if is_zero (y ()) || is_zero (x ()) then Replace (Ir.const_int ty 0L)
+      else
+        (* x * 2^k -> shl x, k *)
+        match int_const (y ()) with
+        | Some v -> (
+            match log2_exact v with
+            | Some k ->
+                i.Ir.op <- Ir.Binop Ir.Shl;
+                Ir.set_operand i 1 (Ir.const_int Types.Ubyte (Int64.of_int k));
+                Rewrite
+            | None -> Nothing)
+        | None -> Nothing)
+  | Ir.Binop Ir.Div -> (
+      if int_ty && is_one (y ()) then Replace (x ())
+      else
+        (* unsigned x / 2^k -> shr x, k *)
+        match (Types.is_unsigned ty, int_const (y ())) with
+        | true, Some v -> (
+            match log2_exact v with
+            | Some k when k > 0 ->
+                i.Ir.op <- Ir.Binop Ir.Shr;
+                i.Ir.exceptions_enabled <-
+                  Ir.default_exceptions_enabled (Ir.Binop Ir.Shr);
+                Ir.set_operand i 1 (Ir.const_int Types.Ubyte (Int64.of_int k));
+                Rewrite
+            | _ -> Nothing)
+        | _ -> Nothing)
+  | Ir.Binop Ir.Rem -> (
+      (* unsigned x % 2^k -> and x, 2^k-1 *)
+      match (Types.is_unsigned ty, int_const (y ())) with
+      | true, Some v -> (
+          match log2_exact v with
+          | Some _ ->
+              i.Ir.op <- Ir.Binop Ir.And;
+              i.Ir.exceptions_enabled <-
+                Ir.default_exceptions_enabled (Ir.Binop Ir.And);
+              Ir.set_operand i 1 (Ir.const_int ty (Int64.sub v 1L));
+              Rewrite
+          | None -> Nothing)
+      | _ -> Nothing)
+  | Ir.Binop Ir.And ->
+      if is_zero (y ()) || is_zero (x ()) then
+        Replace (if Types.equal ty Types.Bool then Ir.const_bool false
+                 else Ir.const_int ty 0L)
+      else if is_all_ones ty (y ()) then Replace (x ())
+      else if is_all_ones ty (x ()) then Replace (y ())
+      else if Ir.value_equal (x ()) (y ()) then Replace (x ())
+      else Nothing
+  | Ir.Binop Ir.Or ->
+      if is_zero (y ()) then Replace (x ())
+      else if is_zero (x ()) then Replace (y ())
+      else if Ir.value_equal (x ()) (y ()) then Replace (x ())
+      else Nothing
+  | Ir.Binop Ir.Xor ->
+      if is_zero (y ()) then Replace (x ())
+      else if is_zero (x ()) then Replace (y ())
+      else if Ir.value_equal (x ()) (y ()) then
+        Replace
+          (if Types.equal ty Types.Bool then Ir.const_bool false
+           else Ir.const_int ty 0L)
+      else Nothing
+  | Ir.Binop Ir.Shl | Ir.Binop Ir.Shr ->
+      if is_zero (y ()) then Replace (x ()) else Nothing
+  | Ir.Setcc c ->
+      (* x cmp x folds for integer/pointer operands *)
+      if
+        Ir.value_equal (x ()) (y ())
+        && not (Types.is_fp (Ir.type_of_value (x ())))
+      then
+        Replace
+          (Ir.const_bool (match c with Ir.Eq | Ir.Le | Ir.Ge -> true | _ -> false))
+      else Nothing
+  | Ir.Cast ->
+      (* cast to the identical type is a no-op *)
+      if Types.equal (Ir.type_of_value (x ())) i.Ir.ity then Replace (x ())
+      else Nothing
+  | _ -> Nothing
+
+let run_function (f : Ir.func) : int =
+  if Ir.is_declaration f then 0
+  else begin
+    let applied = ref 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              (* constant folding first *)
+              match Constfold.fold_instr i with
+              | Some c ->
+                  Ir.replace_all_uses_with (Ir.Vreg i) c;
+                  Ir.remove_instr i;
+                  incr applied;
+                  changed := true
+              | None -> (
+                  match simplify i with
+                  | Replace v ->
+                      Ir.replace_all_uses_with (Ir.Vreg i) v;
+                      Ir.remove_instr i;
+                      incr applied;
+                      changed := true
+                  | Rewrite ->
+                      incr applied;
+                      changed := true
+                  | Nothing -> ()))
+            (List.filter (fun _ -> true) b.Ir.instrs))
+        f.Ir.fblocks
+    done;
+    !applied
+  end
+
+let run_module (m : Ir.modl) : int =
+  List.fold_left (fun n f -> n + run_function f) 0 m.Ir.funcs

@@ -1,0 +1,159 @@
+(* Loop-invariant code motion: hoist computations whose operands are
+   defined outside the loop into the loop preheader (creating one when
+   necessary). Only instructions that cannot observably trap are hoisted —
+   an instruction with ExceptionsEnabled may only be hoisted if it is
+   guaranteed to execute on every iteration, which we approximate by
+   requiring it to be in a block that dominates every latch. Loads are
+   hoisted when no instruction in the loop may write the location. *)
+
+open Llva
+
+let mk_preheader (f : Ir.func) (l : Analysis.Loops.loop) : Ir.block =
+  match Analysis.Loops.preheader l with
+  | Some p -> p
+  | None ->
+      let header = l.Analysis.Loops.header in
+      let outside =
+        List.filter
+          (fun p -> not (Analysis.Loops.in_loop l p))
+          (Ir.predecessors header)
+      in
+      let ph = Ir.mk_block ~name:(header.Ir.bname ^ ".preheader") () in
+      (* insert before the header in the block list *)
+      let rec insert = function
+        | [] -> [ ph ]
+        | b :: rest when b == header -> ph :: b :: rest
+        | b :: rest -> b :: insert rest
+      in
+      ph.Ir.bparent <- Some f;
+      f.Ir.fblocks <- insert f.Ir.fblocks;
+      Ir.append_instr ph (Ir.mk_instr Ir.Br [| Ir.Vblock header |] Types.Void);
+      (* retarget outside predecessors to the preheader *)
+      List.iter
+        (fun (p : Ir.block) ->
+          match Ir.terminator p with
+          | Some t ->
+              Array.iteri
+                (fun k v ->
+                  match v with
+                  | Ir.Vblock x when x == header ->
+                      Ir.set_operand t k (Ir.Vblock ph)
+                  | _ -> ())
+                t.Ir.operands
+          | None -> ())
+        outside;
+      (* split header phis: entries from outside move to a new phi in the
+         preheader... with a single outside pred the entry just retargets *)
+      List.iter
+        (fun phi ->
+          let inside, outside_pairs =
+            List.partition
+              (fun (_, pred) -> Analysis.Loops.in_loop l pred)
+              (Ir.phi_incoming phi)
+          in
+          match outside_pairs with
+          | [] -> ()
+          | [ (v, _) ] -> Ir.phi_set_incoming phi (inside @ [ (v, ph) ])
+          | pairs ->
+              (* multiple outside predecessors: merge them with a phi in
+                 the preheader *)
+              let merged =
+                Ir.mk_instr ~name:(phi.Ir.iname ^ ".ph") Ir.Phi
+                  (Array.of_list
+                     (List.concat_map
+                        (fun (v, p) -> [ v; Ir.Vblock p ])
+                        pairs))
+                  phi.Ir.ity
+              in
+              Ir.prepend_instr ph merged;
+              Ir.phi_set_incoming phi (inside @ [ (Ir.Vreg merged, ph) ]))
+        (Ir.block_phis header);
+      ph
+
+let run_function ~(lt : Vmem.Layout.t) (f : Ir.func) : int =
+  if Ir.is_declaration f then 0
+  else begin
+    let cfg = Analysis.Cfg.build f in
+    let dom = Analysis.Dominance.compute cfg in
+    let loops = Analysis.Loops.compute cfg dom in
+    let hoisted = ref 0 in
+    List.iter
+      (fun (l : Analysis.Loops.loop) ->
+        let in_loop_instr (i : Ir.instr) =
+          match i.Ir.iparent with
+          | Some b -> Analysis.Loops.in_loop l b
+          | None -> false
+        in
+        let invariant_value (v : Ir.value) =
+          match v with
+          | Ir.Vreg i -> not (in_loop_instr i)
+          | _ -> true
+        in
+        let loop_may_write addr =
+          List.exists
+            (fun (b : Ir.block) ->
+              List.exists
+                (fun (i : Ir.instr) ->
+                  Analysis.Alias.instr_may_write_to lt i addr)
+                b.Ir.instrs)
+            l.Analysis.Loops.body
+        in
+        (* blocks with a successor outside the loop *)
+        let exiting =
+          List.filter
+            (fun (b : Ir.block) ->
+              List.exists
+                (fun s -> not (Analysis.Loops.in_loop l s))
+                (Ir.successors b))
+            l.Analysis.Loops.body
+        in
+        (* "guaranteed to execute": any complete iteration and any exit
+           passes through [b] *)
+        let dominates_all_latches (b : Ir.block) =
+          List.for_all
+            (fun latch -> Analysis.Dominance.dominates dom b latch)
+            l.Analysis.Loops.latches
+          && List.for_all
+               (fun e -> Analysis.Dominance.dominates dom b e)
+               exiting
+        in
+        let ph = lazy (mk_preheader f l) in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          List.iter
+            (fun (b : Ir.block) ->
+              List.iter
+                (fun (i : Ir.instr) ->
+                  let hoistable =
+                    match i.Ir.op with
+                    | Ir.Binop _ | Ir.Setcc _ | Ir.Cast | Ir.Getelementptr ->
+                        Array.for_all invariant_value i.Ir.operands
+                        && ((not i.Ir.exceptions_enabled)
+                           || dominates_all_latches b)
+                    | Ir.Load ->
+                        Array.for_all invariant_value i.Ir.operands
+                        && dominates_all_latches b
+                        && not (loop_may_write i.Ir.operands.(0))
+                    | _ -> false
+                  in
+                  if hoistable then begin
+                    let ph = Lazy.force ph in
+                    Ir.remove_instr i;
+                    (* re-register: remove_instr dropped operand uses *)
+                    Ir.register_operand_uses i;
+                    let term = Option.get (Ir.terminator ph) in
+                    Ir.insert_before ph ~before:term i;
+                    incr hoisted;
+                    changed := true
+                  end)
+                (List.filter (fun _ -> true) b.Ir.instrs))
+            l.Analysis.Loops.body
+        done)
+      loops.Analysis.Loops.loops;
+    !hoisted
+  end
+
+let run_module (m : Ir.modl) : int =
+  let lt = Vmem.Layout.for_module m in
+  List.fold_left (fun n f -> n + run_function ~lt f) 0 m.Ir.funcs

@@ -1,0 +1,111 @@
+(* Pass manager: a registry of named module passes and standard pipelines
+   mirroring the paper's compile/link-time optimization levels (§4.2).
+   Each pass returns the number of changes it made; pipelines can re-run
+   to a fixpoint and optionally verify the module between passes. *)
+
+open Llva
+
+type pass = { name : string; description : string; run : Ir.modl -> int }
+
+let all_passes : pass list =
+  [
+    {
+      name = "mem2reg";
+      description = "promote scalar allocas to SSA registers";
+      run = Mem2reg.run_module;
+    };
+    {
+      name = "instcombine";
+      description = "constant folding and algebraic simplification";
+      run = Instcombine.run_module;
+    };
+    {
+      name = "sccp";
+      description = "sparse conditional constant propagation";
+      run = Sccp.run_module;
+    };
+    {
+      name = "gvn";
+      description = "value numbering + redundant load elimination";
+      run = Gvn.run_module;
+    };
+    {
+      name = "licm";
+      description = "loop-invariant code motion";
+      run = Licm.run_module;
+    };
+    {
+      name = "dce";
+      description = "trivially dead instruction elimination";
+      run = Dce.run_module;
+    };
+    {
+      name = "adce";
+      description = "aggressive dead code elimination";
+      run = Adce.run_module;
+    };
+    {
+      name = "simplifycfg";
+      description = "CFG cleanup: fold branches, merge blocks";
+      run = Simplifycfg.run_module;
+    };
+    {
+      name = "deadargelim";
+      description = "remove unused function arguments at link time";
+      run = Deadargelim.run_module;
+    };
+    {
+      name = "inline";
+      description = "inline small non-recursive functions";
+      run = (fun m -> Inline.run_module m);
+    };
+    {
+      name = "globaldce";
+      description = "remove unreachable functions and globals";
+      run = (fun m -> Globaldce.run_module m);
+    };
+  ]
+
+let find name = List.find_opt (fun p -> p.name = name) all_passes
+
+exception Unknown_pass of string
+
+let run_pass ?(verify = false) (m : Ir.modl) name : int =
+  match find name with
+  | None -> raise (Unknown_pass name)
+  | Some p ->
+      let n = p.run m in
+      if verify then begin
+        match Verify.verify_module m with
+        | [] -> ()
+        | errs ->
+            failwith
+              (Printf.sprintf "pass %s broke the module: %s" name
+                 (String.concat "; " errs))
+      end;
+      n
+
+let run_pipeline ?(verify = false) (m : Ir.modl) names : int =
+  List.fold_left (fun acc name -> acc + run_pass ~verify m name) 0 names
+
+(* The standard optimization levels. O1 is the per-module "compile-time"
+   pipeline; O2 adds the link-time interprocedural passes and iterates. *)
+let o1_pipeline =
+  [ "simplifycfg"; "mem2reg"; "instcombine"; "sccp"; "simplifycfg"; "gvn";
+    "adce"; "simplifycfg" ]
+
+let o2_pipeline =
+  o1_pipeline
+  @ [ "inline"; "deadargelim"; "simplifycfg"; "mem2reg"; "instcombine";
+      "sccp"; "simplifycfg"; "gvn"; "licm"; "adce"; "simplifycfg";
+      "globaldce" ]
+
+let optimize ?(level = 2) ?(verify = false) (m : Ir.modl) : int =
+  match level with
+  | 0 -> 0
+  | 1 -> run_pipeline ~verify m o1_pipeline
+  | _ ->
+      let n1 = run_pipeline ~verify m o2_pipeline in
+      (* a second iteration catches opportunities exposed by inlining *)
+      let n2 = run_pipeline ~verify m o1_pipeline in
+      n1 + n2

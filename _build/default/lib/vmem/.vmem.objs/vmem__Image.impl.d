@@ -1,0 +1,1 @@
+lib/vmem/image.ml: Char Eval Hashtbl Int64 Ir Layout List Llva Memory String Types

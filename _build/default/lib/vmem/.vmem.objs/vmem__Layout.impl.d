@@ -1,0 +1,1 @@
+lib/vmem/layout.ml: Int64 Ir List Llva Target Types

@@ -1,0 +1,1 @@
+lib/vmem/memory.ml: Bytes Char Eval Hashtbl Int32 Int64 Ir List Llva Target Types

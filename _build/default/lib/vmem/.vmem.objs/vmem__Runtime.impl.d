@@ -1,0 +1,1 @@
+lib/vmem/runtime.ml: Buffer Char Eval Int64 List Llva Memory Printf String Types

@@ -1,0 +1,85 @@
+(* Data layout: how LLVA types map onto bytes for a concrete target
+   configuration. This is exactly the knowledge the paper keeps out of the
+   V-ISA (§3.2): getelementptr offsets, struct padding, pointer size and
+   endianness are all computed here, per target. *)
+
+open Llva
+
+type t = { target : Target.config; env : Types.env }
+
+let create ?(env = Types.empty_env ()) target = { target; env }
+let for_module (m : Ir.modl) = { target = m.Ir.target; env = Ir.type_env m }
+
+let rec align_of lt ty =
+  match Types.resolve lt.env ty with
+  | Types.Void | Types.Label -> 1
+  | Types.Bool | Types.Ubyte | Types.Sbyte -> 1
+  | Types.Ushort | Types.Short -> 2
+  | Types.Uint | Types.Int | Types.Float -> 4
+  | Types.Ulong | Types.Long | Types.Double -> 8
+  | Types.Pointer _ -> lt.target.Target.ptr_size
+  | Types.Array (_, elem) -> align_of lt elem
+  | Types.Struct fields ->
+      List.fold_left (fun a f -> max a (align_of lt f)) 1 fields
+  | Types.Func _ -> lt.target.Target.ptr_size
+  | Types.Named _ -> assert false
+
+let round_up v a = (v + a - 1) / a * a
+
+let rec size_of lt ty =
+  match Types.resolve lt.env ty with
+  | Types.Void | Types.Label -> 0
+  | Types.Bool | Types.Ubyte | Types.Sbyte -> 1
+  | Types.Ushort | Types.Short -> 2
+  | Types.Uint | Types.Int | Types.Float -> 4
+  | Types.Ulong | Types.Long | Types.Double -> 8
+  | Types.Pointer _ -> lt.target.Target.ptr_size
+  | Types.Array (n, elem) -> n * size_of lt elem
+  | Types.Struct fields ->
+      let off =
+        List.fold_left
+          (fun off f -> round_up off (align_of lt f) + size_of lt f)
+          0 fields
+      in
+      round_up off (align_of lt (Types.Struct fields))
+  | Types.Func _ -> lt.target.Target.ptr_size
+  | Types.Named _ -> assert false
+
+(* Byte offset of field [k] within a struct type. *)
+let field_offset lt fields k =
+  let rec go off idx = function
+    | [] -> invalid_arg "Layout.field_offset: index out of range"
+    | f :: rest ->
+        let off = round_up off (align_of lt f) in
+        if idx = k then off else go (off + size_of lt f) (idx + 1) rest
+  in
+  go 0 0 fields
+
+(* The byte offset a getelementptr adds, given the pointer operand type and
+   the index list as (type, int64) pairs. Returns the offset and the
+   pointee type of the result. *)
+let gep_offset lt ptr_ty indexes =
+  let elem = Types.pointee lt.env ptr_ty in
+  match indexes with
+  | [] -> (0, elem)
+  | (_, first) :: rest ->
+      let off0 = Int64.to_int first * size_of lt elem in
+      let rec walk off ty = function
+        | [] -> (off, ty)
+        | (_, idx) :: rest -> (
+            match Types.resolve lt.env ty with
+            | Types.Array (_, e) ->
+                walk (off + (Int64.to_int idx * size_of lt e)) e rest
+            | Types.Struct fields ->
+                let k = Int64.to_int idx in
+                let fty =
+                  match List.nth_opt fields k with
+                  | Some f -> f
+                  | None -> invalid_arg "Layout.gep_offset: bad field index"
+                in
+                walk (off + field_offset lt fields k) fty rest
+            | t ->
+                invalid_arg
+                  ("Layout.gep_offset: cannot index into " ^ Types.to_string t))
+      in
+      walk off0 elem rest

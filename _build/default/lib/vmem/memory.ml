@@ -1,0 +1,198 @@
+(* Paged, byte-addressable virtual memory for the LLVA interpreter and the
+   hardware simulators. Accesses to unmapped addresses (including the null
+   page) raise [Fault], which the execution engines turn into the precise
+   memory exceptions of paper §3.3. *)
+
+open Llva
+
+exception Fault of int64 (* faulting address *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  target : Target.config;
+  mutable brk : int64; (* first unused heap address *)
+  mutable free_lists : (int * int64 list) list; (* size-class allocator *)
+  mutable allocated : (int64, int) Hashtbl.t; (* live malloc blocks: addr -> size *)
+}
+
+(* Address-space map (identical on every target; the 32-bit configurations
+   simply never grow past 4 GiB in practice):
+   0x0000_0000 .. 0x0000_0FFF  null page, always faults
+   0x0000_1000 .. globals/code
+   heap: grows upward from [heap_base]
+   stack: grows downward from [stack_top] *)
+let globals_base = 0x1000L
+let heap_base = 0x0100_0000L
+let stack_top = 0x0F00_0000L
+
+let create target =
+  {
+    pages = Hashtbl.create 256;
+    target;
+    brk = heap_base;
+    free_lists = [];
+    allocated = Hashtbl.create 64;
+  }
+
+let page_of mem addr =
+  let a = Int64.to_int addr in
+  if Int64.compare addr 0x1000L < 0 || Int64.compare addr 0L < 0 then
+    raise (Fault addr);
+  let idx = a lsr page_bits in
+  match Hashtbl.find_opt mem.pages idx with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace mem.pages idx p;
+      p
+
+let read_u8 mem addr =
+  let p = page_of mem addr in
+  Char.code (Bytes.get p (Int64.to_int addr land (page_size - 1)))
+
+let write_u8 mem addr v =
+  let p = page_of mem addr in
+  Bytes.set p (Int64.to_int addr land (page_size - 1)) (Char.chr (v land 0xFF))
+
+let read_bytes mem addr n =
+  let b = Bytes.create n in
+  for k = 0 to n - 1 do
+    Bytes.set b k (Char.chr (read_u8 mem (Int64.add addr (Int64.of_int k))))
+  done;
+  b
+
+let write_bytes mem addr b =
+  Bytes.iteri
+    (fun k c -> write_u8 mem (Int64.add addr (Int64.of_int k)) (Char.code c))
+    b
+
+(* Multi-byte accesses honour the target's endianness. *)
+let read_uint mem addr n =
+  let v = ref 0L in
+  (match mem.target.Target.endian with
+  | Target.Little ->
+      for k = n - 1 downto 0 do
+        v :=
+          Int64.logor
+            (Int64.shift_left !v 8)
+            (Int64.of_int (read_u8 mem (Int64.add addr (Int64.of_int k))))
+      done
+  | Target.Big ->
+      for k = 0 to n - 1 do
+        v :=
+          Int64.logor
+            (Int64.shift_left !v 8)
+            (Int64.of_int (read_u8 mem (Int64.add addr (Int64.of_int k))))
+      done);
+  !v
+
+let write_uint mem addr n value =
+  match mem.target.Target.endian with
+  | Target.Little ->
+      for k = 0 to n - 1 do
+        write_u8 mem
+          (Int64.add addr (Int64.of_int k))
+          (Int64.to_int (Int64.logand (Int64.shift_right_logical value (8 * k)) 0xFFL))
+      done
+  | Target.Big ->
+      for k = 0 to n - 1 do
+        write_u8 mem
+          (Int64.add addr (Int64.of_int k))
+          (Int64.to_int
+             (Int64.logand (Int64.shift_right_logical value (8 * (n - 1 - k))) 0xFFL))
+      done
+
+(* ---------- typed scalar access ---------- *)
+
+let read_scalar mem ty addr : Eval.scalar =
+  match ty with
+  | Types.Bool -> Eval.B (read_u8 mem addr <> 0)
+  | Types.Ubyte | Types.Sbyte | Types.Ushort | Types.Short | Types.Uint
+  | Types.Int | Types.Ulong | Types.Long ->
+      let n = Types.scalar_bytes mem.target ty in
+      let raw = read_uint mem addr n in
+      Eval.I (ty, Ir.normalize_int ty raw)
+  | Types.Float ->
+      let raw = read_uint mem addr 4 in
+      Eval.F (ty, Int32.float_of_bits (Int64.to_int32 raw))
+  | Types.Double ->
+      let raw = read_uint mem addr 8 in
+      Eval.F (ty, Int64.float_of_bits raw)
+  | Types.Pointer _ ->
+      let raw = read_uint mem addr mem.target.Target.ptr_size in
+      Eval.P raw
+  | _ -> invalid_arg ("Memory.read_scalar: " ^ Types.to_string ty)
+
+let write_scalar mem ty addr (v : Eval.scalar) =
+  match ty with
+  | Types.Bool -> write_u8 mem addr (if Eval.to_bool v then 1 else 0)
+  | Types.Ubyte | Types.Sbyte | Types.Ushort | Types.Short | Types.Uint
+  | Types.Int | Types.Ulong | Types.Long ->
+      write_uint mem addr (Types.scalar_bytes mem.target ty) (Eval.to_int64 v)
+  | Types.Float ->
+      write_uint mem addr 4
+        (Int64.of_int32 (Int32.bits_of_float (Eval.to_float v)))
+  | Types.Double -> write_uint mem addr 8 (Int64.bits_of_float (Eval.to_float v))
+  | Types.Pointer _ ->
+      write_uint mem addr mem.target.Target.ptr_size (Eval.to_int64 v)
+  | _ -> invalid_arg ("Memory.write_scalar: " ^ Types.to_string ty)
+
+(* ---------- heap allocator (runtime malloc/free for workloads) ---------- *)
+
+let size_class n =
+  let rec go c = if c >= n then c else go (c * 2) in
+  go 16
+
+let malloc mem n =
+  if n < 0 then invalid_arg "Memory.malloc: negative size";
+  let cls = size_class (max n 1) in
+  let addr =
+    match List.assoc_opt cls mem.free_lists with
+    | Some (a :: rest) ->
+        mem.free_lists <-
+          (cls, rest) :: List.remove_assoc cls mem.free_lists;
+        a
+    | Some [] | None ->
+        let a = mem.brk in
+        mem.brk <- Int64.add mem.brk (Int64.of_int cls);
+        a
+  in
+  Hashtbl.replace mem.allocated addr cls;
+  (* zero the block so workloads see deterministic contents *)
+  for k = 0 to cls - 1 do
+    write_u8 mem (Int64.add addr (Int64.of_int k)) 0
+  done;
+  addr
+
+let free mem addr =
+  if Int64.equal addr 0L then ()
+  else
+    match Hashtbl.find_opt mem.allocated addr with
+    | None -> raise (Fault addr)
+    | Some cls ->
+        Hashtbl.remove mem.allocated addr;
+        let existing =
+          match List.assoc_opt cls mem.free_lists with Some l -> l | None -> []
+        in
+        mem.free_lists <-
+          (cls, addr :: existing) :: List.remove_assoc cls mem.free_lists
+
+let live_bytes mem =
+  Hashtbl.fold (fun _ size acc -> acc + size) mem.allocated 0
+
+(* ---------- bump allocation for images and stacks ---------- *)
+
+type cursor = { mutable next : int64 }
+
+let globals_cursor () = { next = globals_base }
+
+let bump cursor ~align n =
+  let a = Int64.of_int align in
+  let aligned =
+    Int64.mul (Int64.div (Int64.add cursor.next (Int64.sub a 1L)) a) a
+  in
+  cursor.next <- Int64.add aligned (Int64.of_int (max n 1));
+  aligned

@@ -1,0 +1,87 @@
+(* The minimal runtime every execution engine (interpreter and machine
+   simulators) provides to programs: heap allocation and console output.
+   Output is captured in a buffer so differential tests can compare the
+   interpreter against the simulated back-ends byte-for-byte. *)
+
+open Llva
+
+exception Exit_called of int
+
+type t = { mem : Memory.t; out : Buffer.t }
+
+let create mem = { mem; out = Buffer.create 256 }
+let output rt = Buffer.contents rt.out
+
+let read_cstring rt addr =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    let c = Memory.read_u8 rt.mem a in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr c);
+      go (Int64.add a 1L)
+    end
+  in
+  go addr;
+  Buffer.contents buf
+
+(* External function names the runtime implements. *)
+let known =
+  [
+    "malloc"; "free"; "print_int"; "print_long"; "print_char"; "print_float";
+    "print_str"; "print_nl"; "exit"; "abort"; "memcpy"; "memset"; "strlen";
+  ]
+
+let is_known name = List.mem name known
+
+(* Dispatch an external call. Arguments and result use [Eval.scalar]. *)
+let call rt name (args : Eval.scalar list) : Eval.scalar =
+  match (name, args) with
+  | "malloc", [ n ] ->
+      Eval.P (Memory.malloc rt.mem (Int64.to_int (Eval.to_int64 n)))
+  | "free", [ p ] ->
+      Memory.free rt.mem (Eval.to_int64 p);
+      Eval.Undef Types.Void
+  | "print_int", [ v ] ->
+      Buffer.add_string rt.out (Int64.to_string (Eval.to_int64 v));
+      Eval.Undef Types.Void
+  | "print_long", [ v ] ->
+      Buffer.add_string rt.out (Int64.to_string (Eval.to_int64 v));
+      Eval.Undef Types.Void
+  | "print_char", [ v ] ->
+      Buffer.add_char rt.out (Char.chr (Int64.to_int (Eval.to_int64 v) land 0xFF));
+      Eval.Undef Types.Void
+  | "print_float", [ v ] ->
+      Buffer.add_string rt.out (Printf.sprintf "%.6g" (Eval.to_float v));
+      Eval.Undef Types.Void
+  | "print_str", [ p ] ->
+      Buffer.add_string rt.out (read_cstring rt (Eval.to_int64 p));
+      Eval.Undef Types.Void
+  | "print_nl", [] ->
+      Buffer.add_char rt.out '\n';
+      Eval.Undef Types.Void
+  | "exit", [ code ] -> raise (Exit_called (Int64.to_int (Eval.to_int64 code)))
+  | "abort", [] -> raise (Exit_called 134)
+  | "memcpy", [ dst; src; n ] ->
+      let d = Eval.to_int64 dst and s = Eval.to_int64 src in
+      let n = Int64.to_int (Eval.to_int64 n) in
+      for k = 0 to n - 1 do
+        Memory.write_u8 rt.mem
+          (Int64.add d (Int64.of_int k))
+          (Memory.read_u8 rt.mem (Int64.add s (Int64.of_int k)))
+      done;
+      Eval.P d
+  | "memset", [ dst; c; n ] ->
+      let d = Eval.to_int64 dst in
+      let c = Int64.to_int (Eval.to_int64 c) land 0xFF in
+      let n = Int64.to_int (Eval.to_int64 n) in
+      for k = 0 to n - 1 do
+        Memory.write_u8 rt.mem (Int64.add d (Int64.of_int k)) c
+      done;
+      Eval.P d
+  | "strlen", [ p ] ->
+      let s = read_cstring rt (Eval.to_int64 p) in
+      Eval.I (Types.Uint, Int64.of_int (String.length s))
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Runtime.call: unknown external %s/%d" name
+           (List.length args))

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: List Minic String W_ammp W_anagram W_art W_bc W_bzip2 W_crafty W_equake W_ft W_gap W_gzip W_ks W_mcf W_parser W_twolf W_vortex W_vpr W_yacr2

@@ -1,0 +1,90 @@
+(* 188.ammp: molecular dynamics — n-body step with pairwise short-range
+   forces (Lennard-Jones-ish) and velocity-Verlet integration, ammp's
+   dominant float kernel. *)
+
+let source =
+  {|
+/* ammp: n-body molecular dynamics with cutoff */
+enum { ATOMS = 56, STEPS = 12 };
+
+unsigned seed = 1618u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+double frand() { return (double)(int)rnd() / 32768.0; }
+
+double px[ATOMS]; double py[ATOMS]; double pz[ATOMS];
+double vx[ATOMS]; double vy[ATOMS]; double vz[ATOMS];
+double fx[ATOMS]; double fy[ATOMS]; double fz[ATOMS];
+
+double cutoff2 = 6.25;
+
+void forces() {
+  int i, j;
+  for (i = 0; i < ATOMS; i++) { fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0; }
+  for (i = 0; i < ATOMS; i++) {
+    for (j = i + 1; j < ATOMS; j++) {
+      double dx = px[i] - px[j];
+      double dy = py[i] - py[j];
+      double dz = pz[i] - pz[j];
+      double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+      if (r2 < cutoff2) {
+        double inv2 = 1.0 / r2;
+        double inv6 = inv2 * inv2 * inv2;
+        double mag = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+        fx[i] += mag * dx; fy[i] += mag * dy; fz[i] += mag * dz;
+        fx[j] -= mag * dx; fy[j] -= mag * dy; fz[j] -= mag * dz;
+      }
+    }
+  }
+}
+
+int main() {
+  int i, s;
+  double dt = 0.002;
+  double ke = 0.0, momx = 0.0;
+
+  /* lattice-ish start with jitter */
+  for (i = 0; i < ATOMS; i++) {
+    px[i] = (double)(i % 4) * 1.2 + 0.1 * frand();
+    py[i] = (double)((i / 4) % 4) * 1.2 + 0.1 * frand();
+    pz[i] = (double)(i / 16) * 1.2 + 0.1 * frand();
+    vx[i] = frand() - 0.5;
+    vy[i] = frand() - 0.5;
+    vz[i] = frand() - 0.5;
+  }
+
+  forces();
+  for (s = 0; s < STEPS; s++) {
+    for (i = 0; i < ATOMS; i++) {
+      vx[i] += 0.5 * dt * fx[i];
+      vy[i] += 0.5 * dt * fy[i];
+      vz[i] += 0.5 * dt * fz[i];
+      px[i] += dt * vx[i];
+      py[i] += dt * vy[i];
+      pz[i] += dt * vz[i];
+    }
+    forces();
+    for (i = 0; i < ATOMS; i++) {
+      vx[i] += 0.5 * dt * fx[i];
+      vy[i] += 0.5 * dt * fy[i];
+      vz[i] += 0.5 * dt * fz[i];
+    }
+  }
+
+  for (i = 0; i < ATOMS; i++) {
+    ke += vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i];
+    momx += vx[i];
+  }
+
+  print_str("ammp ke=");
+  print_float(ke);
+  print_str(" momx=");
+  print_float(momx);
+  print_str(" probe=");
+  print_float(px[ATOMS / 2]);
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,108 @@
+(* ptrdist-anagram: word-signature hashing and anagram-class search over a
+   synthetic dictionary (mirrors the PtrDist anagram benchmark's dominant
+   computation: per-word letter signatures + hash-bucket chaining). *)
+
+let source =
+  {|
+/* anagram: group synthetic words by letter signature */
+enum { WORDS = 1400, WLEN = 8, BUCKETS = 512 };
+
+unsigned seed = 12345u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+typedef struct Word {
+  char text[12];
+  unsigned sig;       /* multiset signature of letters */
+  struct Word *next;  /* hash chain */
+} Word;
+
+Word words[WORDS];
+Word *buckets[BUCKETS];
+
+/* order-independent signature: product-ish mix of letter counts */
+unsigned signature(char *s) {
+  int counts[26];
+  int i;
+  unsigned h = 2166136261u;
+  for (i = 0; i < 26; i++) counts[i] = 0;
+  for (i = 0; s[i]; i++) counts[s[i] - 'a']++;
+  for (i = 0; i < 26; i++) {
+    h = h ^ (unsigned)counts[i];
+    h = h * 16777619u;
+  }
+  return h;
+}
+
+void make_word(char *out, int len) {
+  int i;
+  for (i = 0; i < len; i++) out[i] = (char)('a' + (int)(rnd() % 26u));
+  out[len] = '\0';
+}
+
+int main() {
+  int i, classes = 0, biggest = 0;
+  unsigned checksum = 0u;
+
+  for (i = 0; i < BUCKETS; i++) buckets[i] = 0;
+
+  /* build the dictionary; every 3rd word is a shuffle of the previous
+     one so real anagram classes exist */
+  for (i = 0; i < WORDS; i++) {
+    if (i % 3 == 2) {
+      int j;
+      for (j = 0; j < WLEN; j++) words[i].text[j] = words[i-1].text[j];
+      words[i].text[WLEN] = '\0';
+      /* swap two positions */
+      {
+        int a = (int)(rnd() % (unsigned)WLEN);
+        int b = (int)(rnd() % (unsigned)WLEN);
+        char t = words[i].text[a];
+        words[i].text[a] = words[i].text[b];
+        words[i].text[b] = t;
+      }
+    } else {
+      make_word(words[i].text, WLEN);
+    }
+    words[i].sig = signature(words[i].text);
+  }
+
+  /* bucket by signature */
+  for (i = 0; i < WORDS; i++) {
+    unsigned b = words[i].sig % (unsigned)BUCKETS;
+    words[i].next = buckets[b];
+    buckets[b] = &words[i];
+  }
+
+  /* count anagram classes and the largest class */
+  for (i = 0; i < WORDS; i++) {
+    Word *w = &words[i];
+    Word *scan = buckets[w->sig % (unsigned)BUCKETS];
+    int first = 1;
+    int size = 0;
+    while (scan) {
+      if (scan->sig == w->sig) {
+        size++;
+        if (scan != w && scan < w) first = 0; /* counted earlier */
+      }
+      scan = scan->next;
+    }
+    if (first) {
+      classes++;
+      if (size > biggest) biggest = size;
+      checksum = checksum * 31u + w->sig % 1000u;
+    }
+  }
+
+  print_str("anagram classes=");
+  print_int(classes);
+  print_str(" biggest=");
+  print_int(biggest);
+  print_str(" check=");
+  print_long((long)(checksum % 1000000u));
+  print_nl();
+  return 0;
+}
+|}

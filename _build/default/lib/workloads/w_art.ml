@@ -1,0 +1,98 @@
+(* 179.art: Adaptive Resonance Theory neural network — float vector
+   matching between feature vectors and learned templates (F1/F2 layers),
+   the dominant kernel of SPEC's art. *)
+
+let source =
+  {|
+/* art: ART-1-ish neural recognition over float features */
+enum { FEATURES = 48, TEMPLATES = 14, SAMPLES = 48, EPOCHS = 2 };
+
+unsigned seed = 9091u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+double frand() { return (double)(int)rnd() / 32768.0; }
+
+double templates[TEMPLATES][FEATURES];
+double sample[FEATURES];
+
+int main() {
+  int t, f, s, e;
+  int matches[TEMPLATES];
+  double vigilance = 0.58;
+  int total_matched = 0, resets = 0;
+  double score_sum = 0.0;
+
+  for (t = 0; t < TEMPLATES; t++) {
+    matches[t] = 0;
+    for (f = 0; f < FEATURES; f++) templates[t][f] = frand();
+  }
+
+  for (e = 0; e < EPOCHS; e++) {
+    /* restart the sample stream deterministically per epoch */
+    seed = 5555u;
+    for (s = 0; s < SAMPLES; s++) {
+      int best = -1, accepted = 0, tries = 0;
+      double bestact = -1.0;
+      for (f = 0; f < FEATURES; f++) sample[f] = frand();
+
+      while (!accepted && tries < TEMPLATES) {
+        /* F2 activation: dot product, skipping reset templates */
+        bestact = -1.0;
+        best = -1;
+        for (t = 0; t < TEMPLATES; t++) {
+          double act = 0.0;
+          double norm = 0.0;
+          if (matches[t] < 0) continue; /* reset this presentation */
+          for (f = 0; f < FEATURES; f++) {
+            act += templates[t][f] * sample[f];
+            norm += templates[t][f];
+          }
+          act = act / (0.5 + norm);
+          if (act > bestact) { bestact = act; best = t; }
+        }
+        if (best < 0) break;
+        /* vigilance test */
+        {
+          double match = 0.0, snorm = 0.0;
+          for (f = 0; f < FEATURES; f++) {
+            double m = templates[best][f] < sample[f]
+                         ? templates[best][f] : sample[f];
+            match += m;
+            snorm += sample[f];
+          }
+          if (match / (snorm + 0.0001) >= vigilance) {
+            /* resonance: learn */
+            for (f = 0; f < FEATURES; f++)
+              templates[best][f] =
+                0.7 * templates[best][f] +
+                0.3 * (templates[best][f] < sample[f]
+                         ? templates[best][f] : sample[f]);
+            matches[best] = -matches[best] < 0 ? matches[best] + 1 : matches[best] + 1;
+            accepted = 1;
+            total_matched++;
+            score_sum += bestact;
+          } else {
+            matches[best] = -(matches[best] + 1); /* mark reset */
+            resets++;
+          }
+        }
+        tries++;
+      }
+      /* clear reset marks */
+      for (t = 0; t < TEMPLATES; t++)
+        if (matches[t] < 0) matches[t] = -matches[t] - 1;
+    }
+  }
+
+  print_str("art matched=");
+  print_int(total_matched);
+  print_str(" resets=");
+  print_int(resets);
+  print_str(" score=");
+  print_float(score_sum);
+  print_nl();
+  return 0;
+}
+|}

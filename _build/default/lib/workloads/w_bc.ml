@@ -1,0 +1,100 @@
+(* ptrdist-bc: arbitrary-precision calculator loop — bignum digit arrays
+   with add/sub/mul/divmod, computing factorials and a Fibonacci tower,
+   mirroring bc's numeric core. *)
+
+let source =
+  {|
+/* bc: arbitrary precision decimal arithmetic */
+enum { DIGITS = 256 };
+
+typedef struct Big {
+  int d[DIGITS];  /* base-10000 limbs, little-endian */
+  int n;          /* used limbs */
+} Big;
+
+void big_set(Big *x, int v) {
+  int i;
+  for (i = 0; i < DIGITS; i++) x->d[i] = 0;
+  x->n = 0;
+  while (v > 0) { x->d[x->n] = v % 10000; v /= 10000; x->n++; }
+  if (x->n == 0) x->n = 1;
+}
+
+void big_copy(Big *dst, Big *src) {
+  int i;
+  for (i = 0; i < DIGITS; i++) dst->d[i] = src->d[i];
+  dst->n = src->n;
+}
+
+void big_add(Big *out, Big *a, Big *b) {
+  int i, carry = 0;
+  int n = a->n > b->n ? a->n : b->n;
+  for (i = 0; i < n || carry; i++) {
+    int s = carry;
+    if (i < a->n) s += a->d[i];
+    if (i < b->n) s += b->d[i];
+    out->d[i] = s % 10000;
+    carry = s / 10000;
+  }
+  out->n = i > 0 ? i : 1;
+  for (i = out->n; i < DIGITS; i++) out->d[i] = 0;
+}
+
+void big_mul_small(Big *out, Big *a, int m) {
+  int i, carry = 0;
+  for (i = 0; i < a->n || carry; i++) {
+    int p = carry;
+    if (i < a->n) p += a->d[i] * m;
+    out->d[i] = p % 10000;
+    carry = p / 10000;
+  }
+  out->n = i > 0 ? i : 1;
+  for (i = out->n; i < DIGITS; i++) out->d[i] = 0;
+}
+
+int big_mod_small(Big *a, int m) {
+  int i;
+  long r = 0;
+  for (i = a->n - 1; i >= 0; i--) r = (r * 10000 + (long)a->d[i]) % (long)m;
+  return (int)r;
+}
+
+int big_digitsum(Big *a) {
+  int i, s = 0;
+  for (i = 0; i < a->n; i++) {
+    int limb = a->d[i];
+    while (limb > 0) { s += limb % 10; limb /= 10; }
+  }
+  return s;
+}
+
+Big f, t, fib_a, fib_b, fib_t;
+
+int main() {
+  int i;
+
+  /* 150! */
+  big_set(&f, 1);
+  for (i = 2; i <= 150; i++) {
+    big_mul_small(&t, &f, i);
+    big_copy(&f, &t);
+  }
+  print_str("bc 150!%9973=");
+  print_int(big_mod_small(&f, 9973));
+  print_str(" digitsum=");
+  print_int(big_digitsum(&f));
+
+  /* fib(900) by bignum addition */
+  big_set(&fib_a, 0);
+  big_set(&fib_b, 1);
+  for (i = 0; i < 900; i++) {
+    big_add(&fib_t, &fib_a, &fib_b);
+    big_copy(&fib_a, &fib_b);
+    big_copy(&fib_b, &fib_t);
+  }
+  print_str(" fib900%9973=");
+  print_int(big_mod_small(&fib_b, 9973));
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,126 @@
+(* 256.bzip2: block coder — move-to-front transform + run-length encoding
+   over deterministic text, then the inverse, with verification (bzip2's
+   MTF/RLE stages without the BWT sort). *)
+
+let source =
+  {|
+/* bzip2: move-to-front + RLE block coding with roundtrip check */
+enum { BLOCK = 4096, OUTMAX = 12288 };
+
+unsigned seed = 1357u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+unsigned char input[BLOCK];
+unsigned char mtf_out[BLOCK];
+unsigned char rle_out[OUTMAX];
+unsigned char rle_dec[BLOCK];
+unsigned char mtf_dec[BLOCK];
+unsigned char table[256];
+int rle_len = 0;
+
+void mtf_encode() {
+  int i, j;
+  for (i = 0; i < 256; i++) table[i] = (unsigned char)i;
+  for (i = 0; i < BLOCK; i++) {
+    unsigned char c = input[i];
+    int pos = 0;
+    while (table[pos] != c) pos++;
+    mtf_out[i] = (unsigned char)pos;
+    for (j = pos; j > 0; j--) table[j] = table[j - 1];
+    table[0] = c;
+  }
+}
+
+void mtf_decode() {
+  int i, j;
+  for (i = 0; i < 256; i++) table[i] = (unsigned char)i;
+  for (i = 0; i < BLOCK; i++) {
+    int pos = (int)mtf_dec[i];
+    unsigned char c = table[pos];
+    rle_dec[i] = c; /* reuse buffer as final output */
+    for (j = pos; j > 0; j--) table[j] = table[j - 1];
+    table[0] = c;
+  }
+}
+
+void rle_encode() {
+  int i = 0;
+  rle_len = 0;
+  while (i < BLOCK) {
+    unsigned char c = mtf_out[i];
+    int run = 1;
+    while (i + run < BLOCK && mtf_out[i + run] == c && run < 255) run++;
+    if (run >= 4 || c == 0xFF) {
+      rle_out[rle_len] = 0xFF;
+      rle_out[rle_len + 1] = c;
+      rle_out[rle_len + 2] = (unsigned char)run;
+      rle_len += 3;
+      i += run;
+    } else {
+      rle_out[rle_len] = c;
+      rle_len++;
+      i++;
+    }
+  }
+}
+
+int rle_decode() {
+  int i = 0, o = 0;
+  while (i < rle_len && o < BLOCK) {
+    if (rle_out[i] == 0xFF) {
+      unsigned char c = rle_out[i + 1];
+      int run = (int)rle_out[i + 2];
+      int k;
+      for (k = 0; k < run && o < BLOCK; k++) mtf_dec[o++] = c;
+      i += 3;
+    } else {
+      mtf_dec[o++] = rle_out[i++];
+    }
+  }
+  return o;
+}
+
+int main() {
+  int i, decoded, errors = 0;
+  unsigned check = 0u;
+
+  /* skewed text: long runs + common letters, MTF-friendly */
+  for (i = 0; i < BLOCK; i++) {
+    unsigned r = rnd();
+    if (r % 5u == 0u) {
+      /* run of a single character */
+      int run = 2 + (int)(rnd() % 30u);
+      unsigned char c = (unsigned char)('a' + (int)(rnd() % 6u));
+      while (run-- > 0 && i < BLOCK) input[i++] = c;
+      i--;
+    } else {
+      input[i] = (unsigned char)('a' + (int)(r % 26u));
+    }
+  }
+
+  mtf_encode();
+  rle_encode();
+  decoded = rle_decode();
+  mtf_decode();
+
+  for (i = 0; i < BLOCK; i++)
+    if (rle_dec[i] != input[i]) errors++;
+  for (i = 0; i < rle_len; i++) check = check * 31u + (unsigned)rle_out[i];
+
+  print_str("bzip2 in=");
+  print_int(BLOCK);
+  print_str(" out=");
+  print_int(rle_len);
+  print_str(" decoded=");
+  print_int(decoded);
+  print_str(" errors=");
+  print_int(errors);
+  print_str(" check=");
+  print_long((long)(check % 1000000u));
+  print_nl();
+  return errors;
+}
+|}

@@ -1,0 +1,97 @@
+(* 186.crafty: chess bitboards — 64-bit popcount, king/knight attack set
+   generation, and a perft-style mobility accumulation over random
+   positions, crafty's characteristic 64-bit bit-twiddling. *)
+
+let source =
+  {|
+/* crafty: bitboard attack generation with 64-bit ops */
+enum { POSITIONS = 300, PIECES = 12 };
+
+unsigned seed = 7777u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+long knight_attacks[64];
+long king_attacks[64];
+
+int popcount(unsigned long b) {
+  int c = 0;
+  while (b) {
+    b &= b - 1ul;
+    c++;
+  }
+  return c;
+}
+
+void init_tables() {
+  int sq;
+  for (sq = 0; sq < 64; sq++) {
+    int r = sq / 8, f = sq % 8;
+    long kn = 0l, kg = 0l;
+    int dr, df;
+    for (dr = -2; dr <= 2; dr++) {
+      for (df = -2; df <= 2; df++) {
+        int ar = r + dr, af = f + df;
+        if (ar < 0 || ar > 7 || af < 0 || af > 7) continue;
+        if (dr * dr + df * df == 5)
+          kn |= 1l << (ar * 8 + af);
+        if (dr >= -1 && dr <= 1 && df >= -1 && df <= 1 && (dr != 0 || df != 0))
+          kg |= 1l << (ar * 8 + af);
+      }
+    }
+    knight_attacks[sq] = kn;
+    king_attacks[sq] = kg;
+  }
+}
+
+/* rook rays with blockers (classical loop generation) */
+long rook_attacks(int sq, unsigned long occ) {
+  long a = 0l;
+  int r = sq / 8, f = sq % 8, i;
+  for (i = r + 1; i <= 7; i++) { a |= 1l << (i * 8 + f); if (occ >> (unsigned long)(i * 8 + f) & 1ul) break; }
+  for (i = r - 1; i >= 0; i--) { a |= 1l << (i * 8 + f); if (occ >> (unsigned long)(i * 8 + f) & 1ul) break; }
+  for (i = f + 1; i <= 7; i++) { a |= 1l << (r * 8 + i); if (occ >> (unsigned long)(r * 8 + i) & 1ul) break; }
+  for (i = f - 1; i >= 0; i--) { a |= 1l << (r * 8 + i); if (occ >> (unsigned long)(r * 8 + i) & 1ul) break; }
+  return a;
+}
+
+int main() {
+  int p, i;
+  long mobility = 0;
+  unsigned long hash = 0xcbf29ce484222325ul;
+
+  init_tables();
+
+  for (p = 0; p < POSITIONS; p++) {
+    unsigned long occ = 0ul;
+    int squares[PIECES];
+    /* random position *)
+     */
+    for (i = 0; i < PIECES; i++) {
+      int sq = (int)(rnd() % 64u);
+      squares[i] = sq;
+      occ |= 1ul << (unsigned long)sq;
+    }
+    /* mobility: knights, kings, rooks on the first squares */
+    for (i = 0; i < PIECES; i++) {
+      int sq = squares[i];
+      if (i % 3 == 0)
+        mobility += (long)popcount((unsigned long)knight_attacks[sq] & ~occ);
+      else if (i % 3 == 1)
+        mobility += (long)popcount((unsigned long)king_attacks[sq] & ~occ);
+      else
+        mobility += (long)popcount((unsigned long)rook_attacks(sq, occ) & ~occ);
+    }
+    hash = (hash ^ occ) * 1099511628211ul;
+  }
+
+  print_str("crafty mobility=");
+  print_long(mobility);
+  print_str(" hash=");
+  print_long((long)(hash % 1000000007ul));
+  print_nl();
+  return 0;
+}
+|}

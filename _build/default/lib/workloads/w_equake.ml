@@ -1,0 +1,79 @@
+(* 183.equake: sparse matrix–vector products in a time-stepping loop, the
+   dominant kernel of the earthquake simulation (CSR SpMV + vector
+   updates). *)
+
+let source =
+  {|
+/* equake: CSR sparse matrix-vector time stepping */
+enum { N = 360, NNZ_PER = 7, STEPS = 24 };
+enum { NNZ_MAX = 2520 }; /* N * NNZ_PER */
+
+unsigned seed = 4242u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+double frand() { return (double)(int)rnd() / 32768.0; }
+
+int row_start[361]; /* N + 1 */
+int col[NNZ_MAX];
+double val[NNZ_MAX];
+double disp[N];
+double vel[N];
+double force[N];
+
+void spmv(double *out, double *x) {
+  int i, k;
+  for (i = 0; i < N; i++) {
+    double acc = 0.0;
+    for (k = row_start[i]; k < row_start[i + 1]; k++)
+      acc += val[k] * x[col[k]];
+    out[i] = acc;
+  }
+}
+
+int main() {
+  int i, k, s;
+  double dt = 0.01;
+  double energy = 0.0;
+
+  /* build a banded sparse matrix */
+  k = 0;
+  for (i = 0; i < N; i++) {
+    int j;
+    row_start[i] = k;
+    for (j = 0; j < NNZ_PER; j++) {
+      int c = i + j - NNZ_PER / 2;
+      if (c < 0) c += N;
+      if (c >= N) c -= N;
+      col[k] = c;
+      val[k] = (c == i) ? 4.0 : -0.4 - 0.2 * frand();
+      k++;
+    }
+  }
+  row_start[N] = k;
+
+  for (i = 0; i < N; i++) {
+    disp[i] = frand() - 0.5;
+    vel[i] = 0.0;
+  }
+
+  /* leapfrog-ish integration */
+  for (s = 0; s < STEPS; s++) {
+    spmv(force, disp);
+    for (i = 0; i < N; i++) {
+      vel[i] = 0.98 * (vel[i] - dt * force[i]);
+      disp[i] = disp[i] + dt * vel[i];
+    }
+  }
+
+  for (i = 0; i < N; i++) energy += disp[i] * disp[i] + vel[i] * vel[i];
+
+  print_str("equake energy=");
+  print_float(energy);
+  print_str(" probe=");
+  print_float(disp[N / 2]);
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,77 @@
+(* ptrdist-ft: minimum spanning tree over adjacency lists (the PtrDist ft
+   benchmark computes an MST with a Fibonacci heap; we use a pointer-built
+   adjacency list with Prim's algorithm and a simple priority array,
+   preserving the pointer-chasing character). *)
+
+let source =
+  {|
+/* ft: Prim MST over a pointer-based adjacency list */
+enum { V = 420, E_PER = 5, INF = 1000000 };
+
+unsigned seed = 2024u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+typedef struct Edge {
+  int to;
+  int weight;
+  struct Edge *next;
+} Edge;
+
+Edge *adj[V];
+int dist[V];
+int intree[V];
+
+void add_edge(int a, int b, int wgt) {
+  Edge *e = (Edge *) malloc(sizeof(Edge));
+  e->to = b;
+  e->weight = wgt;
+  e->next = adj[a];
+  adj[a] = e;
+}
+
+int main() {
+  int i, k, total = 0, reached = 0;
+
+  for (i = 0; i < V; i++) { adj[i] = 0; dist[i] = INF; intree[i] = 0; }
+
+  /* connected backbone + random extra edges */
+  for (i = 1; i < V; i++) {
+    int b = (int)(rnd() % (unsigned)i);
+    int wgt = 1 + (int)(rnd() % 100u);
+    add_edge(i, b, wgt);
+    add_edge(b, i, wgt);
+  }
+  for (i = 0; i < V; i++) {
+    for (k = 0; k < E_PER; k++) {
+      int b = (int)(rnd() % (unsigned)V);
+      int wgt = 1 + (int)(rnd() % 100u);
+      if (b != i) { add_edge(i, b, wgt); add_edge(b, i, wgt); }
+    }
+  }
+
+  /* Prim from node 0 */
+  dist[0] = 0;
+  for (k = 0; k < V; k++) {
+    int best = -1, bestd = INF + 1, u;
+    Edge *e;
+    for (u = 0; u < V; u++)
+      if (!intree[u] && dist[u] < bestd) { bestd = dist[u]; best = u; }
+    if (best < 0) break;
+    intree[best] = 1;
+    reached++;
+    total += dist[best];
+    for (e = adj[best]; e; e = e->next)
+      if (!intree[e->to] && e->weight < dist[e->to]) dist[e->to] = e->weight;
+  }
+
+  print_str("ft mst=");
+  print_int(total);
+  print_str(" reached=");
+  print_int(reached);
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,137 @@
+(* 164.gzip: LZ77 sliding-window compression with a 3-byte hash chain
+   matcher (deflate's longest-match core) plus decompression and a
+   round-trip check. *)
+
+let source =
+  {|
+/* gzip: LZ77 with hash-chain match finder */
+enum { INSIZE = 6144, WINDOW = 1024, MINMATCH = 3, MAXMATCH = 66 };
+enum { HASHSIZE = 1024, OUTMAX = 16384 };
+
+unsigned seed = 8888u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+unsigned char input[INSIZE];
+unsigned char output[OUTMAX];   /* token stream */
+unsigned char decoded[INSIZE];
+int head[HASHSIZE];
+int prev[INSIZE];
+int out_len = 0;
+
+unsigned hash3(int pos) {
+  return ((unsigned)input[pos] * 2654435761u
+          ^ (unsigned)input[pos + 1] * 40503u
+          ^ (unsigned)input[pos + 2]) % (unsigned)HASHSIZE;
+}
+
+int main() {
+  int i, pos, literals = 0, matches = 0, decoded_len, errors = 0;
+
+  /* compressible text: random phrases repeated */
+  {
+    unsigned char phrases[16][20];
+    int p, k;
+    for (p = 0; p < 16; p++)
+      for (k = 0; k < 20; k++)
+        phrases[p][k] = (unsigned char)('a' + (int)(rnd() % 20u));
+    i = 0;
+    while (i < INSIZE) {
+      int p2 = (int)(rnd() % 16u);
+      int len = 5 + (int)(rnd() % 15u);
+      for (k = 0; k < len && i < INSIZE; k++) input[i++] = phrases[p2][k];
+      if (rnd() % 4u == 0u && i < INSIZE)
+        input[i++] = (unsigned char)('0' + (int)(rnd() % 10u));
+    }
+  }
+
+  for (i = 0; i < HASHSIZE; i++) head[i] = -1;
+
+  /* compress: tokens are (0,lit) or (1,dist_hi,dist_lo,len) */
+  pos = 0;
+  while (pos < INSIZE) {
+    int best_len = 0, best_dist = 0;
+    if (pos + MINMATCH <= INSIZE - 1) {
+      unsigned h = hash3(pos);
+      int cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && pos - cand <= WINDOW && chain < 16) {
+        int len = 0;
+        while (len < MAXMATCH && pos + len < INSIZE
+               && input[cand + len] == input[pos + len])
+          len++;
+        if (len > best_len) { best_len = len; best_dist = pos - cand; }
+        cand = prev[cand];
+        chain++;
+      }
+    }
+    if (best_len >= MINMATCH) {
+      output[out_len++] = 1;
+      output[out_len++] = (unsigned char)(best_dist >> 8);
+      output[out_len++] = (unsigned char)(best_dist & 255);
+      output[out_len++] = (unsigned char)best_len;
+      matches++;
+      /* insert hash entries for the matched span */
+      {
+        int k;
+        for (k = 0; k < best_len && pos + MINMATCH <= INSIZE; k++) {
+          if (pos + 2 < INSIZE) {
+            unsigned h2 = hash3(pos);
+            prev[pos] = head[h2];
+            head[h2] = pos;
+          }
+          pos++;
+        }
+      }
+    } else {
+      output[out_len++] = 0;
+      output[out_len++] = input[pos];
+      literals++;
+      if (pos + 2 < INSIZE) {
+        unsigned h3 = hash3(pos);
+        prev[pos] = head[h3];
+        head[h3] = pos;
+      }
+      pos++;
+    }
+  }
+
+  /* decompress */
+  {
+    int ip = 0, op = 0;
+    while (ip < out_len && op < INSIZE) {
+      if (output[ip] == 0) {
+        decoded[op++] = output[ip + 1];
+        ip += 2;
+      } else {
+        int dist = ((int)output[ip + 1] << 8) | (int)output[ip + 2];
+        int len = (int)output[ip + 3];
+        int k;
+        for (k = 0; k < len; k++) { decoded[op] = decoded[op - dist]; op++; }
+        ip += 4;
+      }
+    }
+    decoded_len = op;
+  }
+
+  for (i = 0; i < INSIZE; i++)
+    if (decoded[i] != input[i]) errors++;
+
+  print_str("gzip in=");
+  print_int(INSIZE);
+  print_str(" out=");
+  print_int(out_len);
+  print_str(" lits=");
+  print_int(literals);
+  print_str(" matches=");
+  print_int(matches);
+  print_str(" declen=");
+  print_int(decoded_len);
+  print_str(" errors=");
+  print_int(errors);
+  print_nl();
+  return errors;
+}
+|}

@@ -1,0 +1,95 @@
+(* ptrdist-ks: Kernighan–Schweikert style graph partitioning — iterative
+   improvement by swapping the best node pair across the cut. *)
+
+let source =
+  {|
+/* ks: graph bipartition by pairwise-swap improvement */
+enum { NODES = 64, DEGREE = 6, PASSES = 8 };
+
+unsigned seed = 777u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+int adj[NODES][DEGREE];   /* neighbor ids */
+int w[NODES][DEGREE];     /* edge weights */
+int side[NODES];          /* 0 or 1 */
+
+/* cost of node n against the current partition: external - internal */
+int gain_of(int n) {
+  int g = 0;
+  int k;
+  for (k = 0; k < DEGREE; k++) {
+    int m = adj[n][k];
+    if (side[m] != side[n]) g += w[n][k];
+    else g -= w[n][k];
+  }
+  return g;
+}
+
+int cut_size() {
+  int c = 0;
+  int n, k;
+  for (n = 0; n < NODES; n++)
+    for (k = 0; k < DEGREE; k++)
+      if (side[n] != side[adj[n][k]]) c += w[n][k];
+  return c / 2;
+}
+
+int main() {
+  int n, k, pass;
+  int initial, final;
+
+  /* random regular-ish graph */
+  for (n = 0; n < NODES; n++) {
+    side[n] = n & 1;
+    for (k = 0; k < DEGREE; k++) {
+      adj[n][k] = (int)(rnd() % (unsigned)NODES);
+      w[n][k] = 1 + (int)(rnd() % 9u);
+    }
+  }
+
+  initial = cut_size();
+
+  for (pass = 0; pass < PASSES; pass++) {
+    int improved = 0;
+    int a;
+    for (a = 0; a < NODES; a++) {
+      int best_b = -1;
+      int best_gain = 0;
+      int b;
+      if (side[a] != 0) continue;
+      for (b = 0; b < NODES; b++) {
+        if (side[b] != 1) continue;
+        {
+          int g = gain_of(a) + gain_of(b);
+          /* subtract double-counted edges between a and b */
+          int k2;
+          for (k2 = 0; k2 < DEGREE; k2++) {
+            if (adj[a][k2] == b) g -= 2 * w[a][k2];
+            if (adj[b][k2] == a) g -= 2 * w[b][k2];
+          }
+          if (g > best_gain) { best_gain = g; best_b = b; }
+        }
+      }
+      if (best_b >= 0) {
+        side[a] = 1;
+        side[best_b] = 0;
+        improved = 1;
+      }
+    }
+    if (!improved) break;
+  }
+
+  final = cut_size();
+  print_str("ks initial=");
+  print_int(initial);
+  print_str(" final=");
+  print_int(final);
+  print_str(" ok=");
+  print_int(final <= initial ? 1 : 0);
+  print_nl();
+  return 0;
+}
+|}

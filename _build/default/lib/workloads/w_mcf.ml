@@ -1,0 +1,101 @@
+(* 181.mcf: minimum-cost flow by successive shortest paths with
+   Bellman-Ford distances over a layered network — the pointer/array
+   traversal pattern of SPEC mcf's network simplex, simplified to SSP. *)
+
+let source =
+  {|
+/* mcf: successive shortest path min-cost flow */
+enum { NODES = 60, EDGES = 480, INF = 100000000 };
+
+unsigned seed = 606u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+/* arc arrays (forward + residual pairs at 2k, 2k+1) */
+int from_[2 * EDGES];
+int to_[2 * EDGES];
+int cap[2 * EDGES];
+int cost[2 * EDGES];
+int dist[NODES];
+int pred_arc[NODES];
+
+int n_arcs = 0;
+
+void add_arc(int a, int b, int c, int w) {
+  from_[n_arcs] = a; to_[n_arcs] = b; cap[n_arcs] = c; cost[n_arcs] = w;
+  n_arcs++;
+  from_[n_arcs] = b; to_[n_arcs] = a; cap[n_arcs] = 0; cost[n_arcs] = -w;
+  n_arcs++;
+}
+
+int main() {
+  int i, e;
+  int src = 0, dst = NODES - 1;
+  int total_flow = 0;
+  long total_cost = 0;
+  int rounds = 0;
+
+  /* layered random network: guarantees s-t paths */
+  for (i = 0; i < NODES - 1; i++)
+    add_arc(i, i + 1, 3 + (int)(rnd() % 6u), 1 + (int)(rnd() % 20u));
+  for (e = 0; e < EDGES - (NODES - 1); e++) {
+    int a = (int)(rnd() % (unsigned)(NODES - 1));
+    int b = a + 1 + (int)(rnd() % (unsigned)(NODES - a - 1));
+    add_arc(a, b, 1 + (int)(rnd() % 5u), 1 + (int)(rnd() % 30u));
+  }
+
+  /* successive shortest augmenting paths (Bellman-Ford) */
+  while (1) {
+    int changed = 1, iter = 0;
+    rounds++;
+    for (i = 0; i < NODES; i++) { dist[i] = INF; pred_arc[i] = -1; }
+    dist[src] = 0;
+    while (changed && iter < NODES) {
+      changed = 0;
+      iter++;
+      for (e = 0; e < n_arcs; e++) {
+        if (cap[e] > 0 && dist[from_[e]] < INF) {
+          int nd = dist[from_[e]] + cost[e];
+          if (nd < dist[to_[e]]) {
+            dist[to_[e]] = nd;
+            pred_arc[to_[e]] = e;
+            changed = 1;
+          }
+        }
+      }
+    }
+    if (dist[dst] >= INF) break;
+    /* find bottleneck */
+    {
+      int bottleneck = INF;
+      int v = dst;
+      while (v != src) {
+        int pe = pred_arc[v];
+        if (cap[pe] < bottleneck) bottleneck = cap[pe];
+        v = from_[pe];
+      }
+      /* augment */
+      v = dst;
+      while (v != src) {
+        int pe = pred_arc[v];
+        cap[pe] -= bottleneck;
+        cap[pe ^ 1] += bottleneck;
+        total_cost += (long)bottleneck * (long)cost[pe];
+        v = from_[pe];
+      }
+      total_flow += bottleneck;
+    }
+  }
+
+  print_str("mcf flow=");
+  print_int(total_flow);
+  print_str(" cost=");
+  print_long(total_cost);
+  print_str(" rounds=");
+  print_int(rounds);
+  print_nl();
+  return 0;
+}
+|}

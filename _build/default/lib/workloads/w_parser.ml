@@ -1,0 +1,163 @@
+(* 197.parser: natural-language-ish parsing — a tokenizer plus a
+   recursive-descent grammar checker over generated sentences with a
+   word dictionary (link-grammar's dictionary lookup + parse loop,
+   simplified to a CFG acceptor). *)
+
+let source =
+  {|
+/* parser: tokenizer + recursive descent grammar over generated text */
+enum { TEXTLEN = 8192, MAXTOK = 2048, DICTSIZE = 64 };
+
+unsigned seed = 24680u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+/* word classes */
+enum { W_NOUN, W_VERB, W_ADJ, W_DET, W_CONJ, W_END, W_UNKNOWN };
+
+char text[TEXTLEN];
+int tok_class[MAXTOK];
+int n_tokens = 0;
+
+char dict_word[DICTSIZE][12];
+int dict_class[DICTSIZE];
+
+/* deterministic nonsense words per class */
+void build_dict() {
+  int i, k;
+  for (i = 0; i < DICTSIZE; i++) {
+    int len = 3 + (int)(rnd() % 5u);
+    for (k = 0; k < len; k++)
+      dict_word[i][k] = (char)('a' + (int)(rnd() % 26u));
+    dict_word[i][len] = '\0';
+    dict_class[i] = (int)(rnd() % 5u); /* noun..conj */
+  }
+}
+
+int my_streq(char *a, char *b) {
+  while (*a && *a == *b) { a++; b++; }
+  return *a == *b;
+}
+
+int lookup(char *w) {
+  int i;
+  for (i = 0; i < DICTSIZE; i++)
+    if (my_streq(dict_word[i], w)) return dict_class[i];
+  return W_UNKNOWN;
+}
+
+/* generate text as sentences: det adj* noun verb det noun [conj ...] . */
+int emit_word(int p, int cls) {
+  /* pick a dictionary word of the class */
+  int tries = 0;
+  int i = (int)(rnd() % (unsigned)DICTSIZE);
+  while (dict_class[i] != cls && tries < DICTSIZE * 2) {
+    i = (i + 1) % DICTSIZE;
+    tries++;
+  }
+  {
+    char *w = dict_word[i];
+    int k;
+    for (k = 0; w[k] && p < TEXTLEN - 2; k++) text[p++] = w[k];
+    text[p++] = ' ';
+  }
+  return p;
+}
+
+int gen_text() {
+  int p = 0;
+  while (p < TEXTLEN - 64) {
+    int nadj = (int)(rnd() % 3u);
+    int a;
+    p = emit_word(p, W_DET);
+    for (a = 0; a < nadj; a++) p = emit_word(p, W_ADJ);
+    p = emit_word(p, W_NOUN);
+    p = emit_word(p, W_VERB);
+    p = emit_word(p, W_DET);
+    p = emit_word(p, W_NOUN);
+    if (rnd() % 3u == 0u) p = emit_word(p, W_CONJ);
+    else { text[p++] = '.'; text[p++] = ' '; }
+  }
+  text[p] = '\0';
+  return p;
+}
+
+void tokenize() {
+  int p = 0;
+  char word[16];
+  n_tokens = 0;
+  while (text[p] && n_tokens < MAXTOK) {
+    while (text[p] == ' ') p++;
+    if (!text[p]) break;
+    if (text[p] == '.') {
+      tok_class[n_tokens++] = W_END;
+      p++;
+    } else {
+      int k = 0;
+      while (text[p] && text[p] != ' ' && text[p] != '.' && k < 15)
+        word[k++] = text[p++];
+      word[k] = '\0';
+      tok_class[n_tokens++] = lookup(word);
+    }
+  }
+}
+
+/* grammar: S -> NP VP ( (CONJ S) | END )
+   NP -> DET ADJ* NOUN ; VP -> VERB NP */
+int cursor = 0;
+
+int accept_np() {
+  if (cursor < n_tokens && tok_class[cursor] == W_DET) cursor++;
+  else return 0;
+  while (cursor < n_tokens && tok_class[cursor] == W_ADJ) cursor++;
+  if (cursor < n_tokens && tok_class[cursor] == W_NOUN) { cursor++; return 1; }
+  return 0;
+}
+
+int accept_sentence() {
+  if (!accept_np()) return 0;
+  if (cursor < n_tokens && tok_class[cursor] == W_VERB) cursor++;
+  else return 0;
+  if (!accept_np()) return 0;
+  if (cursor < n_tokens && tok_class[cursor] == W_CONJ) {
+    cursor++;
+    return accept_sentence();
+  }
+  if (cursor < n_tokens && tok_class[cursor] == W_END) { cursor++; return 1; }
+  return 0;
+}
+
+int main() {
+  int chars, ok = 0, bad = 0;
+
+  build_dict();
+  chars = gen_text();
+  tokenize();
+
+  cursor = 0;
+  while (cursor < n_tokens) {
+    int start = cursor;
+    if (accept_sentence()) ok++;
+    else {
+      bad++;
+      /* resync: skip to after the next END */
+      cursor = start;
+      while (cursor < n_tokens && tok_class[cursor] != W_END) cursor++;
+      if (cursor < n_tokens) cursor++;
+    }
+  }
+
+  print_str("parser chars=");
+  print_int(chars);
+  print_str(" tokens=");
+  print_int(n_tokens);
+  print_str(" ok=");
+  print_int(ok);
+  print_str(" bad=");
+  print_int(bad);
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,113 @@
+(* 300.twolf: standard-cell placement annealing with incremental net-cost
+   update — like vpr but maintaining per-net cached bounding boxes and
+   updating only affected nets (twolf's "new_dbox" incremental update). *)
+
+let source =
+  {|
+/* twolf: annealing with incremental net cost caching */
+enum { CELLS = 72, GRID = 18, NETS = 100, PINS = 5, STEPS = 3600 };
+
+unsigned seed = 9021u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+int cellx[CELLS];
+int celly[CELLS];
+int net_pin[NETS][PINS];
+int net_cache[NETS];       /* cached bounding-box cost per net */
+int nets_of_cell[CELLS][NETS]; /* -1 terminated membership lists */
+
+int compute_net(int n) {
+  int lox = 1000, hix = -1000, loy = 1000, hiy = -1000;
+  int p;
+  for (p = 0; p < PINS; p++) {
+    int c = net_pin[n][p];
+    if (cellx[c] < lox) lox = cellx[c];
+    if (cellx[c] > hix) hix = cellx[c];
+    if (celly[c] < loy) loy = celly[c];
+    if (celly[c] > hiy) hiy = celly[c];
+  }
+  return (hix - lox) + (hiy - loy);
+}
+
+int main() {
+  int i, n, s;
+  int current = 0, initial, recomputes = 0;
+
+  for (i = 0; i < CELLS; i++) {
+    cellx[i] = (int)(rnd() % (unsigned)GRID);
+    celly[i] = (int)(rnd() % (unsigned)GRID);
+  }
+  for (n = 0; n < NETS; n++) {
+    int p;
+    for (p = 0; p < PINS; p++)
+      net_pin[n][p] = (int)(rnd() % (unsigned)CELLS);
+  }
+  /* build membership lists */
+  for (i = 0; i < CELLS; i++) {
+    int count = 0;
+    for (n = 0; n < NETS; n++) {
+      int p, member = 0;
+      for (p = 0; p < PINS; p++)
+        if (net_pin[n][p] == i) member = 1;
+      if (member) nets_of_cell[i][count++] = n;
+    }
+    nets_of_cell[i][count] = -1;
+  }
+
+  for (n = 0; n < NETS; n++) {
+    net_cache[n] = compute_net(n);
+    current += net_cache[n];
+  }
+  initial = current;
+
+  for (s = 0; s < STEPS; s++) {
+    int temp = 20 - (s * 20) / STEPS;
+    int c = (int)(rnd() % (unsigned)CELLS);
+    int ox = cellx[c], oy = celly[c];
+    int nx = (int)(rnd() % (unsigned)GRID);
+    int ny = (int)(rnd() % (unsigned)GRID);
+    int delta = 0;
+    int k;
+    cellx[c] = nx;
+    celly[c] = ny;
+    /* incremental: recompute only nets containing c */
+    for (k = 0; nets_of_cell[c][k] >= 0; k++) {
+      int net = nets_of_cell[c][k];
+      int fresh = compute_net(net);
+      recomputes++;
+      delta += fresh - net_cache[net];
+    }
+    if (delta <= 0 || (int)(rnd() % 24u) < temp - delta) {
+      current += delta;
+      for (k = 0; nets_of_cell[c][k] >= 0; k++) {
+        int net = nets_of_cell[c][k];
+        net_cache[net] = compute_net(net);
+      }
+    } else {
+      cellx[c] = ox;
+      celly[c] = oy;
+    }
+  }
+
+  /* consistency check: cached total equals recomputed total */
+  {
+    int fresh_total = 0;
+    for (n = 0; n < NETS; n++) fresh_total += compute_net(n);
+    print_str("twolf initial=");
+    print_int(initial);
+    print_str(" final=");
+    print_int(fresh_total);
+    print_str(" cached=");
+    print_int(current);
+    print_str(" consistent=");
+    print_int(fresh_total == current ? 1 : 0);
+    print_str(" recomputes=");
+    print_int(recomputes);
+    print_nl();
+  }
+  return 0;
+}
+|}

@@ -1,0 +1,121 @@
+(* 255.vortex: an in-memory object database — insert/lookup/delete
+   transactions over hashed indexes with variable-size records and
+   integrity checks (vortex's OO-database workload shape). *)
+
+let source =
+  {|
+/* vortex: in-memory object database with transactions */
+enum { MAXOBJ = 900, HASHSZ = 256, TXNS = 3000 };
+
+unsigned seed = 3141u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+typedef struct Obj {
+  int key;
+  int kind;            /* 0 = person, 1 = part, 2 = draw */
+  int fields[6];
+  struct Obj *hnext;   /* hash chain */
+} Obj;
+
+Obj *table[HASHSZ];
+int live_count = 0;
+int next_key = 1;
+
+unsigned hashk(int key) { return ((unsigned)key * 2654435761u) % (unsigned)HASHSZ; }
+
+Obj *db_lookup(int key) {
+  Obj *o = table[hashk(key)];
+  while (o && o->key != key) o = o->hnext;
+  return o;
+}
+
+int db_insert(int kind) {
+  Obj *o;
+  unsigned h;
+  int i;
+  if (live_count >= MAXOBJ) return -1;
+  o = (Obj *) malloc(sizeof(Obj));
+  o->key = next_key++;
+  o->kind = kind;
+  for (i = 0; i < 6; i++) o->fields[i] = (int)(rnd() % 1000u);
+  h = hashk(o->key);
+  o->hnext = table[h];
+  table[h] = o;
+  live_count++;
+  return o->key;
+}
+
+int db_delete(int key) {
+  unsigned h = hashk(key);
+  Obj *o = table[h];
+  Obj *prev = 0;
+  while (o && o->key != key) { prev = o; o = o->hnext; }
+  if (!o) return 0;
+  if (prev) prev->hnext = o->hnext;
+  else table[h] = o->hnext;
+  free((void *)o);
+  live_count--;
+  return 1;
+}
+
+int main() {
+  int t, i;
+  int inserts = 0, deletes = 0, hits = 0, misses = 0;
+  long field_sum = 0;
+
+  for (i = 0; i < HASHSZ; i++) table[i] = 0;
+
+  /* warm the database */
+  for (i = 0; i < 400; i++) { db_insert((int)(rnd() % 3u)); inserts++; }
+
+  for (t = 0; t < TXNS; t++) {
+    unsigned op = rnd() % 10u;
+    if (op < 3u) {
+      if (db_insert((int)(rnd() % 3u)) >= 0) inserts++;
+    } else if (op < 5u) {
+      int key = 1 + (int)(rnd() % (unsigned)next_key);
+      if (db_delete(key)) deletes++;
+    } else {
+      int key = 1 + (int)(rnd() % (unsigned)next_key);
+      Obj *o = db_lookup(key);
+      if (o) {
+        hits++;
+        field_sum += (long)o->fields[(int)(rnd() % 6u)];
+        /* update transaction */
+        o->fields[0] = o->fields[0] + 1;
+      } else misses++;
+    }
+  }
+
+  /* integrity scan: recount and checksum chains */
+  {
+    int count = 0;
+    long keysum = 0;
+    for (i = 0; i < HASHSZ; i++) {
+      Obj *o = table[i];
+      while (o) {
+        count++;
+        keysum += (long)o->key;
+        o = o->hnext;
+      }
+    }
+    print_str("vortex live=");
+    print_int(count);
+    print_str(" consistent=");
+    print_int(count == live_count ? 1 : 0);
+    print_str(" hits=");
+    print_int(hits);
+    print_str(" misses=");
+    print_int(misses);
+    print_str(" fieldsum=");
+    print_long(field_sum);
+    print_str(" keysum=");
+    print_long(keysum);
+    print_nl();
+  }
+  return 0;
+}
+|}

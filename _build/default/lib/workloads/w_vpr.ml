@@ -1,0 +1,116 @@
+(* 175.vpr: FPGA placement — simulated annealing over a grid, minimizing
+   total net bounding-box wirelength, with vpr's swap-accept/reject inner
+   loop (deterministic temperature schedule and RNG). *)
+
+let source =
+  {|
+/* vpr: simulated annealing placement */
+enum { CELLS = 64, GRID = 16, NETS = 60, PINS = 4, MOVES_PER_T = 60 };
+
+unsigned seed = 515u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+int cellx[CELLS];
+int celly[CELLS];
+int net_pin[NETS][PINS]; /* cell ids */
+int grid_cell[GRID][GRID]; /* -1 = empty */
+
+int net_cost(int n) {
+  int lox = GRID, hix = 0, loy = GRID, hiy = 0;
+  int p;
+  for (p = 0; p < PINS; p++) {
+    int c = net_pin[n][p];
+    if (cellx[c] < lox) lox = cellx[c];
+    if (cellx[c] > hix) hix = cellx[c];
+    if (celly[c] < loy) loy = celly[c];
+    if (celly[c] > hiy) hiy = celly[c];
+  }
+  return (hix - lox) + (hiy - loy);
+}
+
+int total_cost() {
+  int s = 0, n;
+  for (n = 0; n < NETS; n++) s += net_cost(n);
+  return s;
+}
+
+int main() {
+  int i, n, temp;
+  int initial, current, best;
+
+  for (i = 0; i < GRID; i++) {
+    int j;
+    for (j = 0; j < GRID; j++) grid_cell[i][j] = -1;
+  }
+  /* initial placement: sequential */
+  for (i = 0; i < CELLS; i++) {
+    cellx[i] = i % GRID;
+    celly[i] = i / GRID;
+    grid_cell[cellx[i]][celly[i]] = i;
+  }
+  for (n = 0; n < NETS; n++) {
+    int p;
+    for (p = 0; p < PINS; p++) net_pin[n][p] = (int)(rnd() % (unsigned)CELLS);
+  }
+
+  initial = total_cost();
+  current = initial;
+  best = initial;
+
+  /* annealing: integer "temperature" as accept threshold */
+  for (temp = 24; temp >= 0; temp -= 4) {
+    int m;
+    for (m = 0; m < MOVES_PER_T; m++) {
+      int c = (int)(rnd() % (unsigned)CELLS);
+      int nx = (int)(rnd() % (unsigned)GRID);
+      int ny = (int)(rnd() % (unsigned)GRID);
+      int ox = cellx[c], oy = celly[c];
+      int other = grid_cell[nx][ny];
+      int before = 0, after = 0, delta;
+      /* cost of nets touching c (and the displaced cell) */
+      for (n = 0; n < NETS; n++) {
+        int p, touches = 0;
+        for (p = 0; p < PINS; p++)
+          if (net_pin[n][p] == c || (other >= 0 && net_pin[n][p] == other))
+            touches = 1;
+        if (touches) before += net_cost(n);
+      }
+      /* apply the move (swap if occupied) */
+      cellx[c] = nx; celly[c] = ny;
+      grid_cell[ox][oy] = other;
+      grid_cell[nx][ny] = c;
+      if (other >= 0) { cellx[other] = ox; celly[other] = oy; }
+      for (n = 0; n < NETS; n++) {
+        int p, touches = 0;
+        for (p = 0; p < PINS; p++)
+          if (net_pin[n][p] == c || (other >= 0 && net_pin[n][p] == other))
+            touches = 1;
+        if (touches) after += net_cost(n);
+      }
+      delta = after - before;
+      if (delta <= 0 || (int)(rnd() % 32u) < temp - delta) {
+        current += delta;
+        if (current < best) best = current;
+      } else {
+        /* undo */
+        cellx[c] = ox; celly[c] = oy;
+        grid_cell[nx][ny] = other;
+        grid_cell[ox][oy] = c;
+        if (other >= 0) { cellx[other] = nx; celly[other] = ny; }
+      }
+    }
+  }
+
+  print_str("vpr initial=");
+  print_int(initial);
+  print_str(" final=");
+  print_int(total_cost());
+  print_str(" best=");
+  print_int(best);
+  print_nl();
+  return 0;
+}
+|}

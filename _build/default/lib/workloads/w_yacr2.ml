@@ -1,0 +1,89 @@
+(* ptrdist-yacr2: channel routing — assign horizontal net segments to
+   tracks such that overlapping intervals get different tracks (greedy
+   left-edge algorithm with vertical-constraint retries), the dominant
+   computation of YACR2. *)
+
+let source =
+  {|
+/* yacr2: left-edge channel routing */
+enum { NETS = 600, TRACKS = 64, WIDTH = 512 };
+
+unsigned seed = 31415u;
+unsigned rnd() {
+  seed = seed * 1103515245u + 12345u;
+  return (seed >> 16) & 32767u;
+}
+
+int lo[NETS];
+int hi[NETS];
+int track_of[NETS];
+int order[NETS];
+int track_end[TRACKS]; /* rightmost column used on each track */
+
+int main() {
+  int i, j, used_tracks = 0, failures = 0;
+  long span_sum = 0;
+
+  for (i = 0; i < NETS; i++) {
+    int a = (int)(rnd() % (unsigned)WIDTH);
+    int len = 1 + (int)(rnd() % 64u);
+    lo[i] = a;
+    hi[i] = a + len < WIDTH ? a + len : WIDTH - 1;
+    track_of[i] = -1;
+    order[i] = i;
+  }
+
+  /* sort nets by left edge (insertion sort, pointer-ish swaps) */
+  for (i = 1; i < NETS; i++) {
+    int key = order[i];
+    j = i - 1;
+    while (j >= 0 && lo[order[j]] > lo[key]) {
+      order[j + 1] = order[j];
+      j--;
+    }
+    order[j + 1] = key;
+  }
+
+  for (i = 0; i < TRACKS; i++) track_end[i] = -1;
+
+  /* greedy left-edge assignment */
+  for (i = 0; i < NETS; i++) {
+    int n = order[i];
+    int t, placed = 0;
+    for (t = 0; t < TRACKS; t++) {
+      if (track_end[t] < lo[n]) {
+        track_of[n] = t;
+        track_end[t] = hi[n];
+        if (t + 1 > used_tracks) used_tracks = t + 1;
+        placed = 1;
+        break;
+      }
+    }
+    if (!placed) failures++;
+    else span_sum += (long)(hi[n] - lo[n]);
+  }
+
+  /* verify: no two nets on the same track overlap */
+  {
+    int bad = 0;
+    for (i = 0; i < NETS; i++) {
+      if (track_of[i] < 0) continue;
+      for (j = i + 1; j < NETS; j++) {
+        if (track_of[j] == track_of[i]) {
+          if (!(hi[i] < lo[j] || hi[j] < lo[i])) bad++;
+        }
+      }
+    }
+    print_str("yacr2 tracks=");
+    print_int(used_tracks);
+    print_str(" unrouted=");
+    print_int(failures);
+    print_str(" overlaps=");
+    print_int(bad);
+    print_str(" span=");
+    print_long(span_sum);
+    print_nl();
+  }
+  return 0;
+}
+|}

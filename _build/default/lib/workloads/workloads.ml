@@ -1,0 +1,113 @@
+(* The benchmark suite: 17 MiniC programs mirroring the rows of the
+   paper's Table 2 (PtrDist + SPEC CINT2000 subset). Each program
+   generates its input deterministically (seeded LCG) and prints a
+   self-checking summary line. *)
+
+type workload = {
+  name : string; (* the paper's row name *)
+  kernel : string; (* one-line description of the mirrored computation *)
+  source : string; (* MiniC source *)
+}
+
+let all : workload list =
+  [
+    {
+      name = "ptrdist-anagram";
+      kernel = "word-signature hashing and anagram-class search";
+      source = W_anagram.source;
+    };
+    {
+      name = "ptrdist-ks";
+      kernel = "Kernighan-Schweikert graph partitioning";
+      source = W_ks.source;
+    };
+    {
+      name = "ptrdist-ft";
+      kernel = "minimum spanning tree over adjacency lists";
+      source = W_ft.source;
+    };
+    {
+      name = "ptrdist-yacr2";
+      kernel = "channel-routing track assignment";
+      source = W_yacr2.source;
+    };
+    {
+      name = "ptrdist-bc";
+      kernel = "arbitrary-precision calculator arithmetic";
+      source = W_bc.source;
+    };
+    {
+      name = "179.art";
+      kernel = "neural-network template matching";
+      source = W_art.source;
+    };
+    {
+      name = "183.equake";
+      kernel = "sparse matrix-vector time stepping";
+      source = W_equake.source;
+    };
+    {
+      name = "181.mcf";
+      kernel = "min-cost flow, successive shortest paths";
+      source = W_mcf.source;
+    };
+    {
+      name = "256.bzip2";
+      kernel = "move-to-front + run-length block coding";
+      source = W_bzip2.source;
+    };
+    {
+      name = "164.gzip";
+      kernel = "LZ77 sliding-window compression";
+      source = W_gzip.source;
+    };
+    {
+      name = "197.parser";
+      kernel = "tokenizer + recursive-descent grammar";
+      source = W_parser.source;
+    };
+    {
+      name = "188.ammp";
+      kernel = "n-body molecular dynamics";
+      source = W_ammp.source;
+    };
+    {
+      name = "175.vpr";
+      kernel = "simulated-annealing placement";
+      source = W_vpr.source;
+    };
+    {
+      name = "300.twolf";
+      kernel = "annealing with incremental net costs";
+      source = W_twolf.source;
+    };
+    {
+      name = "186.crafty";
+      kernel = "chess bitboard attack generation";
+      source = W_crafty.source;
+    };
+    {
+      name = "255.vortex";
+      kernel = "in-memory object database transactions";
+      source = W_vortex.source;
+    };
+    {
+      name = "254.gap";
+      kernel = "permutation-group arithmetic";
+      source = W_gap.source;
+    };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+(* lines of C source, the paper's LOC column *)
+let loc w =
+  List.length
+    (List.filter
+       (fun l -> String.trim l <> "")
+       (String.split_on_char '\n' w.source))
+
+let compile w = Minic.Mcodegen.compile_and_verify ~name:w.name w.source
+
+let compile_optimized ?(level = 2) w =
+  Minic.Mcodegen.compile_and_verify ~name:w.name ~optimize:level w.source

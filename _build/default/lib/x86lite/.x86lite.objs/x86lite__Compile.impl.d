@@ -1,0 +1,1 @@
+lib/x86lite/compile.ml: Array Buffer Codegen Eval Hashtbl Int64 Ir List Llva Printf Target Types Vmem X86

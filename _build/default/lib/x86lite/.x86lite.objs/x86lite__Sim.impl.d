@@ -1,0 +1,1 @@
+lib/x86lite/sim.ml: Array Compile Eval Float Hashtbl Int32 Int64 Ir List Llva Option Types Vmem X86

@@ -1,0 +1,1 @@
+lib/x86lite/x86.ml: Int64 Llva Printf

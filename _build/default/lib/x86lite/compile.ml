@@ -1,0 +1,747 @@
+(* X86-lite instruction selection.
+
+   One LLVA instruction expands to a handful of machine instructions; per
+   the paper the X86 back-end "performs virtually no optimization and very
+   simple register allocation resulting in significant spill code", which
+   here is the [spill_everything] allocator (every SSA value lives in a
+   stack slot; AX/CX/DX are scratch). An optional linear-scan mode keeps
+   hot values in BX/SI/DI for the ablation benchmarks.
+
+   Frame layout (BP-based):
+     [BP+16+8k]  argument k (pushed by the caller, 8 bytes each)
+     [BP+8]      return address
+     [BP]        saved BP
+     [BP-8(k+1)] spill slot k (value slots, then phi transfer slots)
+     below       static alloca area, then dynamic allocas (SP) *)
+
+open Llva
+open X86
+
+type cfunc = {
+  cf_name : string;
+  code : instr array;
+  nargs : int;
+  frame_slots : int; (* total 8-byte slots *)
+}
+
+type cmodule = {
+  cm : Ir.modl;
+  image : Vmem.Image.t;
+  funcs : (string, cfunc) Hashtbl.t;
+}
+
+type ctx = {
+  m : Ir.modl;
+  env : Types.env;
+  lt : Vmem.Layout.t;
+  img : Vmem.Image.t;
+  buf : instr list ref; (* reversed *)
+  assignment : Codegen.Regalloc.assignment;
+  plan : Codegen.Phiplan.t;
+  block_ids : (int, int) Hashtbl.t; (* block id -> dense label index *)
+  alloca_offsets : (int, int) Hashtbl.t; (* alloca instr id -> BP offset *)
+  n_value_slots : int;
+  total_frame : int;
+  saved_int : (reg * mem) list; (* callee-saved registers and their slots *)
+  saved_float : (freg * mem) list;
+  label_alloc : int ref; (* synthetic labels beyond block labels *)
+  extra_label_pos : (int, int) Hashtbl.t; (* synthetic label -> emit index *)
+  label_boundary : int ref; (* emit index of the latest label: fusion fence *)
+}
+
+let fresh_label ctx =
+  let l = !(ctx.label_alloc) in
+  ctx.label_alloc := l + 1;
+  l
+
+let place_label ctx l =
+  ctx.label_boundary := List.length !(ctx.buf);
+  Hashtbl.replace ctx.extra_label_pos l (List.length !(ctx.buf))
+
+(* Emit with a tiny peephole: "mov [slot], r" immediately followed by
+   "mov r, [slot]" skips the reload (no label may intervene). *)
+let emit ctx i =
+  (match (i, !(ctx.buf)) with
+  | Mov (R r, M m), Mov (M m', R r') :: _
+    when r = r' && m = m' && List.length !(ctx.buf) > !(ctx.label_boundary) ->
+      ()
+  | _ -> ctx.buf := i :: !(ctx.buf))
+
+let slot_mem _ctx k = { base = bp; disp = -8 * (k + 1) }
+let transfer_mem ctx t = slot_mem ctx (ctx.n_value_slots + t)
+
+let label_of ctx (b : Ir.block) = Hashtbl.find ctx.block_ids b.Ir.blid
+
+let is_float_ty ctx ty =
+  match Types.resolve ctx.env ty with
+  | Types.Float | Types.Double -> true
+  | _ -> false
+
+let is_single ctx ty = Types.equal (Types.resolve ctx.env ty) Types.Float
+
+let width_of ctx ty =
+  width_of_type ctx.m.Ir.target (Types.resolve ctx.env ty)
+
+let signed_of ctx ty =
+  match Types.resolve ctx.env ty with
+  | t when Types.is_integer t -> Types.is_signed t
+  | Types.Bool -> false
+  | Types.Pointer _ -> false
+  | _ -> false
+
+(* location of an SSA value id *)
+let loc_of ctx vid =
+  match Codegen.Regalloc.location_opt ctx.assignment vid with
+  | Some (Codegen.Regalloc.Reg r) -> R r
+  | Some (Codegen.Regalloc.Slot s) -> M (slot_mem ctx s)
+  | None -> I 0L (* dead value: never read *)
+
+let symbol_addr ctx name =
+  match Vmem.Image.symbol_address ctx.img name with
+  | Some a -> a
+  | None -> invalid_arg ("x86lite: unresolved symbol " ^ name)
+
+let scalar_const_bits ctx (c : Ir.const) : int64 =
+  match c.Ir.ckind with
+  | Ir.Cbool b -> if b then 1L else 0L
+  | Ir.Cint v -> v
+  | Ir.Cnull -> 0L
+  | Ir.Czero -> 0L
+  | Ir.Cglobal_ref name -> symbol_addr ctx name
+  | Ir.Cfloat _ -> invalid_arg "x86lite: float const in int context"
+  | _ -> invalid_arg "x86lite: aggregate constant operand"
+
+(* Bring an integer-class value into the given scratch register. *)
+let load_int ctx (v : Ir.value) (r : reg) =
+  match v with
+  | Ir.Const c -> emit ctx (Mov (R r, I (scalar_const_bits ctx c)))
+  | Ir.Vundef _ -> emit ctx (Mov (R r, I 0L))
+  | Ir.Vglobal g -> emit ctx (Mov (R r, I (symbol_addr ctx g.Ir.gname)))
+  | Ir.Vfunc f -> emit ctx (Mov (R r, I (symbol_addr ctx f.Ir.fname)))
+  | Ir.Vreg i -> emit ctx (Mov (R r, loc_of ctx i.Ir.iid))
+  | Ir.Varg a -> emit ctx (Mov (R r, loc_of ctx a.Ir.aid))
+  | Ir.Vblock _ -> invalid_arg "x86lite: label operand in value context"
+
+(* A source operand usable directly in a register-memory instruction:
+   constants become immediates, allocated values their home location. *)
+let src_operand ctx (v : Ir.value) : operand =
+  match v with
+  | Ir.Const c -> I (scalar_const_bits ctx c)
+  | Ir.Vundef _ -> I 0L
+  | Ir.Vglobal g -> I (symbol_addr ctx g.Ir.gname)
+  | Ir.Vfunc f -> I (symbol_addr ctx f.Ir.fname)
+  | Ir.Vreg i -> loc_of ctx i.Ir.iid
+  | Ir.Varg a -> loc_of ctx a.Ir.aid
+  | Ir.Vblock _ -> invalid_arg "x86lite: label operand in value context"
+
+(* Bring a float-class value into the given float scratch register. *)
+let load_float ctx (v : Ir.value) (f : freg) =
+  match v with
+  | Ir.Const { ckind = Ir.Cfloat x; Ir.cty } ->
+      emit ctx (Fconst (f, Eval.round_float cty x))
+  | Ir.Const { ckind = Ir.Czero; _ } -> emit ctx (Fconst (f, 0.0))
+  | Ir.Vundef _ -> emit ctx (Fconst (f, 0.0))
+  | Ir.Vreg i -> (
+      match Codegen.Regalloc.location_opt ctx.assignment i.Ir.iid with
+      | Some (Codegen.Regalloc.Reg r) -> emit ctx (Fmov (f, r))
+      | Some (Codegen.Regalloc.Slot s) ->
+          emit ctx (Fload (f, slot_mem ctx s, false))
+      | None -> emit ctx (Fconst (f, 0.0)))
+  | Ir.Varg a -> (
+      match Codegen.Regalloc.location_opt ctx.assignment a.Ir.aid with
+      | Some (Codegen.Regalloc.Reg r) -> emit ctx (Fmov (f, r))
+      | Some (Codegen.Regalloc.Slot s) ->
+          emit ctx (Fload (f, slot_mem ctx s, false))
+      | None -> emit ctx (Fconst (f, 0.0)))
+  | _ -> invalid_arg "x86lite: bad float operand"
+
+(* Store scratch register into a value's home location. *)
+let store_int ctx vid (r : reg) =
+  match loc_of ctx vid with
+  | R d -> if d <> r then emit ctx (Mov (R d, R r))
+  | M m -> emit ctx (Mov (M m, R r))
+  | I _ -> () (* dead *)
+
+let store_float ctx vid (f : freg) =
+  match Codegen.Regalloc.location_opt ctx.assignment vid with
+  | Some (Codegen.Regalloc.Reg d) -> if d <> f then emit ctx (Fmov (d, f))
+  | Some (Codegen.Regalloc.Slot s) ->
+      emit ctx (Fstore (slot_mem ctx s, f, false))
+  | None -> ()
+
+let cc_of_cmp signed (c : Ir.cmp) =
+  match (c, signed) with
+  | Ir.Eq, _ -> Eq
+  | Ir.Ne, _ -> Ne
+  | Ir.Lt, true -> Lt
+  | Ir.Gt, true -> Gt
+  | Ir.Le, true -> Le
+  | Ir.Ge, true -> Ge
+  | Ir.Lt, false -> Ltu
+  | Ir.Gt, false -> Gtu
+  | Ir.Le, false -> Leu
+  | Ir.Ge, false -> Geu
+
+(* move a value (either class) into a phi transfer slot *)
+let copy_to_transfer ctx (c : Codegen.Phiplan.edge_copy) =
+  let slot = transfer_mem ctx c.Codegen.Phiplan.transfer_slot in
+  if is_float_ty ctx c.Codegen.Phiplan.phi.Ir.ity then begin
+    load_float ctx c.Codegen.Phiplan.src 0;
+    emit ctx (Fstore (slot, 0, false))
+  end
+  else begin
+    load_int ctx c.Codegen.Phiplan.src ax;
+    emit ctx (Mov (M slot, R ax))
+  end
+
+let copy_from_transfer ctx (slot_idx, (phi : Ir.instr)) =
+  let slot = transfer_mem ctx slot_idx in
+  if is_float_ty ctx phi.Ir.ity then begin
+    emit ctx (Fload (0, slot, false));
+    store_float ctx phi.Ir.iid 0
+  end
+  else begin
+    emit ctx (Mov (R ax, M slot));
+    store_int ctx phi.Ir.iid ax
+  end
+
+(* ---------- calls ---------- *)
+
+let lower_call ctx (i : Ir.instr) ~except =
+  let callee = Ir.call_callee i in
+  let args = Ir.call_args i in
+  let n = List.length args in
+  if n > 0 then emit ctx (AddSp (-8 * n));
+  List.iteri
+    (fun k arg ->
+      if is_float_ty ctx (Ir.type_of_value arg) then begin
+        load_float ctx arg 0;
+        emit ctx (Fstore ({ base = sp; disp = 8 * k }, 0, false))
+      end
+      else begin
+        load_int ctx arg ax;
+        emit ctx (Mov (M { base = sp; disp = 8 * k }, R ax))
+      end)
+    args;
+  (match (callee, except) with
+  | Ir.Vfunc f, None -> emit ctx (CallSym f.Ir.fname)
+  | Ir.Vfunc f, Some lbl -> emit ctx (CallSymI (f.Ir.fname, lbl))
+  | _, None ->
+      load_int ctx callee cx;
+      emit ctx (CallInd (R cx))
+  | _, Some lbl ->
+      load_int ctx callee cx;
+      emit ctx (CallIndI (R cx, lbl)));
+  if n > 0 then emit ctx (AddSp (8 * n));
+  (* the result arrives in AX / F0 *)
+  if not (Types.equal i.Ir.ity Types.Void) then
+    if is_float_ty ctx i.Ir.ity then store_float ctx i.Ir.iid 0
+    else store_int ctx i.Ir.iid ax
+
+(* ---------- per-instruction selection ---------- *)
+
+let lower_instr ctx (i : Ir.instr) =
+  match i.Ir.op with
+  | Ir.Phi -> () (* handled by the transfer-slot copies *)
+  | Ir.Binop op -> (
+      let ty = i.Ir.ity in
+      if is_float_ty ctx ty then begin
+        let fop =
+          match op with
+          | Ir.Add -> Fadd
+          | Ir.Sub -> Fsub
+          | Ir.Mul -> Fmul
+          | Ir.Div -> Fdiv
+          | Ir.Rem -> Frem
+          | _ -> invalid_arg "x86lite: bitwise op on float"
+        in
+        load_float ctx i.Ir.operands.(0) 0;
+        load_float ctx i.Ir.operands.(1) 1;
+        emit ctx (Falu (fop, is_single ctx ty, 0, 1));
+        store_float ctx i.Ir.iid 0
+      end
+      else begin
+        let w = width_of ctx ty and s = signed_of ctx ty in
+        load_int ctx i.Ir.operands.(0) ax;
+        match op with
+        | Ir.Add | Ir.Sub | Ir.Mul | Ir.And | Ir.Or | Ir.Xor ->
+            let aop =
+              match op with
+              | Ir.Add -> Add
+              | Ir.Sub -> Sub
+              | Ir.Mul -> Imul
+              | Ir.And -> And
+              | Ir.Or -> Or
+              | Ir.Xor -> Xor
+              | _ -> assert false
+            in
+            emit ctx (Alu (aop, w, s, R ax, src_operand ctx i.Ir.operands.(1)));
+            store_int ctx i.Ir.iid ax
+        | Ir.Div | Ir.Rem ->
+            let src = src_operand ctx i.Ir.operands.(1) in
+            let src = match src with I _ | R _ -> src | M _ -> (load_int ctx i.Ir.operands.(1) dx; R dx) in
+            let mk = if op = Ir.Div then Div (w, s, R ax, src) else Rem (w, s, R ax, src) in
+            if i.Ir.exceptions_enabled then emit ctx mk
+            else begin
+              (* ExceptionsEnabled=false: a non-trapping division; guard
+                 against zero and produce 0 (the translator's encoding of
+                 an ignored exception, §3.3) *)
+              let skip = fresh_label ctx and done_ = fresh_label ctx in
+              emit ctx (Cmp (w, s, src, I 0L));
+              emit ctx (Jcc (Eq, skip));
+              emit ctx mk;
+              emit ctx (Jmp done_);
+              place_label ctx skip;
+              emit ctx (Mov (R ax, I 0L));
+              place_label ctx done_
+            end;
+            store_int ctx i.Ir.iid ax
+        | Ir.Shl | Ir.Shr ->
+            let count =
+              match src_operand ctx i.Ir.operands.(1) with
+              | I c -> I c
+              | _ ->
+                  load_int ctx i.Ir.operands.(1) cx;
+                  R cx
+            in
+            emit ctx (Shift (op = Ir.Shl, w, s, R ax, count));
+            store_int ctx i.Ir.iid ax
+      end)
+  | Ir.Setcc c ->
+      let opty = Types.resolve ctx.env (Ir.type_of_value i.Ir.operands.(0)) in
+      if Types.is_fp opty then begin
+        load_float ctx i.Ir.operands.(0) 0;
+        load_float ctx i.Ir.operands.(1) 1;
+        emit ctx (Fcmp (0, 1));
+        emit ctx (Setcc (cc_of_cmp true c, ax));
+        store_int ctx i.Ir.iid ax
+      end
+      else begin
+        let w = width_of ctx opty in
+        let s = signed_of ctx opty in
+        load_int ctx i.Ir.operands.(0) ax;
+        emit ctx (Cmp (w, s, R ax, src_operand ctx i.Ir.operands.(1)));
+        emit ctx (Setcc (cc_of_cmp s c, ax));
+        store_int ctx i.Ir.iid ax
+      end
+  | Ir.Load ->
+      let elem = Types.resolve ctx.env i.Ir.ity in
+      load_int ctx i.Ir.operands.(0) cx;
+      let guard_end =
+        if i.Ir.exceptions_enabled then None
+        else begin
+          (* non-trapping load: null pointer yields 0 *)
+          let skip = fresh_label ctx and done_ = fresh_label ctx in
+          emit ctx (Cmp (W64, false, R cx, I 0L));
+          emit ctx (Jcc (Eq, skip));
+          Some (skip, done_)
+        end
+      in
+      if Types.is_fp elem then
+        emit ctx (Fload (0, { base = cx; disp = 0 }, is_single ctx elem))
+      else
+        emit ctx
+          (Mload (ax, { base = cx; disp = 0 }, width_of ctx elem,
+                  signed_of ctx elem));
+      (match guard_end with
+      | Some (skip, done_) ->
+          emit ctx (Jmp done_);
+          place_label ctx skip;
+          if Types.is_fp elem then emit ctx (Fconst (0, 0.0))
+          else emit ctx (Mov (R ax, I 0L));
+          place_label ctx done_
+      | None -> ());
+      if Types.is_fp elem then store_float ctx i.Ir.iid 0
+      else store_int ctx i.Ir.iid ax
+  | Ir.Store ->
+      let vty = Types.resolve ctx.env (Ir.type_of_value i.Ir.operands.(0)) in
+      load_int ctx i.Ir.operands.(1) cx;
+      let skip_store =
+        if i.Ir.exceptions_enabled then None
+        else begin
+          let skip = fresh_label ctx in
+          emit ctx (Cmp (W64, false, R cx, I 0L));
+          emit ctx (Jcc (Eq, skip));
+          Some skip
+        end
+      in
+      if Types.is_fp vty then begin
+        load_float ctx i.Ir.operands.(0) 0;
+        emit ctx (Fstore ({ base = cx; disp = 0 }, 0, is_single ctx vty))
+      end
+      else begin
+        load_int ctx i.Ir.operands.(0) ax;
+        emit ctx (Mstore ({ base = cx; disp = 0 }, ax, width_of ctx vty))
+      end;
+      (match skip_store with
+      | Some skip -> place_label ctx skip
+      | None -> ())
+  | Ir.Getelementptr ->
+      load_int ctx i.Ir.operands.(0) ax;
+      let ptr_ty = Ir.type_of_value i.Ir.operands.(0) in
+      let elem = Types.pointee ctx.env ptr_ty in
+      (* walk the indexes, folding constants into a displacement *)
+      let disp = ref 0 in
+      let cur_ty = ref elem in
+      Array.iteri
+        (fun k op ->
+          if k >= 1 then begin
+            let stride_ty = if k = 1 then elem else !cur_ty in
+            match (k, Types.resolve ctx.env (if k = 1 then Types.Pointer elem else stride_ty)) with
+            | 1, _ -> (
+                (* first index scales by sizeof(elem) *)
+                let sz = Vmem.Layout.size_of ctx.lt elem in
+                match op with
+                | Ir.Const { ckind = Ir.Cint n; _ } ->
+                    disp := !disp + (Int64.to_int n * sz)
+                | _ ->
+                    load_int ctx op dx;
+                    if sz <> 1 then emit ctx (Alu (Imul, W64, true, R dx, I (Int64.of_int sz)));
+                    emit ctx (Alu (Add, W64, true, R ax, R dx)))
+            | _, Types.Struct fields ->
+                let fk =
+                  match op with
+                  | Ir.Const { ckind = Ir.Cint n; _ } -> Int64.to_int n
+                  | _ -> invalid_arg "x86lite: variable struct index"
+                in
+                disp := !disp + Vmem.Layout.field_offset ctx.lt fields fk;
+                cur_ty := List.nth fields fk
+            | _, Types.Array (_, e) -> (
+                let sz = Vmem.Layout.size_of ctx.lt e in
+                (match op with
+                | Ir.Const { ckind = Ir.Cint n; _ } ->
+                    disp := !disp + (Int64.to_int n * sz)
+                | _ ->
+                    load_int ctx op dx;
+                    if sz <> 1 then
+                      emit ctx (Alu (Imul, W64, true, R dx, I (Int64.of_int sz)));
+                    emit ctx (Alu (Add, W64, true, R ax, R dx)));
+                cur_ty := e)
+            | _, t ->
+                invalid_arg ("x86lite: gep into " ^ Types.to_string t)
+          end)
+        i.Ir.operands;
+      if !disp <> 0 then emit ctx (Alu (Add, W64, true, R ax, I (Int64.of_int !disp)));
+      if ctx.m.Ir.target.Target.ptr_size = 4 then emit ctx (Ext (ax, W32, false));
+      store_int ctx i.Ir.iid ax
+  | Ir.Alloca -> (
+      match Hashtbl.find_opt ctx.alloca_offsets i.Ir.iid with
+      | Some off ->
+          emit ctx (Lea (ax, { base = bp; disp = -off }));
+          store_int ctx i.Ir.iid ax
+      | None ->
+          (* dynamic alloca: size = count * sizeof(elem), 8-aligned *)
+          let elem = Types.pointee ctx.env i.Ir.ity in
+          let sz = Vmem.Layout.size_of ctx.lt elem in
+          load_int ctx i.Ir.operands.(0) ax;
+          if sz <> 1 then emit ctx (Alu (Imul, W64, true, R ax, I (Int64.of_int sz)));
+          emit ctx (Alu (Add, W64, true, R ax, I 7L));
+          emit ctx (Alu (And, W64, true, R ax, I (-8L)));
+          emit ctx (SubSpDyn (dx, ax));
+          store_int ctx i.Ir.iid dx)
+  | Ir.Cast ->
+      let src_ty = Types.resolve ctx.env (Ir.type_of_value i.Ir.operands.(0)) in
+      let dst_ty = Types.resolve ctx.env i.Ir.ity in
+      if Types.is_fp dst_ty then
+        if Types.is_fp src_ty then begin
+          load_float ctx i.Ir.operands.(0) 0;
+          if is_single ctx dst_ty then emit ctx (Fround 0);
+          store_float ctx i.Ir.iid 0
+        end
+        else begin
+          load_int ctx i.Ir.operands.(0) ax;
+          emit ctx (Cvtif (0, ax, Types.is_signed src_ty));
+          if is_single ctx dst_ty then emit ctx (Fround 0);
+          store_float ctx i.Ir.iid 0
+        end
+      else if Types.is_fp src_ty then begin
+        load_float ctx i.Ir.operands.(0) 0;
+        let w = width_of ctx dst_ty and s = signed_of ctx dst_ty in
+        emit ctx (Cvtfi (ax, 0, w, s));
+        store_int ctx i.Ir.iid ax
+      end
+      else begin
+        load_int ctx i.Ir.operands.(0) ax;
+        (match dst_ty with
+        | Types.Bool ->
+            emit ctx (Cmp (W64, false, R ax, I 0L));
+            emit ctx (Setcc (Ne, ax))
+        | Types.Pointer _ ->
+            if ctx.m.Ir.target.Target.ptr_size = 4 then
+              emit ctx (Ext (ax, W32, false))
+        | t when Types.is_integer t ->
+            emit ctx (Ext (ax, width_of ctx t, Types.is_signed t))
+        | _ -> ());
+        store_int ctx i.Ir.iid ax
+      end
+  | Ir.Call -> lower_call ctx i ~except:None
+  | Ir.Invoke ->
+      let except = label_of ctx (Ir.block_of_value i.Ir.operands.(2)) in
+      let normal = label_of ctx (Ir.block_of_value i.Ir.operands.(1)) in
+      lower_call ctx i ~except:(Some except);
+      emit ctx (Jmp normal)
+  | Ir.Unwind -> emit ctx Unwind
+  | Ir.Ret ->
+      if Array.length i.Ir.operands = 1 then begin
+        let v = i.Ir.operands.(0) in
+        if is_float_ty ctx (Ir.type_of_value v) then begin
+          load_float ctx v 0;
+          emit ctx (Fpushret 0)
+        end
+        else load_int ctx v ax
+      end;
+      (* epilogue: restore callee-saved registers, tear down the frame *)
+      List.iter (fun (r, m) -> emit ctx (Mov (R r, M m))) ctx.saved_int;
+      List.iter (fun (fr, m) -> emit ctx (Fload (fr, m, false))) ctx.saved_float;
+      emit ctx (Mov (R sp, R bp));
+      emit ctx (Pop bp);
+      emit ctx Ret
+  | Ir.Br ->
+      if Array.length i.Ir.operands = 1 then
+        emit ctx (Jmp (label_of ctx (Ir.block_of_value i.Ir.operands.(0))))
+      else begin
+        emit ctx (Cmp (W8, false, src_operand ctx i.Ir.operands.(0), I 0L));
+        emit ctx (Jcc (Ne, label_of ctx (Ir.block_of_value i.Ir.operands.(1))));
+        emit ctx (Jmp (label_of ctx (Ir.block_of_value i.Ir.operands.(2))))
+      end
+  | Ir.Mbr ->
+      let w = width_of ctx (Ir.type_of_value i.Ir.operands.(0)) in
+      let s = signed_of ctx (Ir.type_of_value i.Ir.operands.(0)) in
+      load_int ctx i.Ir.operands.(0) ax;
+      let rec cases k =
+        if k + 1 < Array.length i.Ir.operands then begin
+          (match i.Ir.operands.(k) with
+          | Ir.Const { ckind = Ir.Cint c; _ } ->
+              emit ctx (Cmp (w, s, R ax, I c));
+              emit ctx
+                (Jcc (Eq, label_of ctx (Ir.block_of_value i.Ir.operands.(k + 1))))
+          | _ -> ());
+          cases (k + 2)
+        end
+      in
+      cases 2;
+      emit ctx (Jmp (label_of ctx (Ir.block_of_value i.Ir.operands.(1))))
+
+
+
+let negate_cc = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Ge -> Lt
+  | Gt -> Le
+  | Le -> Gt
+  | Ltu -> Geu
+  | Geu -> Ltu
+  | Gtu -> Leu
+  | Leu -> Gtu
+
+(* "jcc a; jmp b" where a is the fall-through: invert the condition so the
+   unconditional jump becomes removable by [relax] *)
+let invert_branches (code : instr array) =
+  let n = Array.length code in
+  Array.iteri
+    (fun k i ->
+      if k + 2 <= n - 1 || k + 1 <= n - 1 then
+        match (i, if k + 1 < n then Some code.(k + 1) else None) with
+        | Jcc (cc, a), Some (Jmp b) when a = k + 2 ->
+            code.(k) <- Jcc (negate_cc cc, b);
+            code.(k + 1) <- Jmp a
+        | _ -> ())
+    code;
+  code
+
+(* Remove jumps to the immediately following instruction (fall-through),
+   remapping all label targets; block layout thus affects both code size
+   and cycle counts, which the LLEE trace optimizer exploits. *)
+let rec relax (code : instr array) =
+  let n = Array.length code in
+  let rec find k =
+    if k >= n then None
+    else
+      match code.(k) with
+      | Jmp l when l = k + 1 -> Some k
+      | _ -> find (k + 1)
+  in
+  match find 0 with
+  | None -> code
+  | Some k ->
+      let adjust l = if l > k then l - 1 else l in
+      let out =
+        Array.init (n - 1) (fun j ->
+            let i = if j < k then code.(j) else code.(j + 1) in
+            match i with
+            | Jmp l -> Jmp (adjust l)
+            | Jcc (cc, l) -> Jcc (cc, adjust l)
+            | CallSymI (s, l) -> CallSymI (s, adjust l)
+            | CallIndI (o, l) -> CallIndI (o, adjust l)
+            | other -> other)
+      in
+      relax out
+
+(* ---------- per-function ---------- *)
+
+let compile_function (m : Ir.modl) (img : Vmem.Image.t)
+    ?(linear_scan = false) (f : Ir.func) : cfunc =
+  let env = Ir.type_env m in
+  let lt = Vmem.Layout.for_module m in
+  let ivs = Codegen.Intervals.build ~env f in
+  let assignment =
+    if linear_scan then
+      Codegen.Regalloc.linear_scan ~int_regs:allocatable_int
+        ~float_regs:allocatable_float ivs
+    else Codegen.Regalloc.spill_everything ivs
+  in
+  let plan = Codegen.Phiplan.build f in
+  (* static alloca area *)
+  let alloca_offsets = Hashtbl.create 8 in
+  let n_value_slots = assignment.Codegen.Regalloc.n_slots in
+  let base = 8 * (n_value_slots + plan.Codegen.Phiplan.n_transfer_slots) in
+  let alloca_area = ref 0 in
+  Ir.iter_instrs
+    (fun i ->
+      if i.Ir.op = Ir.Alloca && Array.length i.Ir.operands = 0 then begin
+        let elem = Types.pointee env i.Ir.ity in
+        let sz = (Vmem.Layout.size_of lt elem + 7) / 8 * 8 in
+        alloca_area := !alloca_area + sz;
+        Hashtbl.replace alloca_offsets i.Ir.iid (base + !alloca_area)
+      end)
+    f;
+  (* callee-saved register save area (linear-scan mode only) *)
+  let saved_int = ref [] and saved_float = ref [] in
+  let save_area = ref 0 in
+  List.iter
+    (fun r ->
+      save_area := !save_area + 8;
+      saved_int :=
+        (r, { base = bp; disp = -(base + !alloca_area + !save_area) }) :: !saved_int)
+    assignment.Codegen.Regalloc.used_regs_int;
+  List.iter
+    (fun fr ->
+      save_area := !save_area + 8;
+      saved_float :=
+        (fr, { base = bp; disp = -(base + !alloca_area + !save_area) })
+        :: !saved_float)
+    assignment.Codegen.Regalloc.used_regs_float;
+  let total_frame = base + !alloca_area + !save_area in
+  let block_ids = Hashtbl.create 16 in
+  List.iteri
+    (fun k (b : Ir.block) -> Hashtbl.replace block_ids b.Ir.blid k)
+    f.Ir.fblocks;
+  let ctx =
+    {
+      m;
+      env;
+      lt;
+      img;
+      buf = ref [];
+      assignment;
+      plan;
+      block_ids;
+      alloca_offsets;
+      n_value_slots;
+      total_frame;
+      saved_int = !saved_int;
+      saved_float = !saved_float;
+      label_alloc = ref (List.length f.Ir.fblocks);
+      extra_label_pos = Hashtbl.create 8;
+      label_boundary = ref 0;
+    }
+  in
+  (* prologue *)
+  emit ctx (Push (R bp));
+  emit ctx (Mov (R bp, R sp));
+  if total_frame > 0 then emit ctx (AddSp (-total_frame));
+  List.iter (fun (r, m) -> emit ctx (Mov (M m, R r))) ctx.saved_int;
+  List.iter (fun (fr, m) -> emit ctx (Fstore (m, fr, false))) ctx.saved_float;
+  (* spill incoming arguments to their home locations *)
+  List.iteri
+    (fun k (a : Ir.arg) ->
+      let src = { base = bp; disp = 16 + (8 * k) } in
+      if is_float_ty ctx a.Ir.aty then begin
+        emit ctx (Fload (0, src, false));
+        store_float ctx a.Ir.aid 0
+      end
+      else begin
+        emit ctx (Mov (R ax, M src));
+        store_int ctx a.Ir.aid ax
+      end)
+    f.Ir.fargs;
+  (* body: per block, marking label positions *)
+  let label_pos = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      ctx.label_boundary := List.length !(ctx.buf);
+      Hashtbl.replace label_pos (label_of ctx b) (List.length !(ctx.buf));
+      List.iter (fun c -> copy_from_transfer ctx c) (Codegen.Phiplan.start_copies plan b);
+      List.iter
+        (fun (i : Ir.instr) ->
+          if Ir.is_terminator i then
+            (* phi edge copies happen before the terminator *)
+            List.iter (fun c -> copy_to_transfer ctx c)
+              (Codegen.Phiplan.end_copies plan b);
+          lower_instr ctx i)
+        b.Ir.instrs)
+    f.Ir.fblocks;
+  (* resolve labels: Jmp/Jcc targets are label indices; rewrite to code
+     positions *)
+  let code = Array.of_list (List.rev !(ctx.buf)) in
+  let resolve l =
+    match Hashtbl.find_opt label_pos l with
+    | Some p -> p
+    | None -> (
+        match Hashtbl.find_opt ctx.extra_label_pos l with
+        | Some p -> p
+        | None -> invalid_arg "x86lite: unresolved label")
+  in
+  let code =
+    Array.map
+      (fun ins ->
+        match ins with
+        | Jmp l -> Jmp (resolve l)
+        | Jcc (cc, l) -> Jcc (cc, resolve l)
+        | CallSymI (s, l) -> CallSymI (s, resolve l)
+        | CallIndI (o, l) -> CallIndI (o, resolve l)
+        | other -> other)
+      code
+  in
+  let code = relax (invert_branches code) in
+  {
+    cf_name = f.Ir.fname;
+    code;
+    nargs = List.length f.Ir.fargs;
+    frame_slots = total_frame / 8;
+  }
+
+let compile_module ?(linear_scan = false) (m : Ir.modl) : cmodule =
+  let image = Vmem.Image.load m in
+  let funcs = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if not (Ir.is_declaration f) then
+        Hashtbl.replace funcs f.Ir.fname
+          (compile_function m image ~linear_scan f))
+    m.Ir.funcs;
+  { cm = m; image; funcs }
+
+(* ---------- metrics ---------- *)
+
+let func_instr_count cf = Array.length cf.code
+
+let func_code_size cf =
+  Array.fold_left (fun acc i -> acc + size_of i) 0 cf.code
+
+let module_instr_count cm =
+  Hashtbl.fold (fun _ cf acc -> acc + func_instr_count cf) cm.funcs 0
+
+(* native code bytes + global data, comparable to Table 2's native size *)
+let module_code_size cm =
+  Hashtbl.fold (fun _ cf acc -> acc + func_code_size cf) cm.funcs 0
+
+let disassemble cf =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (cf.cf_name ^ ":\n");
+  Array.iteri
+    (fun k i -> Buffer.add_string buf (Printf.sprintf "  %3d: %s\n" k (to_string i)))
+    cf.code;
+  Buffer.contents buf

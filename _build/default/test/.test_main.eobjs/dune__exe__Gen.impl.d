@@ -1,0 +1,1 @@
+test/gen.ml: Alcotest Array Builder Decode Encode Int64 Interp Ir List Llva Option Pretty QCheck Random Resolve String Types Verify

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Hashtbl Ir List Llva Option Pretty Printf QCheck QCheck_alcotest Random Resolve Types Vmem

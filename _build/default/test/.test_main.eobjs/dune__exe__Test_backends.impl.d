@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Gen Int64 Ir List Llva Printf QCheck QCheck_alcotest Random Sparclite Target Transform X86lite

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Codegen Gen Ir List Llva Option QCheck QCheck_alcotest Resolve Sparclite X86lite

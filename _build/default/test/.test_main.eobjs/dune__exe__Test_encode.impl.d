@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Builder Decode Encode Gen Int64 Interp Ir List Llva Option Printf QCheck QCheck_alcotest Resolve String Target Types Verify

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Interp List Llva Obj Printf Resolve String Target Verify

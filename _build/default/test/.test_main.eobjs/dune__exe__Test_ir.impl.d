@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Int64 Ir List Llva Option Types Verify

@@ -1,0 +1,1 @@
+test/test_llee.ml: Alcotest Array Filename Gen Int64 Ir List Llee Llva Option Printf Sys Verify

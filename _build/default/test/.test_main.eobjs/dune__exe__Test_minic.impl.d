@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Interp List Llva Minic Sparclite String Transform X86lite

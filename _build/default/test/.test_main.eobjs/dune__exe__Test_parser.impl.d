@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Builder Char Float Int64 Ir Lexer List Llva Option Parser Pretty QCheck QCheck_alcotest Random Resolve String Target Types Verify

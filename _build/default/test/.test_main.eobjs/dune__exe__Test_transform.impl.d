@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Analysis Array Gen Interp Ir List Llva Option QCheck QCheck_alcotest String Transform Verify

@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Char Eval Float Hashtbl Int64 Ir List Llva Option QCheck QCheck_alcotest Resolve Target Types Vmem

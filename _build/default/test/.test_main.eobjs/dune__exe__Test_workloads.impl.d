@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Interp List Llva Option Printf Sparclite String Workloads X86lite

@@ -1,0 +1,157 @@
+(* Shared test helpers: random well-typed program generation and
+   execution shorthands used by several suites. *)
+
+open Llva
+
+let parse src =
+  let m = Resolve.parse_module src in
+  (match Verify.verify_module m with
+  | [] -> ()
+  | errs -> Alcotest.failf "verify: %s" (String.concat "; " errs));
+  m
+
+let run_interp ?(fuel = 2_000_000) m =
+  let st = Interp.create ~fuel m in
+  let code = Interp.run_main st in
+  (code, Interp.output st)
+
+(* deep copy via object code *)
+let clone m = Decode.decode (Encode.encode m)
+
+(* Build a random program with arithmetic, a diamond, and a bounded loop.
+   Inputs come from globals (opaque to SCCP) so not everything folds. *)
+let random_program rand : Ir.modl =
+  let m = Ir.mk_module ~name:"diff" () in
+  let g1 =
+    Ir.mk_global ~name:"in1" ~ty:Types.Int
+      ~init:
+        {
+          Ir.cty = Types.Int;
+          ckind = Ir.Cint (Int64.of_int (Random.State.int rand 100));
+        }
+      ()
+  in
+  let g2 =
+    Ir.mk_global ~name:"in2" ~ty:Types.Int
+      ~init:
+        {
+          Ir.cty = Types.Int;
+          ckind = Ir.Cint (Int64.of_int (1 + Random.State.int rand 50));
+        }
+      ()
+  in
+  Ir.add_global m g1;
+  Ir.add_global m g2;
+  let f = Ir.mk_func ~name:"main" ~return:Types.Int ~params:[] () in
+  Ir.add_func m f;
+  let entry = Ir.mk_block ~name:"entry" () in
+  let header = Ir.mk_block ~name:"header" () in
+  let bthen = Ir.mk_block ~name:"bthen" () in
+  let belse = Ir.mk_block ~name:"belse" () in
+  let latch = Ir.mk_block ~name:"latch" () in
+  let exit = Ir.mk_block ~name:"exit" () in
+  List.iter (Ir.append_block f) [ entry; header; bthen; belse; latch; exit ];
+  let bld = Builder.create m in
+  Builder.position_at_end entry bld;
+  let v1 = Builder.load bld (Ir.Vglobal g1) in
+  let v2 = Builder.load bld (Ir.Vglobal g2) in
+  let pool = ref [ v1; v2; Ir.const_int Types.Int 3L ] in
+  let pick () = List.nth !pool (Random.State.int rand (List.length !pool)) in
+  let random_arith n =
+    for _ = 1 to n do
+      let ops = [| Ir.Add; Ir.Sub; Ir.Mul; Ir.And; Ir.Or; Ir.Xor |] in
+      let op = ops.(Random.State.int rand (Array.length ops)) in
+      pool := Builder.binop bld op (pick ()) (pick ()) :: !pool
+    done
+  in
+  random_arith (2 + Random.State.int rand 6);
+  let seed_val = pick () in
+  Builder.br bld header;
+  Builder.position_at_end header bld;
+  let i_phi = Builder.phi_at_front bld Types.Int [] in
+  let acc_phi = Builder.phi_at_front bld Types.Int [] in
+  let cmp =
+    Builder.setcc bld Ir.Lt i_phi
+      (Ir.const_int Types.Int (Int64.of_int (1 + Random.State.int rand 8)))
+  in
+  Builder.cond_br bld cmp bthen belse;
+  Builder.position_at_end bthen bld;
+  pool := [ acc_phi; i_phi; v1; v2 ];
+  random_arith (1 + Random.State.int rand 4);
+  let tval = pick () in
+  Builder.br bld latch;
+  Builder.position_at_end belse bld;
+  pool := [ acc_phi; i_phi; v2; Ir.const_int Types.Int 7L ];
+  random_arith (1 + Random.State.int rand 4);
+  let eval_ = pick () in
+  Builder.br bld latch;
+  Builder.position_at_end latch bld;
+  let merged =
+    Builder.phi_at_front bld Types.Int [ (tval, bthen); (eval_, belse) ]
+  in
+  let inext = Builder.add bld i_phi (Ir.const_int Types.Int 1L) in
+  let done_ = Builder.setcc bld Ir.Ge inext (Ir.const_int Types.Int 10L) in
+  Builder.cond_br bld done_ exit header;
+  (match (i_phi, acc_phi) with
+  | Ir.Vreg ip, Ir.Vreg ap ->
+      Ir.phi_set_incoming ip
+        [ (Ir.const_int Types.Int 0L, entry); (inext, latch) ];
+      Ir.phi_set_incoming ap [ (seed_val, entry); (merged, latch) ]
+  | _ -> assert false);
+  Builder.position_at_end exit bld;
+  let masked = Builder.and_ bld merged (Ir.const_int Types.Int 0xFFL) in
+  Builder.ret bld (Some masked);
+  m
+
+let gen_program : Ir.modl QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    let* seed = int_range 0 10_000_000 in
+    return (random_program (Random.State.make [| seed |]))
+  in
+  QCheck.make gen ~print:(fun m -> Pretty.module_to_string m)
+
+(* A richer generator that also exercises memory (arrays on the heap and
+   stack), several integer widths and casts. *)
+let random_memory_program rand : Ir.modl =
+  let m = random_program rand in
+  let f = Option.get (Ir.find_func m "main") in
+  (* prepend to the entry block: fill a stack array, sum it back *)
+  let entry = Ir.entry_block f in
+  let bld = Builder.create m in
+  Builder.position_at_end entry bld;
+  (* remove the existing terminator, rebuild it at the end *)
+  let term = Option.get (Ir.terminator entry) in
+  let term_target =
+    match term.Ir.operands.(0) with Ir.Vblock b -> b | _ -> assert false
+  in
+  Ir.remove_instr term;
+  let n = 4 + Random.State.int rand 8 in
+  let arr = Builder.alloca bld (Types.Array (n, Types.Short)) in
+  let acc = ref (Ir.const_int Types.Int 0L) in
+  for k = 0 to n - 1 do
+    let slot =
+      Builder.getelementptr bld arr
+        [ Ir.const_int Types.Long 0L; Ir.const_int Types.Long (Int64.of_int k) ]
+    in
+    let v = Random.State.int rand 1000 - 500 in
+    Builder.store bld (Ir.const_int Types.Short (Int64.of_int v)) slot;
+    let back = Builder.load bld slot in
+    let wide = Builder.cast bld back Types.Int in
+    acc := Builder.add bld !acc wide
+  done;
+  (* merge into the global input so downstream arithmetic depends on it *)
+  let g1 = Option.get (Ir.find_global m "in1") in
+  let old = Builder.load bld (Ir.Vglobal g1) in
+  let mixed = Builder.xor bld old !acc in
+  Builder.store bld mixed (Ir.Vglobal g1);
+  Builder.br bld term_target;
+  m
+
+let gen_memory_program : Ir.modl QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    let* seed = int_range 0 10_000_000 in
+    return (random_memory_program (Random.State.make [| seed |]))
+  in
+  QCheck.make gen ~print:(fun m -> Pretty.module_to_string m)

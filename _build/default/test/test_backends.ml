@@ -1,0 +1,558 @@
+(* Back-end tests: both code generators run a battery of programs and a
+   random differential property against the reference interpreter, with
+   both register allocators and with/without the optimizer. *)
+
+open Llva
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let run_x86 ?(linear_scan = false) ?(fuel = 50_000_000) m =
+  let cm = X86lite.Compile.compile_module ~linear_scan m in
+  let code, st = X86lite.Sim.run_main ~fuel cm in
+  (code, X86lite.Sim.output st)
+
+let run_sparc ?(spill_everything = false) ?(fuel = 50_000_000) m =
+  let cm = Sparclite.Compile.compile_module ~spill_everything m in
+  let code, st = Sparclite.Sim.run_main ~fuel cm in
+  (code, Sparclite.Sim.output st)
+
+let all_ways m =
+  [
+    ("interp", Gen.run_interp (Gen.clone m));
+    ("x86 naive", run_x86 (Gen.clone m));
+    ("x86 linear-scan", run_x86 ~linear_scan:true (Gen.clone m));
+    ("sparc linear-scan", run_sparc (Gen.clone m));
+    ("sparc naive", run_sparc ~spill_everything:true (Gen.clone m));
+  ]
+
+let check_agreement src =
+  let m = Gen.parse src in
+  match all_ways m with
+  | [] -> ()
+  | (ref_name, ref_result) :: rest ->
+      List.iter
+        (fun (name, result) ->
+          if result <> ref_result then
+            Alcotest.failf "%s disagrees with %s: (%d,%S) vs (%d,%S)" name
+              ref_name (fst result) (snd result) (fst ref_result)
+              (snd ref_result))
+        rest
+
+let test_basic_programs () =
+  check_agreement
+    {|
+int %main() {
+entry:
+  %a = add int 20, 22
+  ret int %a
+}
+|};
+  check_agreement
+    {|
+declare void %print_int(int)
+int %main() {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %n, %loop ]
+  %acc = phi int [ 0, %entry ], [ %a2, %loop ]
+  %a2 = add int %acc, %i
+  %n = add int %i, 1
+  %d = setge int %n, 100
+  br bool %d, label %out, label %loop
+out:
+  call void %print_int(int %a2)
+  ret int 0
+}
+|}
+
+let test_widths_and_signs () =
+  check_agreement
+    {|
+declare void %print_int(int)
+int %main() {
+entry:
+  %a = add ubyte 200, 100
+  %b = cast ubyte %a to int
+  call void %print_int(int %b)
+  %c = add sbyte 100, 100
+  %d = cast sbyte %c to int
+  call void %print_int(int %d)
+  %e = div int -7, 2
+  call void %print_int(int %e)
+  %f = div uint 4294967295, 3
+  %g = cast uint %f to int
+  call void %print_int(int %g)
+  %h = shr int -32, ubyte 2
+  call void %print_int(int %h)
+  %i2 = shr uint 4294967295, ubyte 28
+  %j = cast uint %i2 to int
+  call void %print_int(int %j)
+  %k = rem int -7, 3
+  call void %print_int(int %k)
+  %l = mul short 1000, 1000
+  %m2 = cast short %l to int
+  call void %print_int(int %m2)
+  ret int 0
+}
+|}
+
+let test_comparisons () =
+  check_agreement
+    {|
+declare void %print_int(int)
+void %show(bool %b) {
+entry:
+  %v = cast bool %b to int
+  call void %print_int(int %v)
+  ret void
+}
+int %main() {
+entry:
+  %c1 = setlt int -1, 1
+  call void %show(bool %c1)
+  %c2 = setlt uint 4294967295, 1
+  call void %show(bool %c2)
+  %c3 = setge long -9000000000, 1
+  call void %show(bool %c3)
+  %c4 = setgt ubyte 200, 100
+  call void %show(bool %c4)
+  %c5 = seteq double 1.5, 1.5
+  call void %show(bool %c5)
+  %c6 = setlt double -2.5, 1.0
+  call void %show(bool %c6)
+  %c7 = setne float 1.0, 2.0
+  call void %show(bool %c7)
+  ret int 0
+}
+|}
+
+let test_floats () =
+  check_agreement
+    {|
+declare void %print_float(double)
+int %main() {
+entry:
+  %a = add double 1.5, 2.25
+  call void %print_float(double %a)
+  %b = mul double %a, 2.0
+  %c = div double %b, 3.0
+  call void %print_float(double %c)
+  %d = cast double %c to float
+  %e = cast float %d to double
+  call void %print_float(double %e)
+  %f = cast double 3.99 to int
+  %g = cast int %f to double
+  call void %print_float(double %g)
+  %h = sub float 10.5, 0.25
+  %i2 = cast float %h to double
+  call void %print_float(double %i2)
+  %j = rem double 10.0, 3.0
+  call void %print_float(double %j)
+  ret int 0
+}
+|}
+
+let test_memory () =
+  check_agreement
+    {|
+%struct.node = type { int, %struct.node* }
+declare sbyte* %malloc(uint)
+declare void %free(sbyte*)
+declare void %print_int(int)
+
+int %main() {
+entry:
+  br label %build
+build:
+  %i = phi int [ 0, %entry ], [ %inext, %build ]
+  %head = phi %struct.node* [ null, %entry ], [ %node, %build ]
+  %raw = call sbyte* %malloc(uint 16)
+  %node = cast sbyte* %raw to %struct.node*
+  %vp = getelementptr %struct.node* %node, long 0, ubyte 0
+  store int %i, int* %vp
+  %np = getelementptr %struct.node* %node, long 0, ubyte 1
+  store %struct.node* %head, %struct.node** %np
+  %inext = add int %i, 1
+  %done = setge int %inext, 10
+  br bool %done, label %sum, label %build
+sum:
+  %cur = phi %struct.node* [ %node, %build ], [ %next, %sum ]
+  %acc = phi int [ 0, %build ], [ %acc2, %sum ]
+  %vp2 = getelementptr %struct.node* %cur, long 0, ubyte 0
+  %v = load int* %vp2
+  %acc2 = add int %acc, %v
+  %np2 = getelementptr %struct.node* %cur, long 0, ubyte 1
+  %next = load %struct.node** %np2
+  %again = setne %struct.node* %next, null
+  br bool %again, label %sum, label %out
+out:
+  call void %print_int(int %acc2)
+  ret int %acc2
+}
+|}
+
+let test_strings_and_globals () =
+  check_agreement
+    {|
+%greeting = constant [15 x sbyte] c"hello backends\00"
+%table = global [5 x int] [ int 10, int 20, int 30, int 40, int 50 ]
+declare void %print_str(sbyte*)
+declare void %print_int(int)
+declare void %print_nl()
+
+int %main() {
+entry:
+  %s = getelementptr [15 x sbyte]* %greeting, long 0, long 0
+  call void %print_str(sbyte* %s)
+  call void %print_nl()
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %n, %loop ]
+  %acc = phi int [ 0, %entry ], [ %acc2, %loop ]
+  %p = getelementptr [5 x int]* %table, long 0, int %i
+  %v = load int* %p
+  %acc2 = add int %acc, %v
+  %n = add int %i, 1
+  %d = setge int %n, 5
+  br bool %d, label %out, label %loop
+out:
+  call void %print_int(int %acc2)
+  ret int 0
+}
+|}
+
+let test_function_pointers () =
+  check_agreement
+    {|
+int %twice(int %x) {
+entry:
+  %r = mul int %x, 2
+  ret int %r
+}
+int %thrice(int %x) {
+entry:
+  %r = mul int %x, 3
+  ret int %r
+}
+%dispatch = global [2 x int (int)*] [ int (int)* %twice, int (int)* %thrice ]
+declare void %print_int(int)
+
+int %main() {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %n, %loop ]
+  %p = getelementptr [2 x int (int)*]* %dispatch, long 0, int %i
+  %fp = load int (int)** %p
+  %r = call int (int)* %fp(int 7)
+  call void %print_int(int %r)
+  %n = add int %i, 1
+  %d = setge int %n, 2
+  br bool %d, label %out, label %loop
+out:
+  ret int 0
+}
+|}
+
+let test_invoke_unwind_native () =
+  check_agreement
+    {|
+declare void %print_int(int)
+
+void %thrower(int %depth) {
+entry:
+  %done = setle int %depth, 0
+  br bool %done, label %throw, label %recurse
+throw:
+  unwind
+recurse:
+  %d = sub int %depth, 1
+  call void %thrower(int %d)
+  ret void
+}
+
+int %main() {
+entry:
+  %r = invoke int %wrap(int 3) to label %ok except label %caught
+ok:
+  call void %print_int(int %r)
+  ret int 1
+caught:
+  call void %print_int(int 99)
+  ret int 7
+}
+
+int %wrap(int %d) {
+entry:
+  call void %thrower(int %d)
+  ret int 0
+}
+|}
+
+let test_mbr () =
+  check_agreement
+    {|
+declare void %print_int(int)
+int %classify(int %x) {
+entry:
+  mbr int %x, label %other [ int 1, label %one, int 2, label %two, int 9, label %nine ]
+one:
+  ret int 100
+two:
+  ret int 200
+nine:
+  ret int 900
+other:
+  ret int -1
+}
+int %main() {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %n, %loop ]
+  %c = call int %classify(int %i)
+  call void %print_int(int %c)
+  %n = add int %i, 1
+  %d = setgt int %n, 10
+  br bool %d, label %out, label %loop
+out:
+  ret int 0
+}
+|}
+
+let test_varargs_style_many_args () =
+  (* more arguments than SPARC register slots: exercises stack passing *)
+  check_agreement
+    {|
+declare void %print_int(int)
+int %sum9(int %a, int %b, int %c, int %d, int %e, int %f, int %g, int %h, int %i) {
+entry:
+  %s1 = add int %a, %b
+  %s2 = add int %s1, %c
+  %s3 = add int %s2, %d
+  %s4 = add int %s3, %e
+  %s5 = add int %s4, %f
+  %s6 = add int %s5, %g
+  %s7 = add int %s6, %h
+  %s8 = add int %s7, %i
+  ret int %s8
+}
+int %main() {
+entry:
+  %r = call int %sum9(int 1, int 2, int 3, int 4, int 5, int 6, int 7, int 8, int 9)
+  call void %print_int(int %r)
+  ret int %r
+}
+|}
+
+let test_float_args_and_returns () =
+  check_agreement
+    {|
+declare void %print_float(double)
+double %mix(double %a, int %k, double %b, double %c, double %d, double %e, double %f, double %g) {
+entry:
+  %s1 = add double %a, %b
+  %s2 = add double %s1, %c
+  %s3 = add double %s2, %d
+  %s4 = add double %s3, %e
+  %s5 = add double %s4, %f
+  %s6 = add double %s5, %g
+  %ki = cast int %k to double
+  %s7 = mul double %s6, %ki
+  ret double %s7
+}
+int %main() {
+entry:
+  %r = call double %mix(double 1.5, int 3, double 2.5, double 3.5, double 4.5, double 0.5, double 10.0, double 0.25)
+  call void %print_float(double %r)
+  ret int 0
+}
+|}
+
+let test_native_traps () =
+  let src = "int %main() {\nentry:\n  %x = div int 1, 0\n  ret int %x\n}" in
+  let m = Gen.parse src in
+  let cm = X86lite.Compile.compile_module m in
+  check_bool "x86 div-by-zero traps" true
+    (try
+       ignore (X86lite.Sim.run_main cm);
+       false
+     with X86lite.Sim.Trap X86lite.Sim.Division_by_zero -> true);
+  let m2 = Gen.parse src in
+  let cm2 = Sparclite.Compile.compile_module m2 in
+  check_bool "sparc div-by-zero traps" true
+    (try
+       ignore (Sparclite.Sim.run_main cm2);
+       false
+     with Sparclite.Sim.Trap Sparclite.Sim.Division_by_zero -> true);
+  (* disabled exceptions execute through *)
+  check_agreement
+    {|
+int %main() {
+entry:
+  %x = div int 1, 0 @ee(false)
+  ret int 5
+}
+|}
+
+let test_native_smc () =
+  check_agreement
+    {|
+declare void %llva.smc.replace(int (int)*, int (int)*)
+declare void %print_int(int)
+
+int %orig(int %x) {
+entry:
+  %r = add int %x, 1
+  ret int %r
+}
+int %patched(int %x) {
+entry:
+  %r = add int %x, 10
+  ret int %r
+}
+int %main() {
+entry:
+  %before = call int %orig(int 0)
+  call void %print_int(int %before)
+  call void %llva.smc.replace(int (int)* %orig, int (int)* %patched)
+  %after = call int %orig(int 0)
+  call void %print_int(int %after)
+  ret int 0
+}
+|}
+
+let test_expansion_ratio_sanity () =
+  (* a mid-sized arithmetic program should expand by a factor between 1.5
+     and 6 on both targets (paper: 2.2-3.3 X86, 2.4-4.2 SPARC) *)
+  let m = Gen.random_program (Random.State.make [| 42 |]) in
+  let llva_n = Ir.module_instr_count m in
+  let x86 = X86lite.Compile.compile_module (Gen.clone m) in
+  let sparc = Sparclite.Compile.compile_module (Gen.clone m) in
+  let rx = float_of_int (X86lite.Compile.module_instr_count x86) /. float_of_int llva_n in
+  let rs = float_of_int (Sparclite.Compile.module_instr_count sparc) /. float_of_int llva_n in
+  check_bool (Printf.sprintf "x86 ratio %.2f in range" rx) true (rx > 1.2 && rx < 8.0);
+  check_bool (Printf.sprintf "sparc ratio %.2f in range" rs) true (rs > 1.2 && rs < 8.0)
+
+let test_cycle_counting () =
+  let m =
+    Gen.parse
+      "int %main() {\nentry:\n  %x = add int 1, 2\n  ret int %x\n}"
+  in
+  let cm = X86lite.Compile.compile_module m in
+  let _, st = X86lite.Sim.run_main cm in
+  check_bool "cycles counted" true (Int64.compare st.X86lite.Sim.cycles 0L > 0);
+  check_bool "icount counted" true (Int64.compare st.X86lite.Sim.icount 0L > 0);
+  check_bool "cycles >= icount" true
+    (Int64.compare st.X86lite.Sim.cycles st.X86lite.Sim.icount >= 0)
+
+let test_code_size_nonzero () =
+  let m = Gen.random_program (Random.State.make [| 7 |]) in
+  let x86 = X86lite.Compile.compile_module (Gen.clone m) in
+  let sparc = Sparclite.Compile.compile_module (Gen.clone m) in
+  let xs = X86lite.Compile.module_code_size x86 in
+  let ss = Sparclite.Compile.module_code_size sparc in
+  check_bool "x86 bytes > 0" true (xs > 0);
+  check_bool "sparc bytes = 4 * instrs" true
+    (ss = 4 * Sparclite.Compile.module_instr_count sparc)
+
+(* differential qcheck properties *)
+
+let prop_backends_agree =
+  QCheck.Test.make ~name:"backends agree with interpreter" ~count:60
+    Gen.gen_program (fun m ->
+      let reference = Gen.run_interp (Gen.clone m) in
+      List.for_all
+        (fun (_, r) -> r = reference)
+        [
+          ("x86", run_x86 (Gen.clone m));
+          ("x86ls", run_x86 ~linear_scan:true (Gen.clone m));
+          ("sparc", run_sparc (Gen.clone m));
+        ])
+
+let prop_backends_agree_memory =
+  QCheck.Test.make ~name:"backends agree on memory programs" ~count:40
+    Gen.gen_memory_program (fun m ->
+      let reference = Gen.run_interp (Gen.clone m) in
+      List.for_all
+        (fun (_, r) -> r = reference)
+        [
+          ("x86", run_x86 (Gen.clone m));
+          ("sparc", run_sparc (Gen.clone m));
+          ("sparc naive", run_sparc ~spill_everything:true (Gen.clone m));
+        ])
+
+let prop_optimized_backends_agree =
+  QCheck.Test.make ~name:"optimized code agrees on backends" ~count:40
+    Gen.gen_program (fun m ->
+      let reference = Gen.run_interp (Gen.clone m) in
+      let opt = Gen.clone m in
+      let _ = Transform.Passmgr.optimize ~level:2 opt in
+      run_x86 (Gen.clone opt) = reference && run_sparc (Gen.clone opt) = reference)
+
+let test_portability_native () =
+  (* the same virtual object code runs on 32- and 64-bit pointer configs
+     through the full native pipeline *)
+  let src target =
+    Printf.sprintf
+      {|
+target pointersize = %d
+target endian = %s
+%%pair = type { sbyte, int, %%pair* }
+declare void %%print_int(int)
+int %%main() {
+entry:
+  %%p = alloca %%pair
+  %%f1 = getelementptr %%pair* %%p, long 0, ubyte 1
+  store int 777, int* %%f1
+  %%f2 = getelementptr %%pair* %%p, long 0, ubyte 2
+  store %%pair* %%p, %%pair** %%f2
+  %%q = load %%pair** %%f2
+  %%f1b = getelementptr %%pair* %%q, long 0, ubyte 1
+  %%v = load int* %%f1b
+  call void %%print_int(int %%v)
+  ret int %%v
+}
+|}
+      (target.Target.ptr_size * 8)
+      (match target.Target.endian with
+      | Target.Little -> "little"
+      | Target.Big -> "big")
+  in
+  List.iter
+    (fun t ->
+      let m = Gen.parse (src t) in
+      let code, out = run_x86 m in
+      check_int ("x86 on " ^ Target.to_string t) 777 code;
+      check_string ("x86 out on " ^ Target.to_string t) "777" out;
+      let m2 = Gen.parse (src t) in
+      let code2, _ = run_sparc m2 in
+      check_int ("sparc on " ^ Target.to_string t) 777 code2)
+    Target.all
+
+let suite =
+  [
+    Alcotest.test_case "basic programs" `Quick test_basic_programs;
+    Alcotest.test_case "widths and signs" `Quick test_widths_and_signs;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "floats" `Quick test_floats;
+    Alcotest.test_case "memory" `Quick test_memory;
+    Alcotest.test_case "strings and globals" `Quick test_strings_and_globals;
+    Alcotest.test_case "function pointers" `Quick test_function_pointers;
+    Alcotest.test_case "invoke/unwind native" `Quick test_invoke_unwind_native;
+    Alcotest.test_case "mbr" `Quick test_mbr;
+    Alcotest.test_case "many args" `Quick test_varargs_style_many_args;
+    Alcotest.test_case "float args" `Quick test_float_args_and_returns;
+    Alcotest.test_case "native traps" `Quick test_native_traps;
+    Alcotest.test_case "native smc" `Quick test_native_smc;
+    Alcotest.test_case "expansion ratio" `Quick test_expansion_ratio_sanity;
+    Alcotest.test_case "cycle counting" `Quick test_cycle_counting;
+    Alcotest.test_case "code size" `Quick test_code_size_nonzero;
+    Alcotest.test_case "portability native" `Quick test_portability_native;
+    QCheck_alcotest.to_alcotest prop_backends_agree;
+    QCheck_alcotest.to_alcotest prop_backends_agree_memory;
+    QCheck_alcotest.to_alcotest prop_optimized_backends_agree;
+  ]

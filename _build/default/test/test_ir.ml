@@ -1,0 +1,271 @@
+(* Unit tests for IR construction, use lists, and the builder. *)
+
+open Llva
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Build the paper's running example shape: a function with a diamond CFG
+   and a phi at the join. *)
+let build_diamond () =
+  let m = Ir.mk_module ~name:"diamond" () in
+  let f =
+    Ir.mk_func ~name:"choose" ~return:Types.Int
+      ~params:[ ("c", Types.Bool); ("a", Types.Int); ("b", Types.Int) ]
+      ()
+  in
+  Ir.add_func m f;
+  let entry = Ir.mk_block ~name:"entry" () in
+  let then_b = Ir.mk_block ~name:"then" () in
+  let else_b = Ir.mk_block ~name:"else" () in
+  let join = Ir.mk_block ~name:"join" () in
+  List.iter (Ir.append_block f) [ entry; then_b; else_b; join ];
+  let bld = Builder.create m in
+  let carg = Ir.Varg (List.nth f.Ir.fargs 0) in
+  let aarg = Ir.Varg (List.nth f.Ir.fargs 1) in
+  let barg = Ir.Varg (List.nth f.Ir.fargs 2) in
+  Builder.position_at_end entry bld;
+  Builder.cond_br bld carg then_b else_b;
+  Builder.position_at_end then_b bld;
+  let doubled = Builder.add ~name:"doubled" bld aarg aarg in
+  Builder.br bld join;
+  Builder.position_at_end else_b bld;
+  let negated = Builder.sub ~name:"negated" bld (Ir.const_int Types.Int 0L) barg in
+  Builder.br bld join;
+  Builder.position_at_end join bld;
+  let result =
+    Builder.phi ~name:"result" bld Types.Int
+      [ (doubled, then_b); (negated, else_b) ]
+  in
+  Builder.ret bld (Some result);
+  (m, f, entry, then_b, else_b, join)
+
+let test_diamond_structure () =
+  let m, f, entry, then_b, else_b, join = build_diamond () in
+  check_int "block count" 4 (List.length f.Ir.fblocks);
+  check_int "instr count" 7 (Ir.instr_count f);
+  check_bool "verifies" true (Verify.verify_module m = []);
+  (* CFG *)
+  let succs = Ir.successors entry in
+  check_int "entry succs" 2 (List.length succs);
+  check_bool "entry -> then" true (List.exists (fun b -> b == then_b) succs);
+  let preds = Ir.predecessors join in
+  check_int "join preds" 2 (List.length preds);
+  check_bool "join pred else" true (List.exists (fun b -> b == else_b) preds);
+  check_int "entry preds" 0 (List.length (Ir.predecessors entry))
+
+let test_use_lists () =
+  let _, f, _, then_b, _, join = build_diamond () in
+  ignore f;
+  (* the add instruction's result is used once, by the phi *)
+  let add_instr = List.hd then_b.Ir.instrs in
+  check_int "add uses" 1 (List.length add_instr.Ir.iuses);
+  let phi = List.hd join.Ir.instrs in
+  check_bool "used by phi" true ((List.hd add_instr.Ir.iuses).Ir.user == phi);
+  (* replace all uses of add with a constant *)
+  Ir.replace_all_uses_with (Ir.Vreg add_instr) (Ir.const_int Types.Int 7L);
+  check_int "add uses after RAUW" 0 (List.length add_instr.Ir.iuses);
+  (match (List.hd join.Ir.instrs).Ir.operands.(0) with
+  | Ir.Const { ckind = Ir.Cint 7L; _ } -> ()
+  | _ -> Alcotest.fail "phi operand not rewritten");
+  (* removing the instruction clears its operand uses *)
+  let args_use_before =
+    List.length (List.nth f.Ir.fargs 1).Ir.auses
+  in
+  Ir.remove_instr add_instr;
+  let args_use_after = List.length (List.nth f.Ir.fargs 1).Ir.auses in
+  check_bool "arg use dropped" true (args_use_after < args_use_before)
+
+let test_normalize_int () =
+  let n = Ir.normalize_int in
+  Alcotest.(check int64) "ubyte wraps" 255L (n Types.Ubyte (-1L));
+  Alcotest.(check int64) "sbyte sign" (-1L) (n Types.Sbyte 255L);
+  Alcotest.(check int64) "short sign" (-32768L) (n Types.Short 32768L);
+  Alcotest.(check int64) "int wraps" (-2147483648L) (n Types.Int 2147483648L);
+  Alcotest.(check int64) "uint masks" 4294967295L (n Types.Uint (-1L));
+  Alcotest.(check int64) "bool" 1L (n Types.Bool 3L);
+  Alcotest.(check int64) "long identity" Int64.min_int (n Types.Long Int64.min_int)
+
+let test_phi_helpers () =
+  let _, _, _, then_b, else_b, join = build_diamond () in
+  let phi = List.hd join.Ir.instrs in
+  check_int "incoming" 2 (List.length (Ir.phi_incoming phi));
+  check_bool "value for then" true
+    (Option.is_some (Ir.phi_value_for_block phi then_b));
+  Ir.phi_remove_pred join else_b;
+  check_int "incoming after removal" 1 (List.length (Ir.phi_incoming phi));
+  check_bool "else edge gone" true
+    (Option.is_none (Ir.phi_value_for_block phi else_b))
+
+let test_terminators () =
+  let _, f, entry, _, _, _ = build_diamond () in
+  (match Ir.terminator entry with
+  | Some t -> check_bool "cond br is terminator" true (Ir.is_terminator t)
+  | None -> Alcotest.fail "entry has no terminator");
+  check_int "opcode count is 28" 28 (List.length Ir.all_opcodes);
+  (* round-trip opcode codes *)
+  List.iter
+    (fun op ->
+      check_bool
+        ("opcode roundtrip " ^ Ir.opcode_name op)
+        true
+        (Ir.opcode_of_code (Ir.opcode_code op) = op))
+    Ir.all_opcodes;
+  ignore f
+
+let test_builder_type_errors () =
+  let m = Ir.mk_module () in
+  let f = Ir.mk_func ~name:"f" ~return:Types.Void ~params:[] () in
+  Ir.add_func m f;
+  let b = Ir.mk_block ~name:"entry" () in
+  Ir.append_block f b;
+  let bld = Builder.create m in
+  Builder.position_at_end b bld;
+  check_bool "mixed add rejected" true
+    (try
+       ignore (Builder.add bld (Ir.const_int Types.Int 1L) (Ir.const_int Types.Long 1L));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "non-bool branch rejected" true
+    (try
+       Builder.cond_br bld (Ir.const_int Types.Int 1L) b b;
+       false
+     with Invalid_argument _ -> true);
+  check_bool "bad shift amount rejected" true
+    (try
+       ignore (Builder.shl bld (Ir.const_int Types.Int 1L) (Ir.const_int Types.Int 1L));
+       false
+     with Invalid_argument _ -> true)
+
+let test_verifier_rejects () =
+  (* block without terminator *)
+  let m = Ir.mk_module () in
+  let f = Ir.mk_func ~name:"f" ~return:Types.Void ~params:[] () in
+  Ir.add_func m f;
+  let b = Ir.mk_block ~name:"entry" () in
+  Ir.append_block f b;
+  Ir.append_instr b
+    (Ir.mk_instr (Ir.Binop Ir.Add)
+       [| Ir.const_int Types.Int 1L; Ir.const_int Types.Int 2L |]
+       Types.Int);
+  check_bool "missing terminator caught" true (Verify.verify_module m <> []);
+  (* SSA violation: use before def across blocks *)
+  let m2 = Ir.mk_module () in
+  let f2 = Ir.mk_func ~name:"g" ~return:Types.Int ~params:[ ("c", Types.Bool) ] () in
+  Ir.add_func m2 f2;
+  let e = Ir.mk_block ~name:"entry" () in
+  let b1 = Ir.mk_block ~name:"b1" () in
+  let b2 = Ir.mk_block ~name:"b2" () in
+  List.iter (Ir.append_block f2) [ e; b1; b2 ];
+  let carg = Ir.Varg (List.hd f2.Ir.fargs) in
+  let def_in_b2 =
+    Ir.mk_instr ~name:"x" (Ir.Binop Ir.Add)
+      [| Ir.const_int Types.Int 1L; Ir.const_int Types.Int 2L |]
+      Types.Int
+  in
+  Ir.append_instr e
+    (Ir.mk_instr Ir.Br [| carg; Ir.Vblock b1; Ir.Vblock b2 |] Types.Void);
+  (* b1 uses %x, which is only defined in b2: not dominated *)
+  Ir.append_instr b1 (Ir.mk_instr Ir.Ret [| Ir.Vreg def_in_b2 |] Types.Void);
+  Ir.append_instr b2 def_in_b2;
+  Ir.append_instr b2
+    (Ir.mk_instr Ir.Ret [| Ir.Vreg def_in_b2 |] Types.Void);
+  check_bool "dominance violation caught" true (Verify.verify_module m2 <> [])
+
+let suite =
+  [
+    Alcotest.test_case "diamond structure" `Quick test_diamond_structure;
+    Alcotest.test_case "use lists" `Quick test_use_lists;
+    Alcotest.test_case "normalize int" `Quick test_normalize_int;
+    Alcotest.test_case "phi helpers" `Quick test_phi_helpers;
+    Alcotest.test_case "terminators" `Quick test_terminators;
+    Alcotest.test_case "builder type errors" `Quick test_builder_type_errors;
+    Alcotest.test_case "verifier rejects" `Quick test_verifier_rejects;
+  ]
+
+(* each §3.1 type rule rejects ill-typed IR built directly (bypassing the
+   builder's checks) *)
+let test_verifier_type_rules () =
+  let with_main build =
+    let m = Ir.mk_module () in
+    let f =
+      Ir.mk_func ~name:"main" ~return:Types.Int
+        ~params:[ ("a", Types.Int); ("p", Types.Pointer Types.Int) ]
+        ()
+    in
+    Ir.add_func m f;
+    let b = Ir.mk_block ~name:"entry" () in
+    Ir.append_block f b;
+    build f b;
+    Ir.append_instr b
+      (Ir.mk_instr Ir.Ret [| Ir.const_int Types.Int 0L |] Types.Void);
+    Verify.verify_module m <> []
+  in
+  let a_of f = Ir.Varg (List.nth f.Ir.fargs 0) in
+  let p_of f = Ir.Varg (List.nth f.Ir.fargs 1) in
+  check_bool "mixed-type add rejected" true
+    (with_main (fun f b ->
+         Ir.append_instr b
+           (Ir.mk_instr (Ir.Binop Ir.Add)
+              [| a_of f; Ir.const_int Types.Long 1L |]
+              Types.Int)));
+  check_bool "float xor rejected" true
+    (with_main (fun _ b ->
+         Ir.append_instr b
+           (Ir.mk_instr (Ir.Binop Ir.Xor)
+              [| Ir.const_float Types.Double 1.0; Ir.const_float Types.Double 2.0 |]
+              Types.Double)));
+  check_bool "shift amount must be ubyte" true
+    (with_main (fun f b ->
+         Ir.append_instr b
+           (Ir.mk_instr (Ir.Binop Ir.Shl) [| a_of f; a_of f |] Types.Int)));
+  check_bool "setcc must produce bool" true
+    (with_main (fun f b ->
+         Ir.append_instr b
+           (Ir.mk_instr (Ir.Setcc Ir.Eq) [| a_of f; a_of f |] Types.Int)));
+  check_bool "load from non-pointer rejected" true
+    (with_main (fun f b ->
+         Ir.append_instr b (Ir.mk_instr Ir.Load [| a_of f |] Types.Int)));
+  check_bool "store type mismatch rejected" true
+    (with_main (fun f b ->
+         Ir.append_instr b
+           (Ir.mk_instr Ir.Store
+              [| Ir.const_int Types.Long 1L; p_of f |]
+              Types.Void)));
+  check_bool "call arity mismatch rejected" true
+    (with_main (fun f b ->
+         Ir.append_instr b
+           (Ir.mk_instr Ir.Call [| Ir.Vfunc f; a_of f |] Types.Int)));
+  check_bool "ret type mismatch rejected" true
+    (with_main (fun f b ->
+         ignore f;
+         Ir.append_instr b
+           (Ir.mk_instr Ir.Ret [| Ir.const_float Types.Double 0.0 |] Types.Void);
+         (* unreachable trailing ret added by with_main makes two
+            terminators, also caught *)
+         ()));
+  check_bool "gep non-integer index rejected" true
+    (with_main (fun f b ->
+         Ir.append_instr b
+           (Ir.mk_instr Ir.Getelementptr
+              [| p_of f; Ir.const_float Types.Double 1.0 |]
+              (Types.Pointer Types.Int))));
+  check_bool "phi predecessor mismatch rejected" true
+    (with_main (fun f b ->
+         let other = Ir.mk_block ~name:"other" () in
+         Ir.append_block
+           (match b.Ir.bparent with Some fn -> fn | None -> assert false)
+           other;
+         Ir.append_instr other
+           (Ir.mk_instr Ir.Ret [| Ir.const_int Types.Int 1L |] Types.Void);
+         (* a phi naming a non-predecessor *)
+         let phi =
+           Ir.mk_instr ~name:"bad" Ir.Phi
+             [| a_of f; Ir.Vblock other |]
+             Types.Int
+         in
+         Ir.prepend_instr b phi))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "verifier type rules" `Quick test_verifier_type_rules ]

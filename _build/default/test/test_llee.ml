@@ -1,0 +1,245 @@
+(* LLEE execution-manager tests: JIT-on-demand, offline caching,
+   timestamps, storage backends, profile collection, trace formation and
+   relayout, and the profile round-trip. *)
+
+open Llva
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let program =
+  {|
+declare void %print_int(int)
+
+int %hot(int %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %inext, %latch ]
+  %acc = phi int [ 0, %entry ], [ %acc3, %latch ]
+  %odd = rem int %i, 2
+  %isodd = seteq int %odd, 1
+  br bool %isodd, label %odd_path, label %even_path
+odd_path:
+  %a1 = add int %acc, %i
+  br label %latch
+even_path:
+  %a2 = add int %acc, 1
+  br label %latch
+latch:
+  %acc3 = phi int [ %a1, %odd_path ], [ %a2, %even_path ]
+  %inext = add int %i, 1
+  %done = setge int %inext, %n
+  br bool %done, label %out, label %loop
+out:
+  ret int %acc3
+}
+
+int %cold_helper(int %x) {
+entry:
+  %r = mul int %x, 3
+  ret int %r
+}
+
+int %main() {
+entry:
+  %h = call int %hot(int 50)
+  call void %print_int(int %h)
+  ret int %h
+}
+|}
+
+let expected_result = Gen.run_interp (Gen.parse program)
+
+let test_jit_no_storage () =
+  (* no OS storage: every launch translates online (the DAISY/Crusoe
+     situation) *)
+  let eng = Llee.of_module ~target:Llee.X86 (Gen.parse program) in
+  let r = Llee.run eng in
+  check_bool "result matches interp" true (r = expected_result);
+  (* only functions actually called get translated: cold_helper is not *)
+  check_int "two functions JITed" 2 eng.Llee.stats.Llee.translations;
+  check_int "no cache hits" 0 eng.Llee.stats.Llee.cache_hits;
+  check_bool "cycles counted" true
+    (Int64.compare eng.Llee.stats.Llee.cycles 0L > 0)
+
+let test_warm_cache () =
+  let storage = Llee.Storage.in_memory () in
+  let m = Gen.parse program in
+  let cold = Llee.of_module ~storage ~target:Llee.X86 m in
+  let r1 = Llee.run cold in
+  check_bool "cold run ok" true (r1 = expected_result);
+  check_int "cold: translated" 2 cold.Llee.stats.Llee.translations;
+  (* second launch of the same object code: all code comes from cache *)
+  let warm = Llee.fresh_run cold in
+  let r2 = Llee.run warm in
+  check_bool "warm run ok" true (r2 = expected_result);
+  check_int "warm: no translations" 0 warm.Llee.stats.Llee.translations;
+  check_int "warm: cache hits" 2 warm.Llee.stats.Llee.cache_hits
+
+let test_offline_translation () =
+  let storage = Llee.Storage.in_memory () in
+  let m = Gen.parse program in
+  let eng = Llee.of_module ~storage ~target:Llee.Sparc m in
+  (* idle-time: translate everything without executing *)
+  Llee.translate_offline eng;
+  check_int "all three functions translated" 3 eng.Llee.stats.Llee.translations;
+  check_bool "cache populated" true (storage.Llee.Storage.size () > 0);
+  let launch = Llee.fresh_run eng in
+  let r = Llee.run launch in
+  check_bool "runs from cache" true (r = expected_result);
+  check_int "launch: zero translations" 0
+    launch.Llee.stats.Llee.translations;
+  check_int "launch: hits" 2 launch.Llee.stats.Llee.cache_hits
+
+let test_stale_timestamp () =
+  let storage = Llee.Storage.in_memory () in
+  let m = Gen.parse program in
+  let v1 = Llee.of_module ~storage ~timestamp:0.0 ~target:Llee.X86 m in
+  ignore (Llee.run v1);
+  (* "recompile" the program with a newer timestamp than any cache entry:
+     entries written during v1 (logical clocks 1..) would be valid, so
+     jump the program timestamp far ahead *)
+  let v2 =
+    Llee.of_module ~storage ~timestamp:1e9 ~target:Llee.X86
+      (Gen.parse program)
+  in
+  ignore (Llee.run v2);
+  check_int "stale entries retranslated" 2 v2.Llee.stats.Llee.translations;
+  check_int "no stale hits" 0 v2.Llee.stats.Llee.cache_hits
+
+let test_on_disk_storage () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "llee_cache_test" in
+  let storage = Llee.Storage.on_disk ~dir in
+  let m = Gen.parse program in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 m in
+  let r1 = Llee.run eng in
+  check_bool "disk-cached run" true (r1 = expected_result);
+  let warm = Llee.fresh_run eng in
+  let r2 = Llee.run warm in
+  check_bool "warm disk run" true (r2 = expected_result);
+  check_int "warm from disk" 0 warm.Llee.stats.Llee.translations;
+  (* cleanup *)
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+let test_profile_collection () =
+  let m = Gen.parse program in
+  let prof, code, _ = Llee.Profile.collect m in
+  check_bool "profiled run correct" true (code = fst expected_result);
+  let f = Option.get (Ir.find_func m "hot") in
+  let block name = List.find (fun (b : Ir.block) -> b.Ir.bname = name) f.Ir.fblocks in
+  (* the loop executes 50 times: latch -> loop edge taken 49 times *)
+  check_int "back edge count" 49
+    (Llee.Profile.edge_count prof (block "latch") (block "loop"));
+  check_int "odd path taken 25x" 25
+    (Llee.Profile.edge_count prof (block "loop") (block "odd_path"));
+  check_bool "latch hot" true (Llee.Profile.block_count prof (block "latch") >= 50);
+  (* serialization round-trip *)
+  let prof2 = Llee.Profile.deserialize (Llee.Profile.serialize prof) in
+  check_int "serialized edge count" 49
+    (Llee.Profile.edge_count prof2 (block "latch") (block "loop"))
+
+let test_trace_formation () =
+  let m = Gen.parse program in
+  let prof, _, _ = Llee.Profile.collect m in
+  let f = Option.get (Ir.find_func m "hot") in
+  let traces = Llee.Trace.form_traces prof f in
+  check_bool "at least one trace" true (traces <> []);
+  let t = List.hd traces in
+  check_bool "trace has >= 2 blocks" true (List.length t.Llee.Trace.blocks >= 2);
+  (* the trace follows the hot loop, not the exit *)
+  check_bool "trace stays in loop" true
+    (List.for_all
+       (fun (b : Ir.block) -> b.Ir.bname <> "out" || List.length t.Llee.Trace.blocks > 4)
+       t.Llee.Trace.blocks)
+
+let test_reoptimize_preserves_semantics () =
+  let eng = Llee.of_module ~target:Llee.X86 (Gen.parse program) in
+  let r1 = Llee.run eng in
+  let eng2, _moved = Llee.reoptimize eng in
+  let r2 = Llee.run eng2 in
+  check_bool "same behaviour after relayout" true (r1 = r2);
+  check_bool "verifies after relayout" true (Verify.verify_module eng2.Llee.m = [])
+
+let test_reoptimize_helps_or_neutral () =
+  (* trace relayout should never increase dynamic instruction count by
+     more than a sliver, and usually reduces taken branches *)
+  let eng = Llee.of_module ~target:Llee.Sparc (Gen.parse program) in
+  ignore (Llee.run eng);
+  let before = eng.Llee.stats.Llee.native_instrs in
+  let eng2, _ = Llee.reoptimize eng in
+  ignore (Llee.run eng2);
+  let after = eng2.Llee.stats.Llee.native_instrs in
+  check_bool
+    (Printf.sprintf "dynamic instrs %Ld -> %Ld" before after)
+    true
+    (Int64.compare after (Int64.add before (Int64.div before 20L)) <= 0)
+
+let test_smc_with_llee () =
+  let src =
+    {|
+declare void %llva.smc.replace(int (int)*, int (int)*)
+int %orig(int %x) {
+entry:
+  %r = add int %x, 1
+  ret int %r
+}
+int %patched(int %x) {
+entry:
+  %r = add int %x, 100
+  ret int %r
+}
+int %main() {
+entry:
+  %a = call int %orig(int 0)
+  call void %llva.smc.replace(int (int)* %orig, int (int)* %patched)
+  %b = call int %orig(int 0)
+  %r = add int %a, %b
+  ret int %r
+}
+|}
+  in
+  let eng = Llee.of_module ~target:Llee.X86 (Gen.parse src) in
+  let code, _ = Llee.run eng in
+  check_int "patched applies to future calls" 101 code;
+  check_bool "invalidation observed" true
+    (eng.Llee.stats.Llee.invalidations >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "jit without storage" `Quick test_jit_no_storage;
+    Alcotest.test_case "warm cache" `Quick test_warm_cache;
+    Alcotest.test_case "offline translation" `Quick test_offline_translation;
+    Alcotest.test_case "stale timestamp" `Quick test_stale_timestamp;
+    Alcotest.test_case "on-disk storage" `Quick test_on_disk_storage;
+    Alcotest.test_case "profile collection" `Quick test_profile_collection;
+    Alcotest.test_case "trace formation" `Quick test_trace_formation;
+    Alcotest.test_case "reoptimize semantics" `Quick
+      test_reoptimize_preserves_semantics;
+    Alcotest.test_case "reoptimize dynamic count" `Quick
+      test_reoptimize_helps_or_neutral;
+    Alcotest.test_case "smc with llee" `Quick test_smc_with_llee;
+  ]
+
+let test_corrupted_cache () =
+  (* a corrupted or foreign cache entry must be treated as a miss, not
+     crash the deserializer *)
+  let storage = Llee.Storage.in_memory () in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 (Gen.parse program) in
+  ignore (Llee.run eng);
+  (* trash every cache entry *)
+  let key f = Printf.sprintf "%s.%s.x86lite" eng.Llee.key f in
+  List.iter
+    (fun f -> storage.Llee.Storage.write (key f) "garbage bytes!")
+    [ "main"; "hot" ];
+  let again = Llee.fresh_run eng in
+  let r = Llee.run again in
+  check_bool "still correct" true (r = expected_result);
+  check_int "retranslated after corruption" 2
+    again.Llee.stats.Llee.translations;
+  check_int "no bogus hits" 0 again.Llee.stats.Llee.cache_hits
+
+let suite =
+  suite @ [ Alcotest.test_case "corrupted cache" `Quick test_corrupted_cache ]

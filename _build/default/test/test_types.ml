@@ -1,0 +1,90 @@
+(* Unit tests for the LLVA type system. *)
+
+open Llva
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let test_classification () =
+  check_bool "int is integer" true (Types.is_integer Types.Int);
+  check_bool "uint is integer" true (Types.is_integer Types.Uint);
+  check_bool "float not integer" false (Types.is_integer Types.Float);
+  check_bool "bool not integer" false (Types.is_integer Types.Bool);
+  check_bool "int is signed" true (Types.is_signed Types.Int);
+  check_bool "uint not signed" false (Types.is_signed Types.Uint);
+  check_bool "double is fp" true (Types.is_fp Types.Double);
+  check_bool "pointer is scalar" true (Types.is_scalar (Types.Pointer Types.Int));
+  check_bool "struct not scalar" false (Types.is_scalar (Types.Struct [ Types.Int ]));
+  check_bool "array not scalar" false
+    (Types.is_scalar (Types.Array (4, Types.Int)))
+
+let test_bitwidth () =
+  check_int "bool" 1 (Types.bitwidth Types.Bool);
+  check_int "sbyte" 8 (Types.bitwidth Types.Sbyte);
+  check_int "short" 16 (Types.bitwidth Types.Short);
+  check_int "int" 32 (Types.bitwidth Types.Int);
+  check_int "ulong" 64 (Types.bitwidth Types.Ulong);
+  Alcotest.check_raises "float has no bitwidth"
+    (Invalid_argument "Types.bitwidth: not an integer type") (fun () ->
+      ignore (Types.bitwidth Types.Float))
+
+let test_to_string () =
+  check_string "pointer" "int*" (Types.to_string (Types.Pointer Types.Int));
+  check_string "array" "[4 x double]"
+    (Types.to_string (Types.Array (4, Types.Double)));
+  check_string "struct" "{ double, [4 x %QT*] }"
+    (Types.to_string
+       (Types.Struct
+          [ Types.Double; Types.Array (4, Types.Pointer (Types.Named "QT")) ]));
+  check_string "function" "int (int, sbyte**)"
+    (Types.to_string
+       (Types.Func
+          (Types.Int, [ Types.Int; Types.Pointer (Types.Pointer Types.Sbyte) ], false)));
+  check_string "varargs" "void (int, ...)"
+    (Types.to_string (Types.Func (Types.Void, [ Types.Int ], true)))
+
+let test_named_resolution () =
+  let env = Types.empty_env () in
+  Hashtbl.replace env "QT"
+    (Types.Struct [ Types.Double; Types.Array (4, Types.Pointer (Types.Named "QT")) ]);
+  (match Types.resolve env (Types.Named "QT") with
+  | Types.Struct [ Types.Double; Types.Array (4, Types.Pointer (Types.Named "QT")) ]
+    ->
+      ()
+  | t -> Alcotest.failf "unexpected resolution: %s" (Types.to_string t));
+  Alcotest.check_raises "unresolved name" (Types.Unresolved "nope") (fun () ->
+      ignore (Types.resolve env (Types.Named "nope")));
+  check_bool "equal up to names" true
+    (Types.equal_resolved env (Types.Named "QT")
+       (Types.Struct
+          [ Types.Double; Types.Array (4, Types.Pointer (Types.Named "QT")) ]))
+
+let test_signed_variants () =
+  check_bool "signed of uint" true
+    (Types.equal (Types.signed_variant Types.Uint) Types.Int);
+  check_bool "unsigned of long" true
+    (Types.equal (Types.unsigned_variant Types.Long) Types.Ulong);
+  check_bool "signed of double unchanged" true
+    (Types.equal (Types.signed_variant Types.Double) Types.Double)
+
+let test_equality () =
+  check_bool "struct equality" true
+    (Types.equal (Types.Struct [ Types.Int; Types.Float ])
+       (Types.Struct [ Types.Int; Types.Float ]));
+  check_bool "struct length differs" false
+    (Types.equal (Types.Struct [ Types.Int ]) (Types.Struct [ Types.Int; Types.Int ]));
+  check_bool "array length matters" false
+    (Types.equal (Types.Array (3, Types.Int)) (Types.Array (4, Types.Int)));
+  check_bool "named by name" true (Types.equal (Types.Named "a") (Types.Named "a"));
+  check_bool "named differs" false (Types.equal (Types.Named "a") (Types.Named "b"))
+
+let suite =
+  [
+    Alcotest.test_case "classification" `Quick test_classification;
+    Alcotest.test_case "bitwidth" `Quick test_bitwidth;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "named resolution" `Quick test_named_resolution;
+    Alcotest.test_case "signed variants" `Quick test_signed_variants;
+    Alcotest.test_case "equality" `Quick test_equality;
+  ]

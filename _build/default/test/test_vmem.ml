@@ -1,0 +1,267 @@
+(* Unit tests for the vmem substrate: data layout, paged memory,
+   endianness, the image loader, and the runtime. *)
+
+open Llva
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let lt32 = Vmem.Layout.create Target.little32
+let lt64 = Vmem.Layout.create Target.little64
+
+let test_scalar_sizes () =
+  check_int "bool" 1 (Vmem.Layout.size_of lt32 Types.Bool);
+  check_int "sbyte" 1 (Vmem.Layout.size_of lt32 Types.Sbyte);
+  check_int "short" 2 (Vmem.Layout.size_of lt32 Types.Short);
+  check_int "int" 4 (Vmem.Layout.size_of lt32 Types.Int);
+  check_int "long" 8 (Vmem.Layout.size_of lt32 Types.Long);
+  check_int "float" 4 (Vmem.Layout.size_of lt32 Types.Float);
+  check_int "double" 8 (Vmem.Layout.size_of lt32 Types.Double);
+  check_int "ptr32" 4 (Vmem.Layout.size_of lt32 (Types.Pointer Types.Int));
+  check_int "ptr64" 8 (Vmem.Layout.size_of lt64 (Types.Pointer Types.Int))
+
+let test_struct_layout () =
+  (* { sbyte, int, sbyte } -> 0, 4, 8; size 12 (align 4) *)
+  let s = Types.Struct [ Types.Sbyte; Types.Int; Types.Sbyte ] in
+  check_int "size" 12 (Vmem.Layout.size_of lt32 s);
+  check_int "align" 4 (Vmem.Layout.align_of lt32 s);
+  check_int "f0" 0 (Vmem.Layout.field_offset lt32 [ Types.Sbyte; Types.Int; Types.Sbyte ] 0);
+  check_int "f1" 4 (Vmem.Layout.field_offset lt32 [ Types.Sbyte; Types.Int; Types.Sbyte ] 1);
+  check_int "f2" 8 (Vmem.Layout.field_offset lt32 [ Types.Sbyte; Types.Int; Types.Sbyte ] 2);
+  (* pointers change layout across targets *)
+  let p = Types.Struct [ Types.Sbyte; Types.Pointer Types.Int ] in
+  check_int "ptr struct 32" 8 (Vmem.Layout.size_of lt32 p);
+  check_int "ptr struct 64" 16 (Vmem.Layout.size_of lt64 p);
+  (* arrays multiply *)
+  check_int "array of structs" 120
+    (Vmem.Layout.size_of lt32 (Types.Array (10, s)))
+
+let test_gep_offsets () =
+  (* the paper's own example: QuadTree offsets are 20 bytes on 32-bit
+     pointers and 32 bytes on 64-bit pointers for T[0].Children[3] *)
+  let env = Types.empty_env () in
+  Hashtbl.replace env "QT"
+    (Types.Struct [ Types.Double; Types.Array (4, Types.Pointer (Types.Named "QT")) ]);
+  let lt32q = { Vmem.Layout.target = Target.little32; env } in
+  let lt64q = { Vmem.Layout.target = Target.little64; env } in
+  let indexes =
+    [ (Types.Long, 0L); (Types.Ubyte, 1L); (Types.Long, 3L) ]
+  in
+  let off32, ty32 =
+    Vmem.Layout.gep_offset lt32q (Types.Pointer (Types.Named "QT")) indexes
+  in
+  let off64, _ =
+    Vmem.Layout.gep_offset lt64q (Types.Pointer (Types.Named "QT")) indexes
+  in
+  check_int "paper: 32-bit offset is 20" 20 off32;
+  check_int "paper: 64-bit offset is 32" 32 off64;
+  check_bool "result type" true
+    (Types.equal ty32 (Types.Pointer (Types.Named "QT")));
+  (* negative array index walks backwards *)
+  let offn, _ =
+    Vmem.Layout.gep_offset lt32q (Types.Pointer Types.Int) [ (Types.Long, -3L) ]
+  in
+  check_int "negative index" (-12) offn
+
+let test_memory_rw () =
+  let mem = Vmem.Memory.create Target.little32 in
+  Vmem.Memory.write_uint mem 0x2000L 4 0xDEADBEEFL;
+  Alcotest.(check int64) "u32 roundtrip" 0xDEADBEEFL
+    (Vmem.Memory.read_uint mem 0x2000L 4);
+  check_int "byte 0 LE" 0xEF (Vmem.Memory.read_u8 mem 0x2000L);
+  check_int "byte 3 LE" 0xDE (Vmem.Memory.read_u8 mem 0x2003L);
+  (* big endian flips byte order *)
+  let bem = Vmem.Memory.create Target.big32 in
+  Vmem.Memory.write_uint bem 0x2000L 4 0xDEADBEEFL;
+  check_int "byte 0 BE" 0xDE (Vmem.Memory.read_u8 bem 0x2000L);
+  Alcotest.(check int64) "BE roundtrip" 0xDEADBEEFL
+    (Vmem.Memory.read_uint bem 0x2000L 4);
+  (* cross-page access works (page size 4096) *)
+  Vmem.Memory.write_uint mem 0x2FFEL 8 0x0123456789ABCDEFL;
+  Alcotest.(check int64) "cross page" 0x0123456789ABCDEFL
+    (Vmem.Memory.read_uint mem 0x2FFEL 8)
+
+let test_null_page_faults () =
+  let mem = Vmem.Memory.create Target.little32 in
+  check_bool "null faults" true
+    (try
+       ignore (Vmem.Memory.read_u8 mem 0L);
+       false
+     with Vmem.Memory.Fault 0L -> true);
+  check_bool "low page faults" true
+    (try
+       Vmem.Memory.write_u8 mem 0xFFFL 1;
+       false
+     with Vmem.Memory.Fault _ -> true);
+  check_bool "0x1000 is mapped" true
+    (try
+       ignore (Vmem.Memory.read_u8 mem 0x1000L);
+       true
+     with Vmem.Memory.Fault _ -> false)
+
+let test_typed_scalar_access () =
+  let mem = Vmem.Memory.create Target.little32 in
+  (* negative short sign-extends on read *)
+  Vmem.Memory.write_scalar mem Types.Short 0x3000L (Eval.I (Types.Short, -2L));
+  (match Vmem.Memory.read_scalar mem Types.Short 0x3000L with
+  | Eval.I (Types.Short, v) -> Alcotest.(check int64) "short -2" (-2L) v
+  | _ -> Alcotest.fail "wrong scalar");
+  (* same bytes read unsigned *)
+  (match Vmem.Memory.read_scalar mem Types.Ushort 0x3000L with
+  | Eval.I (Types.Ushort, v) -> Alcotest.(check int64) "ushort 65534" 65534L v
+  | _ -> Alcotest.fail "wrong scalar");
+  (* float32 rounding through memory *)
+  Vmem.Memory.write_scalar mem Types.Float 0x3010L (Eval.F (Types.Float, 1.1));
+  (match Vmem.Memory.read_scalar mem Types.Float 0x3010L with
+  | Eval.F (Types.Float, v) ->
+      check_bool "float32 precision" true (Float.abs (v -. 1.1) < 1e-6 && v <> 1.1)
+  | _ -> Alcotest.fail "wrong scalar");
+  (* doubles are exact *)
+  Vmem.Memory.write_scalar mem Types.Double 0x3020L (Eval.F (Types.Double, 1.1));
+  match Vmem.Memory.read_scalar mem Types.Double 0x3020L with
+  | Eval.F (Types.Double, v) -> check_bool "double exact" true (v = 1.1)
+  | _ -> Alcotest.fail "wrong scalar"
+
+let test_malloc_free () =
+  let mem = Vmem.Memory.create Target.little32 in
+  let a = Vmem.Memory.malloc mem 24 in
+  let b = Vmem.Memory.malloc mem 24 in
+  check_bool "distinct blocks" true (not (Int64.equal a b));
+  check_bool "zeroed" true (Vmem.Memory.read_u8 mem a = 0);
+  Vmem.Memory.write_u8 mem a 7;
+  Vmem.Memory.free mem a;
+  (* freed block is recycled for the same size class, and re-zeroed *)
+  let c = Vmem.Memory.malloc mem 20 in
+  check_bool "recycled" true (Int64.equal a c);
+  check_int "re-zeroed" 0 (Vmem.Memory.read_u8 mem c);
+  (* double free faults *)
+  Vmem.Memory.free mem c;
+  check_bool "double free faults" true
+    (try
+       Vmem.Memory.free mem c;
+       false
+     with Vmem.Memory.Fault _ -> true);
+  (* free of null is a no-op *)
+  Vmem.Memory.free mem 0L;
+  check_int "live bytes accounted" 32 (Vmem.Memory.live_bytes mem)
+
+let test_image_loading () =
+  let src =
+    {|
+%greeting = constant [3 x sbyte] c"hi\00"
+%number = global int 1234
+%pair = global { short, int* } { short 7, int* %number }
+%fptr = global void ()* %f
+
+void %f() {
+entry:
+  ret void
+}
+|}
+  in
+  let m = Resolve.parse_module src in
+  let img = Vmem.Image.load m in
+  let addr name = Option.get (Vmem.Image.symbol_address img name) in
+  (* string bytes *)
+  check_int "g[0]" (Char.code 'h') (Vmem.Memory.read_u8 img.Vmem.Image.mem (addr "greeting"));
+  check_int "g[2] NUL" 0
+    (Vmem.Memory.read_u8 img.Vmem.Image.mem (Int64.add (addr "greeting") 2L));
+  (* int initializer *)
+  Alcotest.(check int64) "number" 1234L
+    (Vmem.Memory.read_uint img.Vmem.Image.mem (addr "number") 4);
+  (* struct with a cross-reference: second field holds &number *)
+  Alcotest.(check int64) "pair.ptr = &number" (addr "number")
+    (Vmem.Memory.read_uint img.Vmem.Image.mem (Int64.add (addr "pair") 4L) 4);
+  (* function pointers resolve to the function's descriptor address *)
+  Alcotest.(check int64) "fptr = &f" (addr "f")
+    (Vmem.Memory.read_uint img.Vmem.Image.mem (addr "fptr") 4);
+  match Vmem.Image.func_at img (addr "f") with
+  | Some f -> check_string "func_at" "f" f.Ir.fname
+  | None -> Alcotest.fail "function address not resolvable"
+
+let test_runtime () =
+  let mem = Vmem.Memory.create Target.little32 in
+  let rt = Vmem.Runtime.create mem in
+  ignore (Vmem.Runtime.call rt "print_int" [ Eval.I (Types.Int, -5L) ]);
+  ignore (Vmem.Runtime.call rt "print_nl" []);
+  ignore (Vmem.Runtime.call rt "print_float" [ Eval.F (Types.Double, 2.5) ]);
+  check_string "output" "-5\n2.5" (Vmem.Runtime.output rt);
+  (* memset + strlen through simulated memory *)
+  let p = Vmem.Memory.malloc mem 16 in
+  ignore
+    (Vmem.Runtime.call rt "memset"
+       [ Eval.P p; Eval.I (Types.Int, 65L); Eval.I (Types.Int, 5L) ]);
+  (match Vmem.Runtime.call rt "strlen" [ Eval.P p ] with
+  | Eval.I (_, n) -> Alcotest.(check int64) "strlen" 5L n
+  | _ -> Alcotest.fail "strlen result");
+  check_bool "exit raises" true
+    (try
+       ignore (Vmem.Runtime.call rt "exit" [ Eval.I (Types.Int, 3L) ]);
+       false
+     with Vmem.Runtime.Exit_called 3 -> true)
+
+(* qcheck: layout sanity on random types *)
+let gen_type : Types.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let scalar =
+    oneofl
+      [ Types.Bool; Types.Sbyte; Types.Short; Types.Int; Types.Long;
+        Types.Float; Types.Double; Types.Pointer Types.Int ]
+  in
+  let gen =
+    let rec ty depth =
+      if depth = 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            (1, map (fun t -> Types.Pointer t) (ty (depth - 1)));
+            ( 2,
+              map2 (fun n t -> Types.Array ((n mod 5) + 1, t)) small_nat
+                (ty (depth - 1)) );
+            ( 2,
+              map (fun ts -> Types.Struct ts)
+                (list_size (int_range 1 4) (ty (depth - 1))) );
+          ]
+    in
+    ty 3
+  in
+  QCheck.make gen ~print:Types.to_string
+
+let prop_layout_sane =
+  QCheck.Test.make ~name:"layout: size positive, aligned, monotone" ~count:300
+    gen_type (fun ty ->
+      let s32 = Vmem.Layout.size_of lt32 ty in
+      let s64 = Vmem.Layout.size_of lt64 ty in
+      let a32 = Vmem.Layout.align_of lt32 ty in
+      s32 > 0 && s64 >= s32 && a32 > 0 && s32 mod a32 = 0)
+
+let prop_field_offsets_ordered =
+  QCheck.Test.make ~name:"layout: field offsets strictly increase" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 6) gen_type)
+    (fun fields ->
+      let rec check k last =
+        if k >= List.length fields then true
+        else
+          let off = Vmem.Layout.field_offset lt32 fields k in
+          off >= last
+          && off mod Vmem.Layout.align_of lt32 (List.nth fields k) = 0
+          && check (k + 1) (off + Vmem.Layout.size_of lt32 (List.nth fields k))
+      in
+      check 0 0)
+
+let suite =
+  [
+    Alcotest.test_case "scalar sizes" `Quick test_scalar_sizes;
+    Alcotest.test_case "struct layout" `Quick test_struct_layout;
+    Alcotest.test_case "gep offsets (paper example)" `Quick test_gep_offsets;
+    Alcotest.test_case "memory read/write" `Quick test_memory_rw;
+    Alcotest.test_case "null page faults" `Quick test_null_page_faults;
+    Alcotest.test_case "typed scalar access" `Quick test_typed_scalar_access;
+    Alcotest.test_case "malloc/free" `Quick test_malloc_free;
+    Alcotest.test_case "image loading" `Quick test_image_loading;
+    Alcotest.test_case "runtime" `Quick test_runtime;
+    QCheck_alcotest.to_alcotest prop_layout_sane;
+    QCheck_alcotest.to_alcotest prop_field_offsets_ordered;
+  ]
