@@ -184,35 +184,229 @@ let run_fig2 () =
 (* LLEE: offline caching (Fig. 1 / Fig. 3 system organization)          *)
 (* ------------------------------------------------------------------ *)
 
+(* wrap a storage so we can count how many reads a launch performs *)
+let counting_storage s =
+  let reads = ref 0 in
+  ( {
+      s with
+      Llee.Storage.read =
+        (fun name ->
+          incr reads;
+          s.Llee.Storage.read name);
+    },
+    reads )
+
+type llee_row = {
+  l_name : string;
+  l_cold_n : int; (* functions JITed on the cold launch *)
+  l_cold_ms : float; (* cold-launch translate time *)
+  l_warm_ms : float; (* warm-launch translate time (should be ~0) *)
+  l_warm_hits : int;
+  l_warm_reads : int; (* storage reads on a warm-after-offline launch *)
+  l_off_seq : float; (* sequential offline translation, seconds *)
+  l_off_par : float; (* parallel offline translation, seconds *)
+  l_off_same : bool; (* parallel cache contents == sequential *)
+  l_cycles : int64; (* simulated cycles of the workload *)
+}
+
+let llee_workloads = [ "255.vortex"; "164.gzip"; "181.mcf"; "ptrdist-anagram" ]
+
+let llee_row name : llee_row =
+  let w = Option.get (Workloads.find name) in
+  (* level 1 keeps the call graph (no inlining), so several functions
+     are translated on demand *)
+  let m = Workloads.compile_optimized ~level:1 w in
+  let bytes = Llva.Encode.encode m in
+  let storage = Llee.Storage.in_memory () in
+  (* cold launch: nothing cached, JIT everything called *)
+  let cold = Llee.load ~storage ~target:Llee.X86 bytes in
+  ignore (Llee.run cold);
+  (* warm launch of the same object code *)
+  let warm = Llee.fresh_run cold in
+  ignore (Llee.run warm);
+  (* offline translation: sequential vs the Domain worker pool *)
+  let offline domains =
+    let s = Llee.Storage.in_memory () in
+    let eng = Llee.load ~storage:s ~target:Llee.X86 bytes in
+    let _, dt = time_best ~n:1 (fun () -> Llee.translate_offline ~domains eng) in
+    (s, eng, dt)
+  in
+  let s_seq, eng_seq, off_seq = offline 1 in
+  let _, _, off_par = offline (Llee.Pool.default_domains ()) in
+  (* determinism: a 4-domain translation must leave byte-identical cache
+     contents, whatever this host's core count *)
+  let s_chk, _, _ = offline 4 in
+  let entry s n =
+    Option.map
+      (fun e -> e.Llee.Storage.data)
+      (s.Llee.Storage.read
+         (Printf.sprintf "%s.%s.x86lite" eng_seq.Llee.key n))
+  in
+  let names =
+    "__module__"
+    :: List.filter_map
+         (fun (f : Llva.Ir.func) ->
+           if Llva.Ir.is_declaration f then None else Some f.Llva.Ir.fname)
+         m.Llva.Ir.funcs
+  in
+  let off_same =
+    List.for_all (fun n -> entry s_seq n = entry s_chk n) names
+  in
+  (* warm-after-offline launch: the whole-module entry means O(1) reads *)
+  let counted, reads = counting_storage s_seq in
+  let warm_off = Llee.fresh_run { eng_seq with Llee.storage = counted } in
+  ignore (Llee.run warm_off);
+  {
+    l_name = name;
+    l_cold_n = cold.Llee.stats.Llee.translations;
+    l_cold_ms = cold.Llee.stats.Llee.translate_time *. 1000.0;
+    l_warm_ms = warm.Llee.stats.Llee.translate_time *. 1000.0;
+    l_warm_hits = warm.Llee.stats.Llee.cache_hits;
+    l_warm_reads = !reads;
+    l_off_seq = off_seq;
+    l_off_par = off_par;
+    l_off_same = off_same;
+    l_cycles = cold.Llee.stats.Llee.cycles;
+  }
+
 let run_llee () =
   section "LLEE: program launch with and without the OS storage API";
-  Printf.printf "%-17s %14s %14s %14s %12s\n" "Program" "cold trans"
-    "cold time(ms)" "warm time(ms)" "cache hits";
+  Printf.printf "%-17s %10s %12s %12s %10s %10s %11s %11s %8s %7s\n" "Program"
+    "cold trans" "cold ms" "warm ms" "hits" "warm reads" "offline(s)"
+    "parallel(s)" "speedup" "same";
+  let rows = List.map llee_row llee_workloads in
   List.iter
-    (fun name ->
-      let w = Option.get (Workloads.find name) in
-      (* level 1 keeps the call graph (no inlining), so several functions
-         are translated on demand *)
-      let m = Workloads.compile_optimized ~level:1 w in
-      let bytes = Llva.Encode.encode m in
-      let storage = Llee.Storage.in_memory () in
-      (* cold launch: nothing cached, JIT everything called *)
-      let cold = Llee.load ~storage ~target:Llee.X86 bytes in
-      ignore (Llee.run cold);
-      let cold_t = cold.Llee.stats.Llee.translate_time in
-      let cold_n = cold.Llee.stats.Llee.translations in
-      (* warm launch of the same object code *)
-      let warm = Llee.fresh_run cold in
-      ignore (Llee.run warm);
-      Printf.printf "%-17s %14d %14.3f %14.3f %12d\n" name cold_n
-        (cold_t *. 1000.0)
-        (warm.Llee.stats.Llee.translate_time *. 1000.0)
-        warm.Llee.stats.Llee.cache_hits)
-    [ "255.vortex"; "164.gzip"; "181.mcf"; "ptrdist-anagram" ];
+    (fun r ->
+      Printf.printf
+        "%-17s %10d %12.3f %12.3f %10d %10d %11.4f %11.4f %7.2fx %7b\n"
+        r.l_name r.l_cold_n r.l_cold_ms r.l_warm_ms r.l_warm_hits r.l_warm_reads
+        r.l_off_seq r.l_off_par
+        (r.l_off_seq /. r.l_off_par)
+        r.l_off_same)
+    rows;
   Printf.printf
     "\n(cold launches translate online; warm launches read the offline\n\
     \ cache through the storage API and translate nothing - the paper's\n\
-    \ central advantage over DAISY/Crusoe, which always translate online)\n"
+    \ central advantage over DAISY/Crusoe, which always translate online.\n\
+    \ 'warm reads' counts storage reads on a warm-after-offline launch:\n\
+    \ the whole-module cache entry makes it O(1). 'parallel(s)' is\n\
+    \ translate_offline on %d domain(s); 'same' checks the parallel cache\n\
+    \ is byte-identical to the sequential one.)\n"
+    (Llee.Pool.default_domains ());
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Memory fast paths: word vs byte throughput                          *)
+(* ------------------------------------------------------------------ *)
+
+type mem_row = {
+  mt_byte_write : float; (* MB/s *)
+  mt_word_write : float;
+  mt_byte_read : float;
+  mt_word_read : float;
+}
+
+let mem_throughput () : mem_row =
+  let mem = Vmem.Memory.create Llva.Target.default in
+  let base = Vmem.Memory.heap_base in
+  let n = 1 lsl 22 in
+  (* 4 MiB *)
+  let mb = float_of_int n /. (1024.0 *. 1024.0) in
+  let rate dt = mb /. dt in
+  let _, byte_w =
+    time_best (fun () ->
+        for k = 0 to n - 1 do
+          Vmem.Memory.write_u8 mem (Int64.add base (Int64.of_int k)) (k land 0xFF)
+        done)
+  in
+  let _, word_w =
+    time_best (fun () ->
+        for k = 0 to (n / 8) - 1 do
+          Vmem.Memory.write_u64 mem
+            (Int64.add base (Int64.of_int (8 * k)))
+            (Int64.of_int k)
+        done)
+  in
+  let sink = ref 0L in
+  let _, byte_r =
+    time_best (fun () ->
+        for k = 0 to n - 1 do
+          sink :=
+            Int64.add !sink
+              (Int64.of_int
+                 (Vmem.Memory.read_u8 mem (Int64.add base (Int64.of_int k))))
+        done)
+  in
+  let _, word_r =
+    time_best (fun () ->
+        for k = 0 to (n / 8) - 1 do
+          sink :=
+            Int64.add !sink
+              (Vmem.Memory.read_u64 mem (Int64.add base (Int64.of_int (8 * k))))
+        done)
+  in
+  ignore !sink;
+  {
+    mt_byte_write = rate byte_w;
+    mt_word_write = rate word_w;
+    mt_byte_read = rate byte_r;
+    mt_word_read = rate word_r;
+  }
+
+let run_memtp () =
+  section "Memory: word-granularity fast paths vs the byte loop (4 MiB sweep)";
+  let r = mem_throughput () in
+  Printf.printf "%-12s %14s %14s %9s\n" "access" "byte MB/s" "word MB/s"
+    "speedup";
+  Printf.printf "%-12s %14.1f %14.1f %8.2fx\n" "write" r.mt_byte_write
+    r.mt_word_write
+    (r.mt_word_write /. r.mt_byte_write);
+  Printf.printf "%-12s %14.1f %14.1f %8.2fx\n" "read" r.mt_byte_read
+    r.mt_word_read
+    (r.mt_word_read /. r.mt_byte_read);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output (--json)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json ~path (rows : llee_row list) (mt : mem_row) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n" (Llee.Pool.default_domains ());
+  Printf.fprintf oc
+    "  \"memory_throughput_mb_s\": {\"byte_write\": %.1f, \"word_write\": \
+     %.1f, \"byte_read\": %.1f, \"word_read\": %.1f},\n"
+    mt.mt_byte_write mt.mt_word_write mt.mt_byte_read mt.mt_word_read;
+  Printf.fprintf oc "  \"workloads\": [\n";
+  List.iteri
+    (fun k r ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"cold_translations\": %d, \
+         \"cold_translate_ms\": %.3f, \"warm_translate_ms\": %.3f, \
+         \"warm_cache_hits\": %d, \"warm_storage_reads\": %d, \
+         \"offline_seq_s\": %.4f, \"offline_par_s\": %.4f, \
+         \"parallel_identical\": %b, \"cycles\": %Ld}%s\n"
+        (json_escape r.l_name) r.l_cold_n r.l_cold_ms r.l_warm_ms r.l_warm_hits
+        r.l_warm_reads r.l_off_seq r.l_off_par r.l_off_same r.l_cycles
+        (if k = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Trace cache                                                         *)
@@ -381,11 +575,25 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let which =
+    match List.filter (fun a -> a <> "--json") args with
+    | [] -> "all"
+    | w :: _ -> w
+  in
+  (* [--json] additionally writes BENCH_llee.json next to the working
+     directory so the perf trajectory is machine-readable across PRs *)
+  let llee_and_mem () =
+    let rows = run_llee () in
+    let mt = run_memtp () in
+    if json then write_bench_json ~path:"BENCH_llee.json" rows mt
+  in
   (match which with
   | "table2" -> ignore (run_table2 ())
   | "fig2" -> run_fig2 ()
-  | "llee" -> run_llee ()
+  | "llee" -> llee_and_mem ()
+  | "memtp" -> ignore (run_memtp ())
   | "trace" -> run_trace ()
   | "ablation" -> run_ablation ()
   | "portability" -> run_portability ()
@@ -393,15 +601,15 @@ let () =
   | "all" ->
       ignore (run_table2 ());
       run_fig2 ();
-      run_llee ();
+      llee_and_mem ();
       run_trace ();
       run_ablation ();
       run_portability ();
       run_micro ()
   | other ->
       Printf.eprintf
-        "unknown benchmark %S (try: table2 fig2 llee trace ablation \
-         portability micro all)\n"
+        "unknown benchmark %S (try: table2 fig2 llee memtp trace ablation \
+         portability micro all; add --json for BENCH_llee.json)\n"
         other;
       exit 1);
   print_newline ()

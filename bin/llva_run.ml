@@ -75,6 +75,8 @@ let run input engine stats opt cache_dir =
           Printf.sprintf "functions translated: %d"
             eng.Llee.stats.Llee.translations;
           Printf.sprintf "cache hits: %d" eng.Llee.stats.Llee.cache_hits;
+          Printf.sprintf "corrupt cache entries: %d"
+            eng.Llee.stats.Llee.cache_corrupt;
           Printf.sprintf "translate time: %.3f ms"
             (eng.Llee.stats.Llee.translate_time *. 1000.0);
           Printf.sprintf "cycles: %Ld" eng.Llee.stats.Llee.cycles;

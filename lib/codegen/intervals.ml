@@ -125,9 +125,16 @@ let build ?(env = Types.empty_env ()) (f : Ir.func) : t =
     order;
   t
 
+(* Sorted by start position, with value id as tie-break: hash-table
+   iteration order depends on absolute ids (a global counter), so without
+   the tie-break two decodes of the same module could allocate equal-start
+   intervals differently, breaking reproducible translation. *)
 let all t =
   Hashtbl.fold (fun _ iv acc -> iv :: acc) t.intervals []
-  |> List.sort (fun a b -> compare a.start_pos b.start_pos)
+  |> List.sort (fun a b ->
+         match compare a.start_pos b.start_pos with
+         | 0 -> compare a.vid b.vid
+         | c -> c)
 
 let position_of t (i : Ir.instr) =
   match Hashtbl.find_opt t.positions i.Ir.iid with Some p -> p | None -> 0

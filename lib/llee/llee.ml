@@ -6,7 +6,10 @@
    timestamps, and falls back to JIT-compiling functions on demand; any
    newly translated code is written back to the cache when storage is
    available. During idle time the OS may request offline translation
-   ([translate_offline]) so later launches need no JIT at all.
+   ([translate_offline]) so later launches need no JIT at all; offline
+   translation fans out over a Domain worker pool ([Pool]) and also
+   writes one whole-module cache entry, so a warm launch costs a single
+   storage read + unmarshal instead of one per function.
 
    Profiles collected during execution drive the software trace cache
    ([reoptimize]): hot traces re-lay-out the code and the program is
@@ -19,6 +22,7 @@ open Llva
 module Storage = Storage
 module Profile = Profile
 module Trace = Trace
+module Pool = Pool
 
 type target = X86 | Sparc
 
@@ -31,6 +35,7 @@ type stats = {
   mutable cycles : int64; (* simulated execution cycles *)
   mutable native_instrs : int64; (* dynamic native instruction count *)
   mutable invalidations : int; (* SMC-triggered cache invalidations *)
+  mutable cache_corrupt : int; (* undecodable cache entries dropped *)
 }
 
 let fresh_stats () =
@@ -41,6 +46,7 @@ let fresh_stats () =
     cycles = 0L;
     native_instrs = 0L;
     invalidations = 0;
+    cache_corrupt = 0;
   }
 
 type t = {
@@ -51,6 +57,7 @@ type t = {
   target : target;
   program_timestamp : float;
   stats : stats;
+  funcs_by_name : (string, Ir.func) Hashtbl.t; (* defined functions *)
 }
 
 (* "Load the executable": decode virtual object code, remember its content
@@ -59,6 +66,12 @@ type t = {
    [timestamp] invalidates older ones). *)
 let load ?(storage = Storage.none) ?(timestamp = 0.0) ~target bytes =
   let m = Decode.decode bytes in
+  let funcs_by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if not (Ir.is_declaration f) then
+        Hashtbl.replace funcs_by_name f.Ir.fname f)
+    m.Ir.funcs;
   {
     bytes;
     m;
@@ -67,6 +80,7 @@ let load ?(storage = Storage.none) ?(timestamp = 0.0) ~target bytes =
     target;
     program_timestamp = timestamp;
     stats = fresh_stats ();
+    funcs_by_name;
   }
 
 let of_module ?(storage = Storage.none) ?(timestamp = 0.0) ~target m =
@@ -75,13 +89,19 @@ let of_module ?(storage = Storage.none) ?(timestamp = 0.0) ~target m =
 let cache_name t fname =
   Printf.sprintf "%s.%s.%s" t.key fname (target_name t.target)
 
-let read_cached t fname : string option =
-  match t.storage.Storage.read (cache_name t fname) with
+(* The whole-module entry written by offline translation: every function's
+   translation in one read. "__module__" cannot collide with a function
+   entry because LLVA identifiers never contain that form alongside the
+   key/target framing used here. *)
+let module_entry_name t = cache_name t "__module__"
+
+let read_cached t name : string option =
+  match t.storage.Storage.read name with
   | Some entry when entry.Storage.timestamp >= t.program_timestamp ->
       Some entry.Storage.data
   | Some _ ->
       (* stale translation: drop it *)
-      t.storage.Storage.delete (cache_name t fname);
+      t.storage.Storage.delete name;
       None
   | None -> None
 
@@ -98,6 +118,21 @@ let unframe_entry data =
     Some (String.sub data n (String.length data - n))
   else None
 
+(* Decode one framed cache entry. [Marshal.from_string] raises
+   [Failure] on a corrupted header and [Invalid_argument] on truncated
+   input; both (and a bad magic frame) count as corruption and read as a
+   miss. *)
+let unmarshal_entry t data =
+  match unframe_entry data with
+  | None ->
+      t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
+      None
+  | Some payload -> (
+      try Some (Marshal.from_string payload 0)
+      with Failure _ | Invalid_argument _ ->
+        t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
+        None)
+
 let timed t f =
   let start = Unix.gettimeofday () in
   let result = f () in
@@ -107,51 +142,60 @@ let timed t f =
 
 (* ---------- per-target drivers ---------- *)
 
-let find_function t name =
-  List.find_opt
-    (fun (f : Ir.func) ->
-      String.equal f.Ir.fname name && not (Ir.is_declaration f))
-    t.m.Ir.funcs
+let find_function t name = Hashtbl.find_opt t.funcs_by_name name
+
+(* The cached-translation resolver shared by both back-ends. [compile]
+   JIT-compiles one IR function (timed and counted); [installed] is the
+   back-end's compiled-function table. Resolution order: already
+   installed, then the whole-module cache entry (read once, up front),
+   then the per-function cache entry, then JIT + write-back. *)
+let make_resolver (type cf) t ~(compile : Ir.func -> cf)
+    ~(installed : (string, cf) Hashtbl.t) : string -> cf option =
+  let preloaded : (string, cf) Hashtbl.t = Hashtbl.create 16 in
+  (match Option.bind (read_cached t (module_entry_name t)) (unmarshal_entry t) with
+  | Some (pairs : (string * cf) list) ->
+      List.iter (fun (n, cf) -> Hashtbl.replace preloaded n cf) pairs
+  | None -> ());
+  fun name ->
+    match Hashtbl.find_opt installed name with
+    | Some cf -> Some cf
+    | None -> (
+        match find_function t name with
+        | None -> None (* external: the simulator dispatches by name *)
+        | Some f -> (
+            let cached =
+              match Hashtbl.find_opt preloaded name with
+              | Some cf -> Some cf
+              | None ->
+                  Option.bind (read_cached t (cache_name t name))
+                    (unmarshal_entry t)
+            in
+            match cached with
+            | Some cf ->
+                t.stats.cache_hits <- t.stats.cache_hits + 1;
+                Hashtbl.replace installed name cf;
+                Some cf
+            | None ->
+                (* JIT: translate on demand, write back to the cache *)
+                let cf = timed t (fun () -> compile f) in
+                t.stats.translations <- t.stats.translations + 1;
+                t.storage.Storage.write (cache_name t name)
+                  (frame_entry (Marshal.to_string cf []));
+                Hashtbl.replace installed name cf;
+                Some cf))
 
 let run_x86 t ?fuel () =
   let image = Vmem.Image.load t.m in
   let cmod =
     { X86lite.Compile.cm = t.m; image; funcs = Hashtbl.create 32 }
   in
-  let lookup (st : X86lite.Sim.state) name =
-    ignore st;
-    match Hashtbl.find_opt cmod.X86lite.Compile.funcs name with
-    | Some cf -> Some cf
-    | None -> (
-        match find_function t name with
-        | None -> None (* external: the simulator dispatches by name *)
-        | Some f -> (
-            match
-              Option.bind (read_cached t name) (fun data ->
-                  match unframe_entry data with
-                  | Some payload -> (
-                      try Some (Marshal.from_string payload 0 : X86lite.Compile.cfunc)
-                      with Failure _ -> None)
-                  | None -> None)
-            with
-            | Some cf ->
-                t.stats.cache_hits <- t.stats.cache_hits + 1;
-                Hashtbl.replace cmod.X86lite.Compile.funcs name cf;
-                Some cf
-            | None ->
-                (* JIT: translate on demand, write back to the cache *)
-                let cf =
-                  timed t (fun () ->
-                      X86lite.Compile.compile_function t.m image f)
-                in
-                t.stats.translations <- t.stats.translations + 1;
-                t.storage.Storage.write (cache_name t name)
-                  (frame_entry (Marshal.to_string cf []));
-                Hashtbl.replace cmod.X86lite.Compile.funcs name cf;
-                Some cf))
+  let resolve =
+    make_resolver t
+      ~compile:(fun f -> X86lite.Compile.compile_function t.m image f)
+      ~installed:cmod.X86lite.Compile.funcs
   in
   let st = X86lite.Sim.create ?fuel cmod in
-  st.X86lite.Sim.lookup <- lookup;
+  st.X86lite.Sim.lookup <- (fun _st name -> resolve name);
   st.X86lite.Sim.regs.(X86lite.X86.sp) <- Vmem.Memory.stack_top;
   st.X86lite.Sim.regs.(X86lite.X86.bp) <- Vmem.Memory.stack_top;
   let code =
@@ -169,39 +213,13 @@ let run_sparc t ?fuel () =
   let cmod =
     { Sparclite.Compile.cm = t.m; image; funcs = Hashtbl.create 32 }
   in
-  let lookup (st : Sparclite.Sim.state) name =
-    ignore st;
-    match Hashtbl.find_opt cmod.Sparclite.Compile.funcs name with
-    | Some cf -> Some cf
-    | None -> (
-        match find_function t name with
-        | None -> None
-        | Some f -> (
-            match
-              Option.bind (read_cached t name) (fun data ->
-                  match unframe_entry data with
-                  | Some payload -> (
-                      try Some (Marshal.from_string payload 0 : Sparclite.Compile.cfunc)
-                      with Failure _ -> None)
-                  | None -> None)
-            with
-            | Some cf ->
-                t.stats.cache_hits <- t.stats.cache_hits + 1;
-                Hashtbl.replace cmod.Sparclite.Compile.funcs name cf;
-                Some cf
-            | None ->
-                let cf =
-                  timed t (fun () ->
-                      Sparclite.Compile.compile_function t.m image f)
-                in
-                t.stats.translations <- t.stats.translations + 1;
-                t.storage.Storage.write (cache_name t name)
-                  (frame_entry (Marshal.to_string cf []));
-                Hashtbl.replace cmod.Sparclite.Compile.funcs name cf;
-                Some cf))
+  let resolve =
+    make_resolver t
+      ~compile:(fun f -> Sparclite.Compile.compile_function t.m image f)
+      ~installed:cmod.Sparclite.Compile.funcs
   in
   let st = Sparclite.Sim.create ?fuel cmod in
-  st.Sparclite.Sim.lookup <- lookup;
+  st.Sparclite.Sim.lookup <- (fun _st name -> resolve name);
   st.Sparclite.Sim.regs.(Sparclite.Sparc.sp) <- Vmem.Memory.stack_top;
   st.Sparclite.Sim.regs.(Sparclite.Sparc.fp) <- Vmem.Memory.stack_top;
   let code =
@@ -220,32 +238,46 @@ let run ?fuel t =
 
 (* Idle-time offline translation: translate every function and populate
    the cache without executing (paper: "flagging it for translation and
-   not actual execution"). *)
-let translate_offline t =
+   not actual execution"). Functions compile in parallel on the [Pool]
+   worker domains; entries are then written back in source order on the
+   calling domain, so the resulting cache contents are byte-identical to
+   a sequential run. Finally one whole-module entry is written so warm
+   launches need a single storage read. SMC invalidation still operates
+   per function: the redirect mechanism resolves the replacement function
+   by name, whichever entry it was loaded from. *)
+let translate_offline ?domains t =
   if not t.storage.Storage.available then
     invalid_arg "Llee.translate_offline: no storage API registered";
-  let image = Vmem.Image.load t.m in
-  List.iter
-    (fun (f : Ir.func) ->
-      if not (Ir.is_declaration f) then
-        match t.target with
-        | X86 ->
-            let cf =
-              timed t (fun () -> X86lite.Compile.compile_function t.m image f)
-            in
-            t.stats.translations <- t.stats.translations + 1;
-            t.storage.Storage.write
-              (cache_name t f.Ir.fname)
-              (frame_entry (Marshal.to_string cf []))
-        | Sparc ->
-            let cf =
-              timed t (fun () -> Sparclite.Compile.compile_function t.m image f)
-            in
-            t.stats.translations <- t.stats.translations + 1;
-            t.storage.Storage.write
-              (cache_name t f.Ir.fname)
-              (frame_entry (Marshal.to_string cf [])))
-    t.m.Ir.funcs
+  let fns =
+    List.filter (fun (f : Ir.func) -> not (Ir.is_declaration f)) t.m.Ir.funcs
+  in
+  let go : 'cf. (Vmem.Image.t -> Ir.func -> 'cf) -> unit =
+   fun compile ->
+    let image = Vmem.Image.load t.m in
+    let compiled =
+      Pool.map ?domains
+        (fun (f : Ir.func) ->
+          let t0 = Unix.gettimeofday () in
+          let cf = compile image f in
+          (f.Ir.fname, cf, Unix.gettimeofday () -. t0))
+        fns
+    in
+    List.iter
+      (fun (name, cf, dt) ->
+        t.stats.translations <- t.stats.translations + 1;
+        t.stats.translate_time <- t.stats.translate_time +. dt;
+        t.storage.Storage.write (cache_name t name)
+          (frame_entry (Marshal.to_string cf [])))
+      compiled;
+    t.storage.Storage.write (module_entry_name t)
+      (frame_entry
+         (Marshal.to_string
+            (List.map (fun (name, cf, _) -> (name, cf)) compiled)
+            []))
+  in
+  match t.target with
+  | X86 -> go (fun image f -> X86lite.Compile.compile_function t.m image f)
+  | Sparc -> go (fun image f -> Sparclite.Compile.compile_function t.m image f)
 
 (* Collect a profile with the instrumented reference engine, then apply
    the software trace cache: hot-trace relayout + retranslation. Returns
@@ -253,7 +285,7 @@ let translate_offline t =
    through the new content hash). *)
 let fresh_run t = { t with stats = fresh_stats () }
 
-let reoptimize ?fuel ?(validate = true) t : t * int =
+let reoptimize ?fuel ?(validate = true) ?domains t : t * int =
   (* profile and relayout the same decoded copy so block ids line up *)
   let m = Decode.decode t.bytes in
   let prof, _, _ = Profile.collect ?fuel m in
@@ -268,14 +300,20 @@ let reoptimize ?fuel ?(validate = true) t : t * int =
     (* idle-time validation: block reordering also perturbs downstream
        register allocation, so measure both translations and keep the
        faster one (this is exactly the offline feedback loop the storage
-       API enables, §4.2) *)
-    let baseline = fresh_run t in
-    ignore (run ?fuel:(Option.map (fun f -> f * 8) fuel) baseline);
-    let candidate = fresh_run t' in
-    ignore (run ?fuel:(Option.map (fun f -> f * 8) fuel) candidate);
+       API enables, §4.2). The two validation runs are independent whole
+       programs, so they run on separate domains; the shared storage is
+       serialized behind a mutex. *)
+    let vstorage = Storage.locked t.storage in
+    let baseline = { (fresh_run t) with storage = vstorage } in
+    let candidate = { (fresh_run t') with storage = vstorage } in
+    let validate_run eng () =
+      ignore (run ?fuel:(Option.map (fun f -> f * 8) fuel) eng)
+    in
+    let (), () =
+      Pool.both ?domains (validate_run baseline) (validate_run candidate)
+    in
     if
       Int64.compare candidate.stats.cycles baseline.stats.cycles < 0
     then (fresh_run t', moved)
     else (fresh_run t, 0)
   end
-

@@ -1,0 +1,64 @@
+(* A small deterministic Domain-based worker pool (OCaml 5).
+
+   LLEE's offline translator is embarrassingly parallel: each function is
+   compiled independently of the others, so idle-time translation (paper
+   §4.1: "flagging it for translation and not actual execution") can use
+   every core the OS grants. Results are always returned in input order,
+   so callers that write cache entries by iterating the result list get
+   byte-identical cache contents whatever the scheduling. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* [map ?domains f xs] applies [f] to every element of [xs], fanning the
+   work out over up to [domains] domains (default: the runtime's
+   recommended count), and returns the results in input order. [f] must
+   not mutate state shared with other calls of [f]. Exceptions raised by
+   [f] re-raise in the caller, earliest input first. With [domains <= 1]
+   (or on a single-core host) this is exactly [List.map]. *)
+let map ?domains f xs =
+  let workers =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if workers <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r = try Ok (f items.(i)) with e -> Error e in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let doms = List.init (min workers n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join doms;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
+
+(* [both ?domains fa fb] runs the two thunks concurrently (one on the
+   calling domain, one spawned) and returns both results; sequential when
+   only one domain is available. Used for LLEE's baseline-vs-candidate
+   validation runs during reoptimization. *)
+let both ?domains fa fb =
+  let workers =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  if workers <= 1 then (fa (), fb ())
+  else begin
+    let db = Domain.spawn (fun () -> try Ok (fb ()) with e -> Error e) in
+    let ra = try Ok (fa ()) with e -> Error e in
+    let rb = Domain.join db in
+    match (ra, rb) with
+    | Ok a, Ok b -> (a, b)
+    | Error e, _ | _, Error e -> raise e
+  end

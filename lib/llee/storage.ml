@@ -44,7 +44,11 @@ let in_memory () =
     available = true;
   }
 
-(* An on-disk cache rooted at [dir]; names are sanitized to file names. *)
+(* An on-disk cache rooted at [dir]; names are sanitized to file names.
+   Writes are atomic (temp file + rename) so a crash or a concurrent
+   launch can never leave a torn entry behind, and reads/sizes treat any
+   filesystem surprise — deleted-underfoot files, subdirectories, torn
+   temp files — as a cache miss rather than an error. *)
 let on_disk ~dir =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let path name =
@@ -62,28 +66,64 @@ let on_disk ~dir =
     read =
       (fun name ->
         let p = path name in
-        if Sys.file_exists p then begin
-          let ic = open_in_bin p in
-          let len = in_channel_length ic in
-          let data = really_input_string ic len in
-          close_in ic;
-          let timestamp = (Unix.stat p).Unix.st_mtime in
-          Some { data; timestamp }
-        end
-        else None);
+        match open_in_bin p with
+        | exception Sys_error _ -> None
+        | ic -> (
+            match
+              let len = in_channel_length ic in
+              let data = really_input_string ic len in
+              let timestamp = (Unix.stat p).Unix.st_mtime in
+              { data; timestamp }
+            with
+            | entry ->
+                close_in_noerr ic;
+                Some entry
+            | exception (Sys_error _ | End_of_file | Unix.Unix_error _) ->
+                close_in_noerr ic;
+                None));
     write =
       (fun name data ->
-        let oc = open_out_bin (path name) in
-        output_string oc data;
-        close_out oc);
+        let p = path name in
+        let tmp = Printf.sprintf "%s.%d.tmp" p (Unix.getpid ()) in
+        try
+          let oc = open_out_bin tmp in
+          output_string oc data;
+          close_out oc;
+          Sys.rename tmp p
+        with Sys_error _ | Unix.Unix_error _ ->
+          (try Sys.remove tmp with Sys_error _ -> ()));
     delete =
       (fun name -> try Sys.remove (path name) with Sys_error _ -> ());
     size =
       (fun () ->
-        Array.fold_left
-          (fun acc f ->
-            try acc + (Unix.stat (Filename.concat dir f)).Unix.st_size
-            with Unix.Unix_error _ -> acc)
-          0 (Sys.readdir dir));
+        match Sys.readdir dir with
+        | exception Sys_error _ -> 0
+        | files ->
+            Array.fold_left
+              (fun acc f ->
+                if Filename.check_suffix f ".tmp" then acc
+                else
+                  match Unix.stat (Filename.concat dir f) with
+                  | { Unix.st_kind = Unix.S_REG; st_size; _ } -> acc + st_size
+                  | _ -> acc
+                  | exception (Unix.Unix_error _ | Sys_error _) -> acc)
+              0 files);
     available = true;
+  }
+
+(* Serialize every operation on [s] behind a mutex, making it safe to
+   share one storage between worker domains (e.g. LLEE's parallel
+   baseline-vs-candidate validation runs). *)
+let locked s =
+  let m = Mutex.create () in
+  let guard f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  in
+  {
+    read = (fun name -> guard (fun () -> s.read name));
+    write = (fun name data -> guard (fun () -> s.write name data));
+    delete = (fun name -> guard (fun () -> s.delete name));
+    size = (fun () -> guard (fun () -> s.size ()));
+    available = s.available;
   }

@@ -260,14 +260,21 @@ and step st =
   | Ld (w, s, rd, rs, d) -> (
       let addr = Int64.add (rreg st rs) (Int64.of_int d) in
       if Int64.equal addr 0L then deliver_trap st (Memory_fault 0L);
-      match Vmem.Memory.read_uint st.mem addr (width_bytes w) with
+      match
+        (* full-word loads (spills, stack slots) take the u64 fast path *)
+        match w with
+        | W64 -> Vmem.Memory.read_u64 st.mem addr
+        | _ -> Vmem.Memory.read_uint st.mem addr (width_bytes w)
+      with
       | raw -> wreg st rd (norm w s raw)
       | exception Vmem.Memory.Fault a -> deliver_trap st (Memory_fault a))
   | St (w, rsrc, rs, d) -> (
       let addr = Int64.add (rreg st rs) (Int64.of_int d) in
       if Int64.equal addr 0L then deliver_trap st (Memory_fault 0L);
       match
-        Vmem.Memory.write_uint st.mem addr (width_bytes w) (rreg st rsrc)
+        match w with
+        | W64 -> Vmem.Memory.write_u64 st.mem addr (rreg st rsrc)
+        | _ -> Vmem.Memory.write_uint st.mem addr (width_bytes w) (rreg st rsrc)
       with
       | () -> ()
       | exception Vmem.Memory.Fault a -> deliver_trap st (Memory_fault a))
@@ -328,7 +335,10 @@ and step st =
   | Fld (single, fd, rs, d) -> (
       let addr = Int64.add (rreg st rs) (Int64.of_int d) in
       if Int64.equal addr 0L then deliver_trap st (Memory_fault 0L);
-      match Vmem.Memory.read_uint st.mem addr (if single then 4 else 8) with
+      match
+        if single then Vmem.Memory.read_uint st.mem addr 4
+        else Vmem.Memory.read_u64 st.mem addr
+      with
       | raw ->
           st.fregs.(fd) <-
             (if single then Int32.float_of_bits (Int64.to_int32 raw)
@@ -338,11 +348,12 @@ and step st =
       let addr = Int64.add (rreg st rs) (Int64.of_int d) in
       if Int64.equal addr 0L then deliver_trap st (Memory_fault 0L);
       let v = st.fregs.(fs) in
-      let raw, n =
-        if single then (Int64.of_int32 (Int32.bits_of_float v), 4)
-        else (Int64.bits_of_float v, 8)
-      in
-      match Vmem.Memory.write_uint st.mem addr n raw with
+      match
+        if single then
+          Vmem.Memory.write_uint st.mem addr 4
+            (Int64.of_int32 (Int32.bits_of_float v))
+        else Vmem.Memory.write_u64 st.mem addr (Int64.bits_of_float v)
+      with
       | () -> ()
       | exception Vmem.Memory.Fault a -> deliver_trap st (Memory_fault a))
   | Fcmp (a, b) -> st.flags <- Ffloat (st.fregs.(a), st.fregs.(b))

@@ -57,20 +57,58 @@ let write_u8 mem addr v =
   let p = page_of mem addr in
   Bytes.set p (Int64.to_int addr land (page_size - 1)) (Char.chr (v land 0xFF))
 
+(* ---------- word-granularity fast paths ----------
+
+   An access that lies entirely inside one page is served with a single
+   [Bytes] primitive on the backing page; only accesses that straddle a
+   page boundary take the byte-at-a-time loop below. The byte loops stay
+   the semantic reference: every fast path must agree with them. *)
+
+(* Bulk copies go page-by-page with [Bytes.blit] rather than byte-by-byte;
+   a straddling copy is just several in-page blits. *)
 let read_bytes mem addr n =
   let b = Bytes.create n in
-  for k = 0 to n - 1 do
-    Bytes.set b k (Char.chr (read_u8 mem (Int64.add addr (Int64.of_int k))))
-  done;
+  let rec go addr k =
+    if k < n then begin
+      let p = page_of mem addr in
+      let off = Int64.to_int addr land (page_size - 1) in
+      let chunk = min (n - k) (page_size - off) in
+      Bytes.blit p off b k chunk;
+      go (Int64.add addr (Int64.of_int chunk)) (k + chunk)
+    end
+  in
+  go addr 0;
   b
 
 let write_bytes mem addr b =
-  Bytes.iteri
-    (fun k c -> write_u8 mem (Int64.add addr (Int64.of_int k)) (Char.code c))
-    b
+  let n = Bytes.length b in
+  let rec go addr k =
+    if k < n then begin
+      let p = page_of mem addr in
+      let off = Int64.to_int addr land (page_size - 1) in
+      let chunk = min (n - k) (page_size - off) in
+      Bytes.blit b k p off chunk;
+      go (Int64.add addr (Int64.of_int chunk)) (k + chunk)
+    end
+  in
+  go addr 0
+
+(* Fill [n] bytes starting at [addr] with byte value [c]. *)
+let fill mem addr n c =
+  let ch = Char.chr (c land 0xFF) in
+  let rec go addr k =
+    if k < n then begin
+      let p = page_of mem addr in
+      let off = Int64.to_int addr land (page_size - 1) in
+      let chunk = min (n - k) (page_size - off) in
+      Bytes.fill p off chunk ch;
+      go (Int64.add addr (Int64.of_int chunk)) (k + chunk)
+    end
+  in
+  go addr 0
 
 (* Multi-byte accesses honour the target's endianness. *)
-let read_uint mem addr n =
+let read_uint_slow mem addr n =
   let v = ref 0L in
   (match mem.target.Target.endian with
   | Target.Little ->
@@ -89,7 +127,7 @@ let read_uint mem addr n =
       done);
   !v
 
-let write_uint mem addr n value =
+let write_uint_slow mem addr n value =
   match mem.target.Target.endian with
   | Target.Little ->
       for k = 0 to n - 1 do
@@ -104,6 +142,58 @@ let write_uint mem addr n value =
           (Int64.to_int
              (Int64.logand (Int64.shift_right_logical value (8 * (n - 1 - k))) 0xFFL))
       done
+
+let read_uint mem addr n =
+  let off = Int64.to_int addr land (page_size - 1) in
+  if off + n <= page_size then
+    let p = page_of mem addr in
+    match (n, mem.target.Target.endian) with
+    | 1, _ -> Int64.of_int (Bytes.get_uint8 p off)
+    | 2, Target.Little -> Int64.of_int (Bytes.get_uint16_le p off)
+    | 2, Target.Big -> Int64.of_int (Bytes.get_uint16_be p off)
+    | 4, Target.Little ->
+        Int64.logand (Int64.of_int32 (Bytes.get_int32_le p off)) 0xFFFF_FFFFL
+    | 4, Target.Big ->
+        Int64.logand (Int64.of_int32 (Bytes.get_int32_be p off)) 0xFFFF_FFFFL
+    | 8, Target.Little -> Bytes.get_int64_le p off
+    | 8, Target.Big -> Bytes.get_int64_be p off
+    | _ -> read_uint_slow mem addr n
+  else read_uint_slow mem addr n
+
+let write_uint mem addr n value =
+  let off = Int64.to_int addr land (page_size - 1) in
+  if off + n <= page_size then
+    let p = page_of mem addr in
+    match (n, mem.target.Target.endian) with
+    | 1, _ -> Bytes.set_uint8 p off (Int64.to_int value land 0xFF)
+    | 2, Target.Little -> Bytes.set_uint16_le p off (Int64.to_int value land 0xFFFF)
+    | 2, Target.Big -> Bytes.set_uint16_be p off (Int64.to_int value land 0xFFFF)
+    | 4, Target.Little -> Bytes.set_int32_le p off (Int64.to_int32 value)
+    | 4, Target.Big -> Bytes.set_int32_be p off (Int64.to_int32 value)
+    | 8, Target.Little -> Bytes.set_int64_le p off value
+    | 8, Target.Big -> Bytes.set_int64_be p off value
+    | _ -> write_uint_slow mem addr n value
+  else write_uint_slow mem addr n value
+
+(* The simulators' native word accesses (stack slots, argument area,
+   spills) are always 8 bytes; give them a dedicated entry point. *)
+let read_u64 mem addr =
+  let off = Int64.to_int addr land (page_size - 1) in
+  if off <= page_size - 8 then
+    let p = page_of mem addr in
+    match mem.target.Target.endian with
+    | Target.Little -> Bytes.get_int64_le p off
+    | Target.Big -> Bytes.get_int64_be p off
+  else read_uint_slow mem addr 8
+
+let write_u64 mem addr v =
+  let off = Int64.to_int addr land (page_size - 1) in
+  if off <= page_size - 8 then
+    let p = page_of mem addr in
+    match mem.target.Target.endian with
+    | Target.Little -> Bytes.set_int64_le p off v
+    | Target.Big -> Bytes.set_int64_be p off v
+  else write_uint_slow mem addr 8 v
 
 (* ---------- typed scalar access ---------- *)
 
@@ -162,9 +252,7 @@ let malloc mem n =
   in
   Hashtbl.replace mem.allocated addr cls;
   (* zero the block so workloads see deterministic contents *)
-  for k = 0 to cls - 1 do
-    write_u8 mem (Int64.add addr (Int64.of_int k)) 0
-  done;
+  fill mem addr cls 0;
   addr
 
 let free mem addr =

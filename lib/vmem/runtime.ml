@@ -64,19 +64,13 @@ let call rt name (args : Eval.scalar list) : Eval.scalar =
   | "memcpy", [ dst; src; n ] ->
       let d = Eval.to_int64 dst and s = Eval.to_int64 src in
       let n = Int64.to_int (Eval.to_int64 n) in
-      for k = 0 to n - 1 do
-        Memory.write_u8 rt.mem
-          (Int64.add d (Int64.of_int k))
-          (Memory.read_u8 rt.mem (Int64.add s (Int64.of_int k)))
-      done;
+      Memory.write_bytes rt.mem d (Memory.read_bytes rt.mem s n);
       Eval.P d
   | "memset", [ dst; c; n ] ->
       let d = Eval.to_int64 dst in
       let c = Int64.to_int (Eval.to_int64 c) land 0xFF in
       let n = Int64.to_int (Eval.to_int64 n) in
-      for k = 0 to n - 1 do
-        Memory.write_u8 rt.mem (Int64.add d (Int64.of_int k)) c
-      done;
+      Memory.fill rt.mem d n c;
       Eval.P d
   | "strlen", [ p ] ->
       let s = read_cstring rt (Eval.to_int64 p) in

@@ -99,12 +99,12 @@ let mem_addr st (m : mem) = Int64.add st.regs.(m.base) (Int64.of_int m.disp)
 let read_op st = function
   | R r -> st.regs.(r)
   | I v -> v
-  | M m -> Vmem.Memory.read_uint st.mem (mem_addr st m) 8
+  | M m -> Vmem.Memory.read_u64 st.mem (mem_addr st m)
 
 let write_op st op v =
   match op with
   | R r -> st.regs.(r) <- v
-  | M m -> Vmem.Memory.write_uint st.mem (mem_addr st m) 8 v
+  | M m -> Vmem.Memory.write_u64 st.mem (mem_addr st m) v
   | I _ -> invalid_arg "x86lite sim: write to immediate"
 
 (* ---------- traps ---------- *)
@@ -137,9 +137,9 @@ and run_subcall st (cf : Compile.cfunc) (args : int64 list) =
   st.regs.(sp) <- Int64.sub st.regs.(sp) (Int64.of_int (8 * n));
   List.iteri
     (fun k v ->
-      Vmem.Memory.write_uint st.mem
+      Vmem.Memory.write_u64 st.mem
         (Int64.add st.regs.(sp) (Int64.of_int (8 * k)))
-        8 v)
+        v)
     args;
   (* simulated return-address push *)
   st.regs.(sp) <- Int64.sub st.regs.(sp) 8L;
@@ -172,9 +172,8 @@ and addr_to_name st (addr : int64) =
 (* read the k'th argument from the caller's argument area; at this point
    SP points at the simulated return address slot *)
 and read_arg st k =
-  Vmem.Memory.read_uint st.mem
+  Vmem.Memory.read_u64 st.mem
     (Int64.add st.regs.(sp) (Int64.of_int (8 + (8 * k))))
-    8
 
 and external_call st name =
   (* runtime and intrinsic functions; args are on the stack *)
@@ -338,9 +337,9 @@ and step st =
   | Lea (r, m) -> st.regs.(r) <- mem_addr st m
   | Push op ->
       st.regs.(sp) <- Int64.sub st.regs.(sp) 8L;
-      Vmem.Memory.write_uint st.mem st.regs.(sp) 8 (read_op st op)
+      Vmem.Memory.write_u64 st.mem st.regs.(sp) (read_op st op)
   | Pop r ->
-      st.regs.(r) <- Vmem.Memory.read_uint st.mem st.regs.(sp) 8;
+      st.regs.(r) <- Vmem.Memory.read_u64 st.mem st.regs.(sp);
       st.regs.(sp) <- Int64.add st.regs.(sp) 8L
   | CallSym name -> do_call st ~target:(resolve_callee st name) ~except:None ~ret_pc:next
   | CallSymI (name, l) ->
@@ -397,7 +396,10 @@ and step st =
   | Fload (f, m, single) -> (
       let addr = mem_addr st m in
       if Int64.equal addr 0L then deliver_trap st (Memory_fault 0L);
-      match Vmem.Memory.read_uint st.mem addr (if single then 4 else 8) with
+      match
+        if single then Vmem.Memory.read_uint st.mem addr 4
+        else Vmem.Memory.read_u64 st.mem addr
+      with
       | raw ->
           st.fregs.(f) <-
             (if single then Int32.float_of_bits (Int64.to_int32 raw)
@@ -407,12 +409,12 @@ and step st =
       let addr = mem_addr st m in
       if Int64.equal addr 0L then deliver_trap st (Memory_fault 0L);
       let v = st.fregs.(f) in
-      let raw, n =
+      match
         if single then
-          (Int64.of_int32 (Int32.bits_of_float v), 4)
-        else (Int64.bits_of_float v, 8)
-      in
-      match Vmem.Memory.write_uint st.mem addr n raw with
+          Vmem.Memory.write_uint st.mem addr 4
+            (Int64.of_int32 (Int32.bits_of_float v))
+        else Vmem.Memory.write_u64 st.mem addr (Int64.bits_of_float v)
+      with
       | () -> ()
       | exception Vmem.Memory.Fault a -> deliver_trap st (Memory_fault a))
   | Fcmp (a, b) -> st.flags <- Ffloat (st.fregs.(a), st.fregs.(b))
@@ -447,9 +449,9 @@ let call_function st name (int_args : int64 list) : int64 =
       st.regs.(sp) <- Int64.sub st.regs.(sp) (Int64.of_int (8 * n));
       List.iteri
         (fun k v ->
-          Vmem.Memory.write_uint st.mem
+          Vmem.Memory.write_u64 st.mem
             (Int64.add st.regs.(sp) (Int64.of_int (8 * k)))
-            8 v)
+            v)
         int_args;
       st.regs.(sp) <- Int64.sub st.regs.(sp) 8L;
       st.frames <- [];

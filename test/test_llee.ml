@@ -239,7 +239,141 @@ let test_corrupted_cache () =
   check_bool "still correct" true (r = expected_result);
   check_int "retranslated after corruption" 2
     again.Llee.stats.Llee.translations;
-  check_int "no bogus hits" 0 again.Llee.stats.Llee.cache_hits
+  check_int "no bogus hits" 0 again.Llee.stats.Llee.cache_hits;
+  check_int "bad-magic entries counted" 2 again.Llee.stats.Llee.cache_corrupt
+
+let test_truncated_marshal () =
+  (* magic intact but the marshalled payload cut short:
+     [Marshal.from_string] raises Invalid_argument, which must read as a
+     miss and count as corruption *)
+  let storage = Llee.Storage.in_memory () in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 (Gen.parse program) in
+  ignore (Llee.run eng);
+  let key f = Printf.sprintf "%s.%s.x86lite" eng.Llee.key f in
+  List.iter
+    (fun f ->
+      match storage.Llee.Storage.read (key f) with
+      | Some e ->
+          let d = e.Llee.Storage.data in
+          storage.Llee.Storage.write (key f)
+            (String.sub d 0 (String.length d - 8))
+      | None -> Alcotest.fail ("missing cache entry for " ^ f))
+    [ "main"; "hot" ];
+  let again = Llee.fresh_run eng in
+  let r = Llee.run again in
+  check_bool "still correct after truncation" true (r = expected_result);
+  check_int "retranslated after truncation" 2 again.Llee.stats.Llee.translations;
+  check_int "no bogus hits" 0 again.Llee.stats.Llee.cache_hits;
+  check_bool "truncation counted" true (again.Llee.stats.Llee.cache_corrupt >= 2)
+
+let test_module_entry_fast_path () =
+  (* offline translation writes a whole-module entry; a warm launch can
+     run entirely from it even with every per-function entry gone *)
+  let storage = Llee.Storage.in_memory () in
+  let m = Gen.parse program in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 m in
+  Llee.translate_offline eng;
+  let key f = Printf.sprintf "%s.%s.x86lite" eng.Llee.key f in
+  List.iter
+    (fun f -> storage.Llee.Storage.delete (key f))
+    [ "main"; "hot"; "cold_helper" ];
+  let warm = Llee.fresh_run eng in
+  let r = Llee.run warm in
+  check_bool "runs from module entry" true (r = expected_result);
+  check_int "module entry: no translations" 0 warm.Llee.stats.Llee.translations;
+  check_int "module entry: hits" 2 warm.Llee.stats.Llee.cache_hits
+
+let test_module_entry_fallback () =
+  (* ... and conversely: with the module entry corrupted, the launch
+     falls back to the per-function entries *)
+  let storage = Llee.Storage.in_memory () in
+  let m = Gen.parse program in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 m in
+  Llee.translate_offline eng;
+  let module_key = Printf.sprintf "%s.__module__.x86lite" eng.Llee.key in
+  storage.Llee.Storage.write module_key "LLEE1\x00not a marshalled module";
+  let warm = Llee.fresh_run eng in
+  let r = Llee.run warm in
+  check_bool "falls back to per-function entries" true (r = expected_result);
+  check_int "fallback: no translations" 0 warm.Llee.stats.Llee.translations;
+  check_int "fallback: per-function hits" 2 warm.Llee.stats.Llee.cache_hits;
+  check_bool "module corruption counted" true
+    (warm.Llee.stats.Llee.cache_corrupt >= 1);
+  (* deleting the module entry entirely behaves the same *)
+  storage.Llee.Storage.delete module_key;
+  let warm2 = Llee.fresh_run eng in
+  ignore (Llee.run warm2);
+  check_int "deleted module entry: hits" 2 warm2.Llee.stats.Llee.cache_hits
+
+let test_stale_module_entry () =
+  (* a newer program timestamp evicts the whole-module entry as well as
+     the per-function entries: everything retranslates *)
+  let storage = Llee.Storage.in_memory () in
+  let bytes = Llva.Encode.encode (Gen.parse program) in
+  let v1 = Llee.load ~storage ~timestamp:0.0 ~target:Llee.X86 bytes in
+  Llee.translate_offline v1;
+  let v2 = Llee.load ~storage ~timestamp:1e9 ~target:Llee.X86 bytes in
+  let r = Llee.run v2 in
+  check_bool "stale offline cache: correct" true (r = expected_result);
+  check_int "stale offline cache: retranslated" 2
+    v2.Llee.stats.Llee.translations;
+  check_int "stale offline cache: no hits" 0 v2.Llee.stats.Llee.cache_hits;
+  (* the stale module entry was deleted, not just skipped *)
+  let module_key = Printf.sprintf "%s.__module__.x86lite" v2.Llee.key in
+  check_bool "stale module entry evicted" true
+    (storage.Llee.Storage.read module_key = None)
+
+let test_parallel_offline_identical () =
+  (* the Domain pool must leave byte-identical cache contents in the
+     same entries as a sequential translation *)
+  let bytes = Llva.Encode.encode (Gen.parse program) in
+  let s_seq = Llee.Storage.in_memory () in
+  let s_par = Llee.Storage.in_memory () in
+  let e_seq = Llee.load ~storage:s_seq ~target:Llee.X86 bytes in
+  let e_par = Llee.load ~storage:s_par ~target:Llee.X86 bytes in
+  Llee.translate_offline ~domains:1 e_seq;
+  Llee.translate_offline ~domains:4 e_par;
+  check_int "same translation count" e_seq.Llee.stats.Llee.translations
+    e_par.Llee.stats.Llee.translations;
+  check_int "same cache size" (s_seq.Llee.Storage.size ())
+    (s_par.Llee.Storage.size ());
+  List.iter
+    (fun f ->
+      let key = Printf.sprintf "%s.%s.x86lite" e_seq.Llee.key f in
+      match (s_seq.Llee.Storage.read key, s_par.Llee.Storage.read key) with
+      | Some a, Some b ->
+          check_bool ("identical entry for " ^ f) true
+            (String.equal a.Llee.Storage.data b.Llee.Storage.data)
+      | _ -> Alcotest.fail ("missing cache entry for " ^ f))
+    [ "main"; "hot"; "cold_helper"; "__module__" ];
+  (* and the parallel cache actually runs *)
+  let warm = Llee.fresh_run e_par in
+  let r = Llee.run warm in
+  check_bool "parallel cache runs" true (r = expected_result);
+  check_int "parallel cache: no translations" 0
+    warm.Llee.stats.Llee.translations
+
+let test_parallel_reoptimize () =
+  (* reoptimize validates baseline vs candidate on two domains; the
+     outcome must match semantics either way *)
+  let storage = Llee.Storage.in_memory () in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 (Gen.parse program) in
+  let r1 = Llee.run eng in
+  let eng2, _moved = Llee.reoptimize ~domains:2 eng in
+  let r2 = Llee.run eng2 in
+  check_bool "same behaviour after parallel validation" true (r1 = r2)
 
 let suite =
-  suite @ [ Alcotest.test_case "corrupted cache" `Quick test_corrupted_cache ]
+  suite
+  @ [
+      Alcotest.test_case "corrupted cache" `Quick test_corrupted_cache;
+      Alcotest.test_case "truncated marshal" `Quick test_truncated_marshal;
+      Alcotest.test_case "module entry fast path" `Quick
+        test_module_entry_fast_path;
+      Alcotest.test_case "module entry fallback" `Quick
+        test_module_entry_fallback;
+      Alcotest.test_case "stale module entry" `Quick test_stale_module_entry;
+      Alcotest.test_case "parallel offline identical" `Quick
+        test_parallel_offline_identical;
+      Alcotest.test_case "parallel reoptimize" `Quick test_parallel_reoptimize;
+    ]

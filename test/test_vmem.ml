@@ -82,6 +82,53 @@ let test_memory_rw () =
   Alcotest.(check int64) "cross page" 0x0123456789ABCDEFL
     (Vmem.Memory.read_uint mem 0x2FFEL 8)
 
+let test_word_fast_paths () =
+  (* the in-page u64 fast path must agree byte-for-byte with the byte
+     loop, on both endiannesses and across page boundaries *)
+  let check64 = Alcotest.(check int64) in
+  let mem = Vmem.Memory.create Target.little32 in
+  Vmem.Memory.write_u64 mem 0x3000L 0x0123456789ABCDEFL;
+  check64 "u64 roundtrip" 0x0123456789ABCDEFL (Vmem.Memory.read_u64 mem 0x3000L);
+  check_int "u64 LE low byte" 0xEF (Vmem.Memory.read_u8 mem 0x3000L);
+  check_int "u64 LE high byte" 0x01 (Vmem.Memory.read_u8 mem 0x3007L);
+  check64 "u64 agrees with read_uint" (Vmem.Memory.read_uint mem 0x3000L 8)
+    (Vmem.Memory.read_u64 mem 0x3000L);
+  (* straddling a page boundary takes the slow path with the same result *)
+  Vmem.Memory.write_u64 mem 0x3FFDL 0x1122334455667788L;
+  check64 "u64 straddle roundtrip" 0x1122334455667788L
+    (Vmem.Memory.read_u64 mem 0x3FFDL);
+  check_int "straddle low byte" 0x88 (Vmem.Memory.read_u8 mem 0x3FFDL);
+  check_int "straddle high byte" 0x11 (Vmem.Memory.read_u8 mem 0x4004L);
+  (* big-endian words store their high byte first *)
+  let bem = Vmem.Memory.create Target.big32 in
+  Vmem.Memory.write_u64 bem 0x3000L 0x0123456789ABCDEFL;
+  check64 "BE u64 roundtrip" 0x0123456789ABCDEFL
+    (Vmem.Memory.read_u64 bem 0x3000L);
+  check_int "BE u64 first byte" 0x01 (Vmem.Memory.read_u8 bem 0x3000L);
+  (* unaligned in-page accesses still round-trip *)
+  Vmem.Memory.write_u64 mem 0x3005L 0x00FFEEDDCCBBAA99L;
+  check64 "unaligned u64" 0x00FFEEDDCCBBAA99L (Vmem.Memory.read_u64 mem 0x3005L)
+
+let test_bulk_bytes () =
+  (* read_bytes/write_bytes/fill blit page-at-a-time; a straddling span
+     must come back intact *)
+  let mem = Vmem.Memory.create Target.little32 in
+  let n = 10_000 in
+  let src = Bytes.init n (fun k -> Char.chr ((k * 7) land 0xFF)) in
+  (* starts mid-page and crosses two page boundaries *)
+  Vmem.Memory.write_bytes mem 0x2F40L src;
+  let back = Vmem.Memory.read_bytes mem 0x2F40L n in
+  check_bool "bulk roundtrip" true (Bytes.equal src back);
+  check_int "spot check via u8" ((5000 * 7) land 0xFF)
+    (Vmem.Memory.read_u8 mem (Int64.add 0x2F40L 5000L));
+  Vmem.Memory.fill mem 0x2F40L n 0xA5;
+  let filled = Vmem.Memory.read_bytes mem 0x2F40L n in
+  check_bool "fill" true
+    (Bytes.for_all (fun c -> Char.code c = 0xA5) filled);
+  (* zero-length operations are no-ops *)
+  Vmem.Memory.write_bytes mem 0x2F40L Bytes.empty;
+  check_int "empty read" 0 (Bytes.length (Vmem.Memory.read_bytes mem 0x2F40L 0))
+
 let test_null_page_faults () =
   let mem = Vmem.Memory.create Target.little32 in
   check_bool "null faults" true
@@ -257,6 +304,8 @@ let suite =
     Alcotest.test_case "struct layout" `Quick test_struct_layout;
     Alcotest.test_case "gep offsets (paper example)" `Quick test_gep_offsets;
     Alcotest.test_case "memory read/write" `Quick test_memory_rw;
+    Alcotest.test_case "word fast paths" `Quick test_word_fast_paths;
+    Alcotest.test_case "bulk byte ops" `Quick test_bulk_bytes;
     Alcotest.test_case "null page faults" `Quick test_null_page_faults;
     Alcotest.test_case "typed scalar access" `Quick test_typed_scalar_access;
     Alcotest.test_case "malloc/free" `Quick test_malloc_free;
