@@ -1,0 +1,141 @@
+(* llva-lint: the interprocedural static safety analyzer over LLVA
+   modules (text or virtual object code).
+
+     llva_lint input.ll                     # default checks, text report
+     llva_lint input.bc --json              # machine-readable report
+     llva_lint input.ll --checks uninit-load,oob-access
+     llva_lint input.ll --checks all --werror
+     llva_lint --workloads                  # lint the built-in suite
+
+   Exit codes: 0 — no gating findings; 1 — at least one error-severity
+   finding (warnings gate too under --werror); 2 — usage error or the
+   module failed the verifier (lint requires verified input). *)
+
+open Cmdliner
+
+let parse_checks = function
+  | None -> None
+  | Some "all" -> Some Check.Lint.check_ids
+  | Some csv -> (
+      let names =
+        List.filter (fun s -> s <> "") (String.split_on_char ',' csv)
+      in
+      try
+        Check.Lint.validate_checks names;
+        Some names
+      with Check.Lint.Unknown_check c ->
+        Printf.eprintf "unknown check %s (use --list-checks)\n" c;
+        exit 2)
+
+let lint_module ?checks ~json ~werror m =
+  let diags = Check.Lint.run ?checks m in
+  if json then print_endline (Check.Diag.render_json diags)
+  else begin
+    List.iter (fun d -> print_endline (Check.Diag.to_text d)) diags;
+    let e = Check.Diag.count_severity Check.Diag.Error diags in
+    let w = Check.Diag.count_severity Check.Diag.Warning diags in
+    Printf.printf "%d error%s, %d warning%s\n" e
+      (if e = 1 then "" else "s")
+      w
+      (if w = 1 then "" else "s")
+  end;
+  Check.Diag.count_severity Check.Diag.Error diags > 0
+  || (werror && Check.Diag.count_severity Check.Diag.Warning diags > 0)
+
+let lint_workloads ?checks ~json ~werror () =
+  let failed = ref false in
+  let reports =
+    List.map
+      (fun w ->
+        let m = Workloads.compile_optimized ~level:2 w in
+        (match Llva.Verify.verify_module m with
+        | [] -> ()
+        | errs ->
+            List.iter (fun e -> Printf.eprintf "verify: %s\n" e) errs;
+            exit 2);
+        let diags = Check.Lint.run ?checks m in
+        if Check.Diag.count_severity Check.Diag.Error diags > 0 then
+          failed := true;
+        if werror && Check.Diag.count_severity Check.Diag.Warning diags > 0
+        then failed := true;
+        (w.Workloads.name, diags))
+      Workloads.all
+  in
+  if json then
+    print_endline
+      (Check.Json.to_string ~pretty:true
+         (Check.Json.Obj
+            (List.map
+               (fun (name, diags) -> (name, Check.Diag.to_json diags))
+               reports)))
+  else
+    List.iter
+      (fun (name, diags) ->
+        if diags = [] then Printf.printf "%-18s clean\n" name
+        else begin
+          Printf.printf "%-18s %d finding(s)\n" name (List.length diags);
+          List.iter (fun d -> print_endline ("  " ^ Check.Diag.to_text d)) diags
+        end)
+      reports;
+  !failed
+
+let run input json checks list_checks werror workloads =
+  if list_checks then begin
+    List.iter
+      (fun (c : Check.Lint.check_info) ->
+        Printf.printf "%-18s %s%s\n" c.Check.Lint.id
+          (if c.Check.Lint.default_on then "" else "[opt-in] ")
+          c.Check.Lint.descr)
+      Check.Lint.catalogue;
+    exit 0
+  end;
+  let checks = parse_checks checks in
+  let failed =
+    if workloads then lint_workloads ?checks ~json ~werror ()
+    else
+      match input with
+      | None ->
+          prerr_endline "an input file is required (or --workloads)";
+          exit 2
+      | Some path ->
+          let m = Tool_common.load_module path in
+          (match Llva.Verify.verify_module m with
+          | [] -> ()
+          | errs ->
+              List.iter (fun e -> Printf.eprintf "verify: %s\n" e) errs;
+              prerr_endline "lint requires a verified module";
+              exit 2);
+          lint_module ?checks ~json ~werror m
+  in
+  exit (if failed then 1 else 0)
+
+let input = Arg.(value & pos 0 (some file) None & info [] ~docv:"INPUT")
+let json = Arg.(value & flag & info [ "json" ] ~doc:"emit a JSON report")
+
+let checks =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checks" ] ~docv:"C1,C2,..."
+        ~doc:"comma-separated check ids, or 'all' (default: the default set)")
+
+let list_checks = Arg.(value & flag & info [ "list-checks" ])
+
+let werror =
+  Arg.(
+    value & flag
+    & info [ "werror"; "Werror" ] ~doc:"treat warnings as gating errors")
+
+let workloads =
+  Arg.(
+    value & flag
+    & info [ "workloads" ]
+        ~doc:"lint the 17 built-in workloads (optimized at -O2)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "llva-lint" ~doc:"static safety analysis over LLVA modules")
+    Term.(
+      const run $ input $ json $ checks $ list_checks $ werror $ workloads)
+
+let () = exit (Cmd.eval cmd)

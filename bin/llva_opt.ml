@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run input output level passes list_passes =
+let run input output level passes list_passes lint =
   if list_passes then begin
     List.iter
       (fun p ->
@@ -24,17 +24,21 @@ let run input output level passes list_passes =
   let m = Tool_common.load_module input in
   Tool_common.check_verify m;
   let changes =
-    match passes with
-    | Some plist -> (
-        let names = String.split_on_char ',' plist in
-        try Transform.Passmgr.run_pipeline ~verify:true m names
-        with Transform.Passmgr.Unknown_pass p ->
-          Printf.eprintf "unknown pass %s (use --list-passes)\n" p;
-          exit 1)
-    | None -> Transform.Passmgr.optimize ~level ~verify:true m
+    try
+      match passes with
+      | Some plist -> (
+          let names = String.split_on_char ',' plist in
+          try Transform.Passmgr.run_pipeline ~verify:true m names
+          with Transform.Passmgr.Unknown_pass p ->
+            Printf.eprintf "unknown pass %s (use --list-passes)\n" p;
+            exit 1)
+      | None -> Transform.Passmgr.optimize ~level ~verify:true m
+    with Transform.Passmgr.Pass_broke_module (name, errs) ->
+      Tool_common.pipeline_broke name errs
   in
   Printf.eprintf "applied %d changes; %d instructions remain\n" changes
     (Llva.Ir.module_instr_count m);
+  if lint && Tool_common.run_lint ~channel:stderr m then exit 1;
   let text_out = Filename.check_suffix (Option.value output ~default:"-.ll") ".ll" in
   match output with
   | None -> print_string (Llva.Pretty.module_to_string m)
@@ -58,9 +62,15 @@ let passes =
 
 let list_passes = Arg.(value & flag & info [ "list-passes" ])
 
+let lint =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:"run llva-lint after optimization; exit 1 on error findings")
+
 let cmd =
   Cmd.v
     (Cmd.info "llva-opt" ~doc:"optimize LLVA modules")
-    Term.(const run $ input $ output $ level $ passes $ list_passes)
+    Term.(const run $ input $ output $ level $ passes $ list_passes $ lint)
 
 let () = exit (Cmd.eval cmd)

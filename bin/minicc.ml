@@ -12,7 +12,7 @@ let parse_target = function
   | "64be" -> Ok Llva.Target.big64
   | t -> Error (Printf.sprintf "unknown target %s (32le, 32be, 64le, 64be)" t)
 
-let run input output level emit_llva target_str =
+let run input output level emit_llva target_str lint =
   let target =
     match parse_target target_str with
     | Ok t -> t
@@ -34,7 +34,16 @@ let run input output level emit_llva target_str =
     | Minic.Mcodegen.Error (msg, line) ->
         Printf.eprintf "%s:%d: error: %s\n" input line msg;
         exit 1
+    | Llva.Verify.Invalid errs ->
+        (* the optimizer left the module invalid: report the verifier's
+           messages and fail *)
+        Printf.eprintf "%s: optimization left the module invalid:\n" input;
+        List.iter (fun e -> Printf.eprintf "verify: %s\n" e) errs;
+        exit 1
+    | Transform.Passmgr.Pass_broke_module (name, errs) ->
+        Tool_common.pipeline_broke name errs
   in
+  if lint && Tool_common.run_lint ~channel:stderr m then exit 1;
   let out =
     match output with
     | Some o -> o
@@ -57,9 +66,15 @@ let emit_llva = Arg.(value & flag & info [ "emit-llva"; "S" ])
 let target =
   Arg.(value & opt string "32le" & info [ "target" ] ~docv:"TARGET")
 
+let lint =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:"run llva-lint on the compiled module; exit 1 on error findings")
+
 let cmd =
   Cmd.v
     (Cmd.info "minicc" ~doc:"compile MiniC (a C subset) to LLVA")
-    Term.(const run $ input $ output $ level $ emit_llva $ target)
+    Term.(const run $ input $ output $ level $ emit_llva $ target $ lint)
 
 let () = exit (Cmd.eval cmd)

@@ -28,3 +28,21 @@ let check_verify m =
   | errs ->
       List.iter (fun e -> Printf.eprintf "verify: %s\n" e) errs;
       exit 1
+
+(* Run llva-lint over [m], printing text diagnostics to [channel].
+   Returns true when the findings should fail the invocation: any
+   error-severity diagnostic, or any warning when [werror] is set. *)
+let run_lint ?(werror = false) ?checks ~channel m =
+  let diags = Check.Lint.run ?checks m in
+  List.iter
+    (fun d -> output_string channel (Check.Diag.to_text d ^ "\n"))
+    diags;
+  Check.Diag.count_severity Check.Diag.Error diags > 0
+  || (werror && Check.Diag.count_severity Check.Diag.Warning diags > 0)
+
+(* Shared handler for a pass pipeline that left the module invalid:
+   report the verifier's messages on stderr and exit non-zero. *)
+let pipeline_broke name errs =
+  Printf.eprintf "pass %s left the module invalid:\n" name;
+  List.iter (fun e -> Printf.eprintf "verify: %s\n" e) errs;
+  exit 1

@@ -1,0 +1,78 @@
+; A module seeded with one instance of each default-on lint bug class.
+; llva-lint must flag every one of them and exit 1 (the @lint dune alias
+; runs it under with-accepted-exit-codes).
+
+%cache = global int* null
+
+int %uninit() {
+entry:
+  %x = alloca int
+  %v = load int* %x          ; uninit-load: no store on any path
+  ret int %v
+}
+
+int %oob() {
+entry:
+  %buf = alloca int, uint 4
+  store int 1, int* %buf
+  %p = getelementptr int* %buf, long 6
+  %v = load int* %p          ; oob-access: offset 24 in a 16-byte object
+  ret int %v
+}
+
+void %null_write() {
+entry:
+  store int 1, int* null     ; null-deref
+  ret void
+}
+
+int %reads(int* %p) {
+entry:
+  %v = load int* %p
+  ret int %v
+}
+
+int %passes_null() {
+entry:
+  %r = call int %reads(int* null)   ; null-arg: %reads dereferences arg 0
+  ret int %r
+}
+
+int* %leak() {
+entry:
+  %x = alloca int
+  store int 1, int* %x
+  ret int* %x                ; dangling-pointer: stack address escapes
+}
+
+int %crash(int %a) {
+entry:
+  %d = div int %a, 0         ; div-by-zero
+  ret int %d
+}
+
+int %island() {
+entry:
+  ret int 0
+dead:                        ; unreachable-block
+  ret int 1
+}
+
+void %wasted() {
+entry:
+  %x = alloca int
+  store int 9, int* %x       ; dead-store: never read back
+  ret void
+}
+
+int %pure_inc(int %a) {
+entry:
+  %r = add int %a, 1
+  ret int %r
+}
+
+void %discards() {
+entry:
+  %u = call int %pure_inc(int 1)    ; unused-result of a pure callee
+  ret void
+}

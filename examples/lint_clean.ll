@@ -1,0 +1,38 @@
+; A well-behaved module: llva-lint must report zero diagnostics and
+; exit 0 on it (exercised by the @lint dune alias).
+
+%table = global [4 x int] [ int 1, int 2, int 3, int 4 ]
+
+int %sum_table() {
+entry:
+  br label %header
+header:
+  %i = phi long [ 0, %entry ], [ %inext, %latch ]
+  %acc = phi int [ 0, %entry ], [ %accnext, %latch ]
+  %c = setlt long %i, 4
+  br bool %c, label %latch, label %exit
+latch:
+  %slot = getelementptr [4 x int]* %table, long 0, long %i
+  %v = load int* %slot
+  %accnext = add int %acc, %v
+  %inext = add long %i, 1
+  br label %header
+exit:
+  ret int %acc
+}
+
+int %with_scratch(int %seed) {
+entry:
+  %scratch = alloca int
+  store int %seed, int* %scratch
+  %v = load int* %scratch
+  %r = mul int %v, 3
+  ret int %r
+}
+
+int %main() {
+entry:
+  %a = call int %sum_table()
+  %b = call int %with_scratch(int %a)
+  ret int %b
+}

@@ -22,24 +22,61 @@ type base =
   | Barg of Ir.arg (* incoming pointer: unknown object *)
   | Bunknown
 
-(* Chase a pointer value to its base object through geps and
-   pointer-to-pointer casts. *)
-let rec base_object (v : Ir.value) : base =
+(* Chase a pointer value to its base object through geps,
+   pointer-to-pointer casts, and phis whose arms all resolve to the same
+   base (the V-ISA has no select instruction — a two-arm phi is its
+   select form, and loop phis that advance a pointer over one object are
+   the common case). A phi arm that cycles back into a phi already being
+   resolved is skipped: if every other arm agrees on a base, the cyclic
+   arm can only carry that same base, so the conclusion stands by
+   induction. [None] marks such an in-progress arm; [Some Bunknown] is a
+   genuine unknown. *)
+let rec base_object_among (seen : int list) (v : Ir.value) : base option =
   match v with
-  | Ir.Vglobal g -> Bglobal g
-  | Ir.Vfunc f -> Bfunc f
-  | Ir.Varg a -> Barg a
+  | Ir.Vglobal g -> Some (Bglobal g)
+  | Ir.Vfunc f -> Some (Bfunc f)
+  | Ir.Varg a -> Some (Barg a)
   | Ir.Vreg i -> (
       match i.Ir.op with
-      | Ir.Alloca -> Balloca i
-      | Ir.Getelementptr -> base_object i.Ir.operands.(0)
+      | Ir.Alloca -> Some (Balloca i)
+      | Ir.Getelementptr -> base_object_among seen i.Ir.operands.(0)
       | Ir.Cast -> (
           match Ir.type_of_value i.Ir.operands.(0) with
-          | Types.Pointer _ -> base_object i.Ir.operands.(0)
-          | _ -> Bunknown)
-      | _ -> Bunknown)
-  | Ir.Const { ckind = Ir.Cglobal_ref _; _ } -> Bunknown
-  | _ -> Bunknown
+          | Types.Pointer _ -> base_object_among seen i.Ir.operands.(0)
+          | _ -> Some Bunknown)
+      | Ir.Phi ->
+          if List.mem i.Ir.iid seen then None
+          else begin
+            let seen = i.Ir.iid :: seen in
+            let agreed = ref None and unknown = ref false in
+            List.iter
+              (fun (arm, _) ->
+                if not !unknown then
+                  match base_object_among seen arm with
+                  | None -> () (* cyclic arm: the others decide *)
+                  | Some Bunknown -> unknown := true
+                  | Some b -> (
+                      match !agreed with
+                      | None -> agreed := Some b
+                      | Some b0 -> if not (same_base b0 b) then unknown := true))
+              (Ir.phi_incoming i);
+            if !unknown then Some Bunknown
+            else match !agreed with Some b -> Some b | None -> Some Bunknown
+          end
+      | _ -> Some Bunknown)
+  | Ir.Const { ckind = Ir.Cglobal_ref _; _ } -> Some Bunknown
+  | _ -> Some Bunknown
+
+and same_base a b =
+  match (a, b) with
+  | Balloca x, Balloca y -> x == y
+  | Bglobal x, Bglobal y -> x == y
+  | Bfunc x, Bfunc y -> x == y
+  | Barg x, Barg y -> x == y
+  | _ -> false
+
+let base_object (v : Ir.value) : base =
+  match base_object_among [] v with Some b -> b | None -> Bunknown
 
 (* Constant byte offset of [v] from its base object, or None if any gep
    index on the way is non-constant. Pointer-to-pointer casts keep the
@@ -75,14 +112,6 @@ let rec const_offset (lt : Vmem.Layout.t) (v : Ir.value) : int option =
   | _ -> None
 
 type result = No_alias | May_alias | Must_alias
-
-let same_base a b =
-  match (a, b) with
-  | Balloca x, Balloca y -> x == y
-  | Bglobal x, Bglobal y -> x == y
-  | Bfunc x, Bfunc y -> x == y
-  | Barg x, Barg y -> x == y
-  | _ -> false
 
 let distinct_identified a b =
   (* bases that are provably distinct memory objects *)

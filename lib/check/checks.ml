@@ -1,0 +1,491 @@
+(* The llva-lint checker suite: dataflow-based safety checks over verified
+   LLVA modules, built on the existing analysis infrastructure (CFG,
+   alias/escape, call graph summaries, target data layout).
+
+   Every check is conservative in the "no false alarms" direction: a
+   diagnostic is only emitted when the module provably misbehaves (or, for
+   the opt-in maybe-* variants, when a must-analysis cannot prove safety).
+   The acceptance bar is zero diagnostics across the optimized workload
+   suite. *)
+
+open Llva
+
+type ctx = {
+  m : Ir.modl;
+  env : Types.env;
+  lt : Vmem.Layout.t;
+  summaries : Summaries.t;
+  emit : Diag.t -> unit;
+}
+
+let is_pointer ctx ty =
+  match Types.resolve ctx.env ty with
+  | Types.Pointer _ -> true
+  | _ -> false
+  | exception Types.Unresolved _ -> false
+
+(* ---------- constant-null chasing ---------- *)
+
+(* Is [v] provably the null pointer (possibly offset through geps or
+   laundered through casts)? *)
+let rec points_to_null ctx (v : Ir.value) =
+  match v with
+  | Ir.Const { ckind = Ir.Cnull; _ } -> true
+  | Ir.Const { cty; ckind = Ir.Czero } -> is_pointer ctx cty
+  | Ir.Const { cty; ckind = Ir.Cint 0L } -> is_pointer ctx cty
+  | Ir.Vreg ({ Ir.op = Ir.Getelementptr; _ } as i) ->
+      points_to_null ctx i.Ir.operands.(0)
+  | Ir.Vreg ({ Ir.op = Ir.Cast; _ } as i) -> (
+      match i.Ir.operands.(0) with
+      | Ir.Const { ckind = Ir.Cint 0L; _ } -> is_pointer ctx i.Ir.ity
+      | src -> is_pointer ctx (Ir.type_of_value src) && points_to_null ctx src)
+  | _ -> false
+
+(* ---------- per-alloca local use classification ---------- *)
+
+(* What happens to an alloca's address within its function. [tracked]
+   goes false the moment the address flows somewhere our model cannot
+   follow (stored to memory, returned, merged through a phi, passed to an
+   escaping callee position, recombined arithmetically); after that the
+   initialization checks stay silent for this alloca. *)
+type alloca_facts = {
+  a_instr : Ir.instr;
+  mutable tracked : bool;
+  gens : (int, unit) Hashtbl.t; (* instr ids that (may) initialize it *)
+  mutable loads : Ir.instr list; (* loads through the alloca *)
+  mutable stores : Ir.instr list; (* direct stores through the alloca *)
+  mutable read_by_callee : bool; (* passed to a callee proven to read it *)
+}
+
+let classify_alloca ctx (a : Ir.instr) : alloca_facts =
+  let facts =
+    {
+      a_instr = a;
+      tracked = true;
+      gens = Hashtbl.create 8;
+      loads = [];
+      stores = [];
+      read_by_callee = false;
+    }
+  in
+  let seen = Hashtbl.create 8 in
+  let rec walk_uses uses =
+    List.iter
+      (fun (u : Ir.use) ->
+        let user = u.Ir.user in
+        match user.Ir.op with
+        | Ir.Load -> facts.loads <- user :: facts.loads
+        | Ir.Store ->
+            if u.Ir.uidx = 1 then begin
+              Hashtbl.replace facts.gens user.Ir.iid ();
+              facts.stores <- user :: facts.stores
+            end
+            else facts.tracked <- false (* address stored to memory *)
+        | Ir.Getelementptr when u.Ir.uidx = 0 -> follow user
+        | Ir.Cast ->
+            if is_pointer ctx user.Ir.ity then follow user
+            else facts.tracked <- false
+        | Ir.Call | Ir.Invoke -> (
+            match Summaries.call_arg_index user u.Ir.uidx with
+            | Some j -> (
+                match Ir.call_callee user with
+                | Ir.Vfunc g ->
+                    let s =
+                      Summaries.arg_summary
+                        (Summaries.func_summary ctx.summaries g)
+                        j
+                    in
+                    if s.Summaries.escapes then facts.tracked <- false
+                    else begin
+                      if s.Summaries.writes then
+                        Hashtbl.replace facts.gens user.Ir.iid ();
+                      if s.Summaries.derefs then facts.read_by_callee <- true
+                    end
+                | _ -> facts.tracked <- false)
+            | None -> facts.tracked <- false (* called through the pointer *))
+        | Ir.Setcc _ -> () (* address comparison is harmless *)
+        | _ -> facts.tracked <- false)
+      uses
+  and follow (derived : Ir.instr) =
+    if not (Hashtbl.mem seen derived.Ir.iid) then begin
+      Hashtbl.replace seen derived.Ir.iid ();
+      walk_uses derived.Ir.iuses
+    end
+  in
+  walk_uses a.Ir.iuses;
+  facts
+
+(* ---------- uninitialized loads (forward init dataflow) ---------- *)
+
+(* Two forward dataflow problems over the CFG, both with the alloca
+   instruction as a kill (an alloca inside a loop yields fresh memory each
+   iteration) and stores/initializing calls as gens:
+
+   - MAY-init (union at joins): a load of an alloca not in the may-set
+     reads uninitialized memory on EVERY path — a definite bug, check id
+     "uninit-load";
+   - MUST-init (intersection at joins): a load of an alloca not in the
+     must-set has SOME path on which it is uninitialized — the opt-in
+     "maybe-uninit-load" check. *)
+let check_uninit ctx ~k_func (f : Ir.func) (cfg : Analysis.Cfg.t) allocas =
+  let tracked =
+    Array.of_list (List.filter (fun a -> a.tracked && a.loads <> []) allocas)
+  in
+  let n_allocas = Array.length tracked in
+  if n_allocas > 0 then begin
+    (* instr id -> events; one instruction can affect several allocas
+       (e.g. a call handed two buffers gens both) *)
+    let events : (int, (int * [ `Kill | `Gen | `Load ]) list) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    let add_event iid ev =
+      let cur =
+        match Hashtbl.find_opt events iid with Some l -> l | None -> []
+      in
+      Hashtbl.replace events iid (ev :: cur)
+    in
+    Array.iteri
+      (fun k a ->
+        add_event a.a_instr.Ir.iid (k, `Kill);
+        Hashtbl.iter (fun iid () -> add_event iid (k, `Gen)) a.gens;
+        List.iter
+          (fun (l : Ir.instr) -> add_event l.Ir.iid (k, `Load))
+          a.loads)
+      tracked;
+    let events_of (i : Ir.instr) =
+      match Hashtbl.find_opt events i.Ir.iid with Some l -> l | None -> []
+    in
+    let nb = Analysis.Cfg.n_blocks cfg in
+    (* block-entry states; must-init starts at top off the entry *)
+    let may_in = Array.init nb (fun _ -> Array.make n_allocas false) in
+    let must_in = Array.init nb (fun k -> Array.make n_allocas (k <> 0)) in
+    let transfer state (b : Ir.block) =
+      List.iter
+        (fun (i : Ir.instr) ->
+          List.iter
+            (fun (k, ev) ->
+              match ev with
+              | `Kill -> state.(k) <- false
+              | `Gen -> state.(k) <- true
+              | `Load -> ())
+            (events_of i))
+        b.Ir.instrs
+    in
+    let run_dataflow states ~join_union =
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for bk = 1 to nb - 1 do
+          let preds = cfg.Analysis.Cfg.preds.(bk) in
+          let acc = Array.make n_allocas (not join_union) in
+          (* out-states of predecessors, recomputed on the fly *)
+          List.iter
+            (fun p ->
+              let out = Array.copy states.(p) in
+              transfer out (Analysis.Cfg.block cfg p);
+              for k = 0 to n_allocas - 1 do
+                if join_union then acc.(k) <- acc.(k) || out.(k)
+                else acc.(k) <- acc.(k) && out.(k)
+              done)
+            preds;
+          let inn = if preds = [] then Array.make n_allocas false else acc in
+          if inn <> states.(bk) then begin
+            states.(bk) <- inn;
+            changed := true
+          end
+        done
+      done
+    in
+    run_dataflow may_in ~join_union:true;
+    run_dataflow must_in ~join_union:false;
+    (* reporting walk, tracking both states through each block *)
+    for bk = 0 to nb - 1 do
+      let b = Analysis.Cfg.block cfg bk in
+      let may = Array.copy may_in.(bk) and must = Array.copy must_in.(bk) in
+      List.iter
+        (fun (i : Ir.instr) ->
+          List.iter
+            (fun (k, ev) ->
+              match ev with
+              | `Load ->
+                  let a = tracked.(k).a_instr in
+                  let name =
+                    if a.Ir.iname = "" then "stack allocation"
+                    else "%" ^ a.Ir.iname
+                  in
+                  if not may.(k) then
+                    ctx.emit
+                      (Diag.at_instr ~check:"uninit-load" ~sev:Diag.Error
+                         ~k_func f i
+                         (Printf.sprintf
+                            "load of %s, which is uninitialized on every \
+                             path to this point"
+                            name))
+                  else if not must.(k) then
+                    ctx.emit
+                      (Diag.at_instr ~check:"maybe-uninit-load"
+                         ~sev:Diag.Warning ~k_func f i
+                         (Printf.sprintf
+                            "load of %s, which is uninitialized on some \
+                             path to this point"
+                            name))
+              | `Kill -> may.(k) <- false; must.(k) <- false
+              | `Gen -> may.(k) <- true; must.(k) <- true)
+            (events_of i))
+        b.Ir.instrs
+    done
+  end
+
+(* ---------- dead stores ---------- *)
+
+(* A tracked alloca whose value is never read — no loads through it, never
+   passed to a callee that reads it — makes every store to it dead. *)
+let check_dead_store ctx ~k_func (f : Ir.func) allocas =
+  List.iter
+    (fun a ->
+      if a.tracked && a.loads = [] && (not a.read_by_callee) && a.stores <> []
+      then
+        let name =
+          if a.a_instr.Ir.iname = "" then "<alloca>"
+          else "%" ^ a.a_instr.Ir.iname
+        in
+        List.iter
+          (fun (s : Ir.instr) ->
+            ctx.emit
+              (Diag.at_instr ~check:"dead-store" ~sev:Diag.Warning ~k_func f s
+                 (Printf.sprintf
+                    "store to %s, which is never read (%d store%s, no loads)"
+                    name (List.length a.stores)
+                    (if List.length a.stores = 1 then "" else "s"))))
+          a.stores)
+    allocas
+
+(* ---------- constant out-of-bounds accesses ---------- *)
+
+(* Byte size of the object behind an identified base, when it is a
+   compile-time constant. *)
+let object_size ctx (b : Analysis.Alias.base) : int option =
+  match b with
+  | Analysis.Alias.Balloca a -> (
+      match Types.resolve ctx.env a.Ir.ity with
+      | Types.Pointer elem -> (
+          let elem_size =
+            try Some (Vmem.Layout.size_of ctx.lt elem)
+            with Invalid_argument _ | Types.Unresolved _ -> None
+          in
+          match elem_size with
+          | None -> None
+          | Some es -> (
+              match a.Ir.operands with
+              | [||] -> Some es
+              | [| Ir.Const { ckind = Ir.Cint n; _ } |] ->
+                  Some (Int64.to_int n * es)
+              | _ -> None))
+      | _ -> None
+      | exception Types.Unresolved _ -> None)
+  | Analysis.Alias.Bglobal g -> (
+      try Some (Vmem.Layout.size_of ctx.lt g.Ir.gty)
+      with Invalid_argument _ | Types.Unresolved _ -> None)
+  | _ -> None
+
+let base_name (b : Analysis.Alias.base) =
+  match b with
+  | Analysis.Alias.Balloca a ->
+      if a.Ir.iname = "" then "alloca" else "%" ^ a.Ir.iname
+  | Analysis.Alias.Bglobal g -> "%" ^ g.Ir.gname
+  | _ -> "object"
+
+let check_oob ctx ~k_func (f : Ir.func) =
+  let check_access (i : Ir.instr) (ptr : Ir.value) what =
+    let base = Analysis.Alias.base_object ptr in
+    match
+      (object_size ctx base, Analysis.Alias.const_offset ctx.lt ptr,
+       Analysis.Alias.access_size ctx.lt ptr)
+    with
+    | Some size, Some off, Some access ->
+        if off < 0 || off + access > size then
+          ctx.emit
+            (Diag.at_instr ~check:"oob-access" ~sev:Diag.Error ~k_func f i
+               (Printf.sprintf
+                  "%s of %d byte%s at offset %d is outside %s (%d bytes)"
+                  what access
+                  (if access = 1 then "" else "s")
+                  off (base_name base) size))
+    | _ -> ()
+  in
+  Ir.iter_instrs
+    (fun i ->
+      match i.Ir.op with
+      | Ir.Load -> check_access i i.Ir.operands.(0) "load"
+      | Ir.Store -> check_access i i.Ir.operands.(1) "store"
+      | Ir.Getelementptr -> (
+          (* allow the one-past-the-end idiom for geps themselves; loads
+             and stores through them are caught above *)
+          let v = Ir.Vreg i in
+          let base = Analysis.Alias.base_object v in
+          match (object_size ctx base, Analysis.Alias.const_offset ctx.lt v)
+          with
+          | Some size, Some off ->
+              if off < 0 || off > size then
+                ctx.emit
+                  (Diag.at_instr ~check:"oob-access" ~sev:Diag.Warning ~k_func
+                     f i
+                     (Printf.sprintf
+                        "getelementptr to offset %d is outside %s (%d bytes)"
+                        off (base_name base) size))
+          | _ -> ())
+      | _ -> ())
+    f
+
+(* ---------- null and dangling pointers ---------- *)
+
+let check_null ctx ~k_func (f : Ir.func) =
+  Ir.iter_instrs
+    (fun i ->
+      let null_at what v =
+        if points_to_null ctx v then
+          ctx.emit
+            (Diag.at_instr ~check:"null-deref" ~sev:Diag.Error ~k_func f i
+               (Printf.sprintf "%s through null pointer" what))
+      in
+      match i.Ir.op with
+      | Ir.Load -> null_at "load" i.Ir.operands.(0)
+      | Ir.Store -> null_at "store" i.Ir.operands.(1)
+      | Ir.Call | Ir.Invoke ->
+          null_at "call" (Ir.call_callee i);
+          (* interprocedural: constant null passed to an argument the
+             callee provably dereferences *)
+          (match Ir.call_callee i with
+          | Ir.Vfunc g when not (Ir.is_declaration g) ->
+              let s = Summaries.func_summary ctx.summaries g in
+              List.iteri
+                (fun j arg ->
+                  if
+                    points_to_null ctx arg
+                    && (Summaries.arg_summary s j).Summaries.derefs
+                  then
+                    ctx.emit
+                      (Diag.at_instr ~check:"null-arg" ~sev:Diag.Warning
+                         ~k_func f i
+                         (Printf.sprintf
+                            "null passed as argument %d of %%%s, which \
+                             dereferences it"
+                            j g.Ir.fname)))
+                (Ir.call_args i)
+          | _ -> ())
+      | _ -> ())
+    f
+
+let check_dangling ctx ~k_func (f : Ir.func) =
+  Ir.iter_instrs
+    (fun i ->
+      match i.Ir.op with
+      | Ir.Ret when Array.length i.Ir.operands = 1 -> (
+          match Analysis.Alias.base_object i.Ir.operands.(0) with
+          | Analysis.Alias.Balloca a ->
+              ctx.emit
+                (Diag.at_instr ~check:"dangling-pointer" ~sev:Diag.Error
+                   ~k_func f i
+                   (Printf.sprintf
+                      "returning the address of stack allocation %s"
+                      (base_name (Analysis.Alias.Balloca a))))
+          | _ -> ())
+      | Ir.Store -> (
+          (* the address of a stack slot stored into a global outlives
+             the frame it points into *)
+          match
+            ( Analysis.Alias.base_object i.Ir.operands.(0),
+              Analysis.Alias.base_object i.Ir.operands.(1) )
+          with
+          | Analysis.Alias.Balloca a, Analysis.Alias.Bglobal g ->
+              ctx.emit
+                (Diag.at_instr ~check:"dangling-pointer" ~sev:Diag.Warning
+                   ~k_func f i
+                   (Printf.sprintf
+                      "address of stack allocation %s stored in global %%%s"
+                      (base_name (Analysis.Alias.Balloca a))
+                      g.Ir.gname))
+          | _ -> ())
+      | _ -> ())
+    f
+
+(* ---------- constant division by zero ---------- *)
+
+let check_div_zero ctx ~k_func (f : Ir.func) =
+  Ir.iter_instrs
+    (fun i ->
+      match i.Ir.op with
+      | Ir.Binop ((Ir.Div | Ir.Rem) as op) -> (
+          let is_int_zero =
+            match i.Ir.operands.(1) with
+            | Ir.Const { ckind = Ir.Cint 0L; cty } -> Types.is_integer cty
+            | Ir.Const { ckind = Ir.Czero; cty } -> Types.is_integer cty
+            | _ -> false
+          in
+          match is_int_zero with
+          | true ->
+              ctx.emit
+                (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Error ~k_func f
+                   i
+                   (Printf.sprintf "%s by constant zero" (Ir.binop_name op)))
+          | false -> ())
+      | _ -> ())
+    f
+
+(* ---------- unreachable blocks ---------- *)
+
+let check_unreachable ctx ~k_func (f : Ir.func) (cfg : Analysis.Cfg.t) =
+  List.iter
+    (fun (b : Ir.block) ->
+      if not (Analysis.Cfg.is_reachable cfg b) then
+        ctx.emit
+          (Diag.at_block ~check:"unreachable-block" ~sev:Diag.Warning ~k_func
+             f b
+             (Printf.sprintf "block %%%s is unreachable from the entry"
+                b.Ir.bname)))
+    f.Ir.fblocks
+
+(* ---------- unused results of pure calls ---------- *)
+
+let check_unused_result ctx ~k_func (f : Ir.func) =
+  Ir.iter_instrs
+    (fun i ->
+      match i.Ir.op with
+      | Ir.Call | Ir.Invoke -> (
+          match Ir.call_callee i with
+          | Ir.Vfunc g
+            when (not (Ir.is_declaration g))
+                 && (not (Types.equal i.Ir.ity Types.Void))
+                 && i.Ir.iuses = []
+                 && (Summaries.func_summary ctx.summaries g).Summaries.pure ->
+              ctx.emit
+                (Diag.at_instr ~check:"unused-result" ~sev:Diag.Warning
+                   ~k_func f i
+                   (Printf.sprintf
+                      "result of call to side-effect-free %%%s is unused"
+                      g.Ir.fname))
+          | _ -> ())
+      | _ -> ())
+    f
+
+(* ---------- per-function driver ---------- *)
+
+let run_function ctx ~k_func (f : Ir.func) =
+  if not (Ir.is_declaration f) then begin
+    let cfg = Analysis.Cfg.build f in
+    let allocas =
+      Ir.fold_instrs
+        (fun acc i ->
+          if i.Ir.op = Ir.Alloca then classify_alloca ctx i :: acc else acc)
+        [] f
+      |> List.rev
+    in
+    check_uninit ctx ~k_func f cfg allocas;
+    check_dead_store ctx ~k_func f allocas;
+    check_oob ctx ~k_func f;
+    check_null ctx ~k_func f;
+    check_dangling ctx ~k_func f;
+    check_div_zero ctx ~k_func f;
+    check_unreachable ctx ~k_func f cfg;
+    check_unused_result ctx ~k_func f
+  end

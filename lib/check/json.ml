@@ -1,0 +1,234 @@
+(* A minimal JSON value type with a printer and a strict recursive-descent
+   parser — just enough for llva-lint's machine-readable output and the
+   round-trip tests, without pulling in an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape_to buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_string ?(pretty = false) (v : t) : string =
+  let buf = Buffer.create 256 in
+  let indent n = if pretty then Buffer.add_string buf (String.make n ' ') in
+  let newline () = if pretty then Buffer.add_char buf '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Str s ->
+        Buffer.add_char buf '"';
+        escape_to buf s;
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        newline ();
+        List.iteri
+          (fun k item ->
+            if k > 0 then begin
+              Buffer.add_char buf ',';
+              newline ()
+            end;
+            indent ((depth + 1) * 2);
+            go (depth + 1) item)
+          items;
+        newline ();
+        indent (depth * 2);
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        newline ();
+        List.iteri
+          (fun k (key, value) ->
+            if k > 0 then begin
+              Buffer.add_char buf ',';
+              newline ()
+            end;
+            indent ((depth + 1) * 2);
+            Buffer.add_char buf '"';
+            escape_to buf key;
+            Buffer.add_string buf (if pretty then "\": " else "\":");
+            go (depth + 1) value)
+          fields;
+        newline ();
+        indent (depth * 2);
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of string
+
+let parse (s : string) : t =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub s !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > len then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with Failure _ -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              (* only the control-plane characters we emit; anything else
+                 in the BMP is passed through as UTF-8 would require more
+                 machinery than the lint schema needs *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else fail "non-ASCII \\u escape unsupported";
+              go ()
+          | _ -> fail "bad escape")
+      | Some c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while !pos < len && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some n -> n
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (items [])
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec fields acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields ((key, v) :: acc)
+            | Some '}' -> advance (); List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+    | Some ('-' | '0' .. '9') -> Int (parse_int ())
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing characters";
+  v
+
+(* ---------- accessors (schema checks) ---------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let get_string msg = function
+  | Str s -> s
+  | _ -> raise (Parse_error (msg ^ ": expected string"))
+
+let get_int msg = function
+  | Int n -> n
+  | _ -> raise (Parse_error (msg ^ ": expected int"))
+
+let get_list msg = function
+  | List l -> l
+  | _ -> raise (Parse_error (msg ^ ": expected array"))
+
+let get_member msg key v =
+  match member key v with
+  | Some x -> x
+  | None -> raise (Parse_error (Printf.sprintf "%s: missing field %S" msg key))

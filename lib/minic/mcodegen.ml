@@ -981,7 +981,9 @@ let compile ?(name = "minic") ?(target = Target.default) (src : string) :
     prog;
   m
 
-(* compile + verify + optionally optimize: the standard pipeline *)
+(* compile + verify + optionally optimize: the standard pipeline. A module
+   the optimizer leaves invalid raises [Verify.Invalid] with the
+   verifier's messages so drivers can report them and exit non-zero. *)
 let compile_and_verify ?name ?target ?(optimize = 0) src : Ir.modl =
   let m = compile ?name ?target src in
   (match Verify.verify_module m with
@@ -989,5 +991,10 @@ let compile_and_verify ?name ?target ?(optimize = 0) src : Ir.modl =
   | errs ->
       failwith
         ("minic produced invalid LLVA: " ^ String.concat "; " errs));
-  if optimize > 0 then ignore (Transform.Passmgr.optimize ~level:optimize m);
+  if optimize > 0 then begin
+    ignore (Transform.Passmgr.optimize ~level:optimize m);
+    match Verify.verify_module m with
+    | [] -> ()
+    | errs -> raise (Verify.Invalid errs)
+  end;
   m

@@ -70,6 +70,19 @@ let find name = List.find_opt (fun p -> p.name = name) all_passes
 
 exception Unknown_pass of string
 
+(* Raised when a pass leaves the module failing [Verify.verify_module]:
+   the offending pass name plus the verifier's messages, so drivers can
+   report them and exit non-zero instead of dying on a bare [Failure]. *)
+exception Pass_broke_module of string * string list
+
+let () =
+  Printexc.register_printer (function
+    | Pass_broke_module (name, errs) ->
+        Some
+          (Printf.sprintf "pass %s broke the module: %s" name
+             (String.concat "; " errs))
+    | _ -> None)
+
 let run_pass ?(verify = false) (m : Ir.modl) name : int =
   match find name with
   | None -> raise (Unknown_pass name)
@@ -78,10 +91,7 @@ let run_pass ?(verify = false) (m : Ir.modl) name : int =
       if verify then begin
         match Verify.verify_module m with
         | [] -> ()
-        | errs ->
-            failwith
-              (Printf.sprintf "pass %s broke the module: %s" name
-                 (String.concat "; " errs))
+        | errs -> raise (Pass_broke_module (name, errs))
       end;
       n
 

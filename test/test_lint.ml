@@ -1,0 +1,676 @@
+(* Tests for llva-lint: seeded-bug fixtures (one true positive per check
+   id), clean-module and clean-workload negatives, interprocedural
+   summaries, deterministic ordering, the JSON report round-trip, and the
+   verifier-gate regressions (Pass_broke_module + per-error-class verify
+   fixtures). *)
+
+open Llva
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Parse, assert the fixture verifies (lint requires verified input),
+   and run the analyzer with every check enabled. *)
+let lint_src ?checks src =
+  let m = Resolve.parse_module src in
+  (match Verify.verify_module m with
+  | [] -> ()
+  | errs -> Alcotest.failf "fixture does not verify: %s" (String.concat "; " errs));
+  Check.Lint.run ?checks m
+
+let lint_all src = lint_src ~checks:Check.Lint.check_ids src
+
+let diags_for check diags =
+  List.filter (fun (d : Check.Diag.t) -> d.Check.Diag.check = check) diags
+
+let expect_check ~check ~sev ~func diags =
+  match diags_for check diags with
+  | [] ->
+      Alcotest.failf "expected a %s diagnostic; got: %s" check
+        (Check.Diag.render_text diags)
+  | d :: _ ->
+      check_string (check ^ " function") func d.Check.Diag.func;
+      check_bool (check ^ " severity") true (d.Check.Diag.sev = sev)
+
+(* ---------- seeded-bug fixtures: one true positive per check ---------- *)
+
+let test_uninit_load () =
+  let diags =
+    lint_all
+      {|
+int %f() {
+entry:
+  %x = alloca int
+  %v = load int* %x
+  ret int %v
+}
+|}
+  in
+  expect_check ~check:"uninit-load" ~sev:Check.Diag.Error ~func:"f" diags
+
+let test_maybe_uninit_load () =
+  let src =
+    {|
+int %f(bool %c) {
+entry:
+  %x = alloca int
+  br bool %c, label %init, label %skip
+init:
+  store int 1, int* %x
+  br label %join
+skip:
+  br label %join
+join:
+  %v = load int* %x
+  ret int %v
+}
+|}
+  in
+  expect_check ~check:"maybe-uninit-load" ~sev:Check.Diag.Warning ~func:"f"
+    (lint_all src);
+  (* one-path initialization is NOT a definite bug *)
+  check_int "no definite uninit" 0 (List.length (diags_for "uninit-load" (lint_all src)));
+  (* ...and the maybe-* check is opt-in: silent under the default set *)
+  check_int "opt-in check off by default" 0 (List.length (lint_src src))
+
+let test_initialized_load_is_clean () =
+  let diags =
+    lint_all
+      {|
+int %f() {
+entry:
+  %x = alloca int
+  store int 7, int* %x
+  %v = load int* %x
+  ret int %v
+}
+|}
+  in
+  check_int "clean init/load" 0 (List.length diags)
+
+let test_oob_access () =
+  let diags =
+    lint_all
+      {|
+int %f() {
+entry:
+  %buf = alloca int, uint 4
+  store int 1, int* %buf
+  %p = getelementptr int* %buf, long 6
+  %v = load int* %p
+  ret int %v
+}
+|}
+  in
+  let oob = diags_for "oob-access" diags in
+  check_bool "oob load is an error" true
+    (List.exists
+       (fun (d : Check.Diag.t) -> d.Check.Diag.sev = Check.Diag.Error)
+       oob);
+  (* the gep itself lands outside the 16-byte object too *)
+  check_bool "oob gep flagged" true (List.length oob >= 2)
+
+let test_one_past_end_gep_allowed () =
+  (* the canonical end-pointer loop idiom must stay silent *)
+  let diags =
+    lint_all
+      {|
+int %f() {
+entry:
+  %buf = alloca int, uint 4
+  store int 1, int* %buf
+  %endp = getelementptr int* %buf, long 4
+  %v = load int* %buf
+  ret int %v
+}
+|}
+  in
+  check_int "one-past-end gep clean" 0 (List.length diags)
+
+let test_null_deref () =
+  let diags =
+    lint_all
+      {|
+void %f() {
+entry:
+  store int 1, int* null
+  ret void
+}
+|}
+  in
+  expect_check ~check:"null-deref" ~sev:Check.Diag.Error ~func:"f" diags
+
+let test_null_arg () =
+  let diags =
+    lint_all
+      {|
+int %deref(int* %p) {
+entry:
+  %v = load int* %p
+  ret int %v
+}
+int %main() {
+entry:
+  %r = call int %deref(int* null)
+  ret int %r
+}
+|}
+  in
+  expect_check ~check:"null-arg" ~sev:Check.Diag.Warning ~func:"main" diags
+
+let test_dangling_pointer () =
+  let diags =
+    lint_all
+      {|
+int* %escape() {
+entry:
+  %x = alloca int
+  store int 1, int* %x
+  ret int* %x
+}
+|}
+  in
+  expect_check ~check:"dangling-pointer" ~sev:Check.Diag.Error ~func:"escape"
+    diags;
+  let diags2 =
+    lint_all
+      {|
+%cache = global int* null
+void %stash() {
+entry:
+  %x = alloca int
+  store int 1, int* %x
+  store int* %x, int** %cache
+  ret void
+}
+|}
+  in
+  expect_check ~check:"dangling-pointer" ~sev:Check.Diag.Warning ~func:"stash"
+    diags2
+
+let test_div_by_zero () =
+  let diags =
+    lint_all
+      {|
+int %f(int %a) {
+entry:
+  %d = div int %a, 0
+  ret int %d
+}
+|}
+  in
+  expect_check ~check:"div-by-zero" ~sev:Check.Diag.Error ~func:"f" diags
+
+let test_unreachable_block () =
+  let diags =
+    lint_all
+      {|
+int %f() {
+entry:
+  ret int 0
+dead:
+  ret int 1
+}
+|}
+  in
+  expect_check ~check:"unreachable-block" ~sev:Check.Diag.Warning ~func:"f"
+    diags;
+  match diags_for "unreachable-block" diags with
+  | d :: _ -> check_string "block name" "dead" d.Check.Diag.block
+  | [] -> Alcotest.fail "unreachable"
+
+let test_dead_store () =
+  let diags =
+    lint_all
+      {|
+void %f() {
+entry:
+  %x = alloca int
+  store int 1, int* %x
+  store int 2, int* %x
+  ret void
+}
+|}
+  in
+  check_int "one diag per dead store" 2
+    (List.length (diags_for "dead-store" diags));
+  expect_check ~check:"dead-store" ~sev:Check.Diag.Warning ~func:"f" diags
+
+let test_unused_result () =
+  let diags =
+    lint_all
+      {|
+int %pure_add(int %a) {
+entry:
+  %r = add int %a, 1
+  ret int %r
+}
+void %main() {
+entry:
+  %u = call int %pure_add(int 1)
+  ret void
+}
+|}
+  in
+  expect_check ~check:"unused-result" ~sev:Check.Diag.Warning ~func:"main"
+    diags
+
+(* a call into a writing callee counts as initialization, and its unused
+   result must NOT be flagged (the callee is impure) *)
+let test_initializing_callee () =
+  let diags =
+    lint_all
+      {|
+void %init(int* %out) {
+entry:
+  store int 42, int* %out
+  ret void
+}
+int %main() {
+entry:
+  %x = alloca int
+  call void %init(int* %x)
+  %v = load int* %x
+  ret int %v
+}
+|}
+  in
+  check_int "callee-initialized buffer is clean" 0 (List.length diags)
+
+let test_unknown_check_rejected () =
+  check_bool "unknown check raises" true
+    (try
+       ignore (lint_src ~checks:[ "not-a-check" ] "int %f() {\nentry:\n  ret int 0\n}\n");
+       false
+     with Check.Lint.Unknown_check "not-a-check" -> true)
+
+(* ---------- interprocedural summaries ---------- *)
+
+let summaries_fixture =
+  {|
+declare int %ext(int)
+int %reads(int* %p) {
+entry:
+  %v = load int* %p
+  ret int %v
+}
+void %writes(int* %p) {
+entry:
+  store int 1, int* %p
+  ret void
+}
+int* %leaks(int* %p) {
+entry:
+  ret int* %p
+}
+int %chains(int* %p) {
+entry:
+  %v = call int %reads(int* %p)
+  ret int %v
+}
+int %impure(int %a) {
+entry:
+  %r = call int %ext(int %a)
+  ret int %r
+}
+|}
+
+let test_summaries () =
+  let m = Resolve.parse_module summaries_fixture in
+  let t = Check.Summaries.compute m in
+  let s name = Check.Summaries.func_summary t (Option.get (Ir.find_func m name)) in
+  let arg name k = Check.Summaries.arg_summary (s name) k in
+  check_bool "reads derefs" true (arg "reads" 0).Check.Summaries.derefs;
+  check_bool "reads does not escape" false (arg "reads" 0).Check.Summaries.escapes;
+  check_bool "reads does not write" false (arg "reads" 0).Check.Summaries.writes;
+  check_bool "reads is pure" true (s "reads").Check.Summaries.pure;
+  check_bool "writes writes" true (arg "writes" 0).Check.Summaries.writes;
+  check_bool "writes is impure" false (s "writes").Check.Summaries.pure;
+  check_bool "leaks escapes" true (arg "leaks" 0).Check.Summaries.escapes;
+  (* facts propagate bottom-up through the call graph *)
+  check_bool "chains derefs via callee" true (arg "chains" 0).Check.Summaries.derefs;
+  check_bool "chains does not escape" false (arg "chains" 0).Check.Summaries.escapes;
+  check_bool "chains is pure" true (s "chains").Check.Summaries.pure;
+  (* declarations stay unknown; callers of them are impure *)
+  check_bool "decl arg escapes" true (Check.Summaries.arg_summary (s "ext") 0).Check.Summaries.escapes;
+  check_bool "caller of decl impure" false (s "impure").Check.Summaries.pure
+
+(* ---------- alias: phi look-through (the V-ISA select form) ---------- *)
+
+let test_alias_phi_same_base () =
+  let m =
+    Resolve.parse_module
+      {|
+int %f(bool %c) {
+entry:
+  %buf = alloca int, uint 4
+  br bool %c, label %a, label %b
+a:
+  %p1 = getelementptr int* %buf, long 1
+  br label %join
+b:
+  %p2 = getelementptr int* %buf, long 2
+  br label %join
+join:
+  %p = phi int* [ %p1, %a ], [ %p2, %b ]
+  %v = load int* %p
+  ret int %v
+}
+|}
+  in
+  let f = Option.get (Ir.find_func m "f") in
+  let instr name =
+    Option.get
+      (Ir.fold_instrs
+         (fun acc i -> if i.Ir.iname = name then Some i else acc)
+         None f)
+  in
+  (match Analysis.Alias.base_object (Ir.Vreg (instr "p")) with
+  | Analysis.Alias.Balloca a -> check_string "phi base" "buf" a.Ir.iname
+  | _ -> Alcotest.fail "phi of two geps off one alloca should resolve");
+  let lt = Vmem.Layout.for_module m in
+  check_bool "phi and its base may alias" true
+    (Analysis.Alias.alias lt (Ir.Vreg (instr "p")) (Ir.Vreg (instr "buf"))
+    <> Analysis.Alias.No_alias)
+
+let test_alias_phi_mixed_bases () =
+  let m =
+    Resolve.parse_module
+      {|
+int %f(bool %c) {
+entry:
+  %x = alloca int
+  %y = alloca int
+  br bool %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi int* [ %x, %a ], [ %y, %b ]
+  %v = load int* %p
+  ret int %v
+}
+|}
+  in
+  let f = Option.get (Ir.find_func m "f") in
+  let p =
+    Option.get
+      (Ir.fold_instrs
+         (fun acc i -> if i.Ir.iname = "p" then Some i else acc)
+         None f)
+  in
+  check_bool "mixed-base phi stays unknown" true
+    (Analysis.Alias.base_object (Ir.Vreg p) = Analysis.Alias.Bunknown)
+
+let test_alias_phi_cyclic () =
+  (* pointer-increment loop: the recursive arm goes through the phi
+     itself; the acyclic arm pins the base *)
+  let m =
+    Resolve.parse_module
+      {|
+int %sum(int %n) {
+entry:
+  %buf = alloca int, uint 8
+  store int 1, int* %buf
+  br label %header
+header:
+  %p = phi int* [ %buf, %entry ], [ %pn, %latch ]
+  %i = phi int [ 0, %entry ], [ %in, %latch ]
+  %c = setlt int %i, %n
+  br bool %c, label %latch, label %exit
+latch:
+  %v = load int* %p
+  %pn = getelementptr int* %p, long 1
+  %in = add int %i, 1
+  br label %header
+exit:
+  ret int 0
+}
+|}
+  in
+  let f = Option.get (Ir.find_func m "sum") in
+  let p =
+    Option.get
+      (Ir.fold_instrs
+         (fun acc i -> if i.Ir.iname = "p" then Some i else acc)
+         None f)
+  in
+  match Analysis.Alias.base_object (Ir.Vreg p) with
+  | Analysis.Alias.Balloca a -> check_string "cyclic phi base" "buf" a.Ir.iname
+  | _ -> Alcotest.fail "cyclic phi should resolve through the acyclic arm"
+
+(* ---------- determinism and the JSON report ---------- *)
+
+let multi_bug_src =
+  {|
+int %zeta(int %a) {
+entry:
+  %d = div int %a, 0
+  %x = alloca int
+  %v = load int* %x
+  ret int %v
+}
+void %alpha() {
+entry:
+  %y = alloca int
+  store int 1, int* %y
+  ret void
+dead:
+  ret void
+}
+|}
+
+let test_deterministic_order () =
+  let d1 = lint_all multi_bug_src and d2 = lint_all multi_bug_src in
+  check_string "two runs render identically" (Check.Diag.render_text d1)
+    (Check.Diag.render_text d2);
+  (* the report is sorted by the documented key *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        Check.Diag.compare_diag a b <= 0 && sorted rest
+    | _ -> true
+  in
+  check_bool "sorted by position" true (sorted d1);
+  (* module order (zeta before alpha), not name order *)
+  match d1 with
+  | first :: _ -> check_string "module order wins" "zeta" first.Check.Diag.func
+  | [] -> Alcotest.fail "expected diagnostics"
+
+let test_json_roundtrip () =
+  let diags = lint_all multi_bug_src in
+  check_bool "fixture has both severities" true
+    (Check.Diag.count_severity Check.Diag.Error diags > 0
+    && Check.Diag.count_severity Check.Diag.Warning diags > 0);
+  let j = Check.Json.parse (Check.Diag.render_json diags) in
+  check_int "version" 1 (Check.Json.get_int "version" (Check.Json.get_member "report" "version" j));
+  check_int "errors field" (Check.Diag.count_severity Check.Diag.Error diags)
+    (Check.Json.get_int "errors" (Check.Json.get_member "report" "errors" j));
+  let back = Check.Diag.of_json j in
+  check_int "same count" (List.length diags) (List.length back);
+  List.iter2
+    (fun (a : Check.Diag.t) (b : Check.Diag.t) ->
+      check_string "check" a.Check.Diag.check b.Check.Diag.check;
+      check_bool "severity" true (a.Check.Diag.sev = b.Check.Diag.sev);
+      check_string "function" a.Check.Diag.func b.Check.Diag.func;
+      check_string "block" a.Check.Diag.block b.Check.Diag.block;
+      check_int "instr" a.Check.Diag.instr b.Check.Diag.instr;
+      check_string "site" a.Check.Diag.site b.Check.Diag.site;
+      check_string "message" a.Check.Diag.msg b.Check.Diag.msg)
+    diags back;
+  (* compact and pretty forms parse to the same value *)
+  check_bool "pretty/compact agree" true
+    (Check.Json.parse (Check.Json.to_string ~pretty:false (Check.Diag.to_json diags)) = Check.Json.parse (Check.Diag.render_json diags));
+  check_bool "malformed json rejected" true
+    (try
+       ignore (Check.Json.parse "{\"version\": }");
+       false
+     with Check.Json.Parse_error _ -> true);
+  check_bool "wrong version rejected" true
+    (try
+       ignore (Check.Diag.of_json (Check.Json.parse "{\"version\": 99, \"diagnostics\": []}"));
+       false
+     with Check.Json.Parse_error _ -> true)
+
+(* ---------- the acceptance bar: optimized workloads are clean ---------- *)
+
+let test_workloads_clean () =
+  List.iter
+    (fun w ->
+      let m = Workloads.compile_optimized ~level:2 w in
+      match Check.Lint.run m with
+      | [] -> ()
+      | diags ->
+          Alcotest.failf "%s: expected a clean lint, got:\n%s"
+            w.Workloads.name (Check.Diag.render_text diags))
+    Workloads.all
+
+(* ---------- verifier gates (satellite: broken-pass reporting) ---------- *)
+
+(* one fixture per Verify error class, asserting the message text the
+   tools print with their non-zero exit *)
+
+let test_verify_type_rule_message () =
+  let m = Ir.mk_module () in
+  let f = Ir.mk_func ~name:"f" ~return:Types.Int ~params:[] () in
+  Ir.add_func m f;
+  let b = Ir.mk_block ~name:"entry" () in
+  Ir.append_block f b;
+  let bad =
+    Ir.mk_instr ~name:"x" (Ir.Binop Ir.Add)
+      [| Ir.const_int Types.Int 1L; Ir.const_int Types.Long 2L |]
+      Types.Int
+  in
+  Ir.append_instr b bad;
+  Ir.append_instr b (Ir.mk_instr Ir.Ret [| Ir.Vreg bad |] Types.Void);
+  match Verify.verify_module m with
+  | [] -> Alcotest.fail "ill-typed add must not verify"
+  | errs ->
+      check_bool "type-rule message" true
+        (List.exists (fun e -> contains e "operand types differ") errs)
+
+let test_verify_phi_predecessor_messages () =
+  let m =
+    Resolve.parse_module
+      {|
+int %f() {
+entry:
+  br label %b1
+b1:
+  %x = phi int [ 0, %entry ], [ 1, %b2 ]
+  ret int %x
+b2:
+  ret int 0
+}
+|}
+  in
+  (match Verify.verify_module m with
+  | [] -> Alcotest.fail "phi with non-predecessor incoming must not verify"
+  | errs ->
+      check_bool "non-predecessor message" true
+        (List.exists (fun e -> contains e "non-predecessor %b2") errs));
+  let m2 =
+    Resolve.parse_module
+      {|
+int %g(bool %c) {
+entry:
+  br bool %c, label %b1, label %b2
+b1:
+  br label %join
+b2:
+  br label %join
+join:
+  %x = phi int [ 0, %b1 ]
+  ret int %x
+}
+|}
+  in
+  match Verify.verify_module m2 with
+  | [] -> Alcotest.fail "phi missing an incoming must not verify"
+  | errs ->
+      check_bool "missing-incoming message" true
+        (List.exists
+           (fun e -> contains e "missing incoming for predecessor %b2")
+           errs)
+
+(* an invalid module, for exercising the dominance message and the
+   pass-manager gate *)
+let dominance_violation_module () =
+  let m = Ir.mk_module () in
+  let f =
+    Ir.mk_func ~name:"g" ~return:Types.Int ~params:[ ("c", Types.Bool) ] ()
+  in
+  Ir.add_func m f;
+  let e = Ir.mk_block ~name:"entry" () in
+  let b1 = Ir.mk_block ~name:"b1" () in
+  let b2 = Ir.mk_block ~name:"b2" () in
+  List.iter (Ir.append_block f) [ e; b1; b2 ];
+  let carg = Ir.Varg (List.hd f.Ir.fargs) in
+  let def =
+    Ir.mk_instr ~name:"x" (Ir.Binop Ir.Add)
+      [| Ir.const_int Types.Int 1L; Ir.const_int Types.Int 2L |]
+      Types.Int
+  in
+  Ir.append_instr e
+    (Ir.mk_instr Ir.Br [| carg; Ir.Vblock b1; Ir.Vblock b2 |] Types.Void);
+  Ir.append_instr b1 (Ir.mk_instr Ir.Ret [| Ir.Vreg def |] Types.Void);
+  Ir.append_instr b2 def;
+  Ir.append_instr b2 (Ir.mk_instr Ir.Ret [| Ir.Vreg def |] Types.Void);
+  m
+
+let test_verify_dominance_message () =
+  match Verify.verify_module (dominance_violation_module ()) with
+  | [] -> Alcotest.fail "dominance violation must not verify"
+  | errs ->
+      check_bool "dominance message" true
+        (List.exists
+           (fun e -> contains e "not dominated by its definition")
+           errs)
+
+let test_pass_broke_module () =
+  (* a pipeline run over a module the verifier rejects must surface the
+     offending pass and the verifier's messages, not die on Failure *)
+  let m = dominance_violation_module () in
+  match Transform.Passmgr.run_pass ~verify:true m "dce" with
+  | _ -> Alcotest.fail "expected Pass_broke_module"
+  | exception Transform.Passmgr.Pass_broke_module (name, errs) ->
+      check_string "offending pass" "dce" name;
+      check_bool "carries the verifier messages" true
+        (List.exists
+           (fun e -> contains e "not dominated by its definition")
+           errs)
+
+let suite =
+  [
+    Alcotest.test_case "uninit load" `Quick test_uninit_load;
+    Alcotest.test_case "maybe-uninit load" `Quick test_maybe_uninit_load;
+    Alcotest.test_case "initialized load clean" `Quick test_initialized_load_is_clean;
+    Alcotest.test_case "oob access" `Quick test_oob_access;
+    Alcotest.test_case "one-past-end gep allowed" `Quick test_one_past_end_gep_allowed;
+    Alcotest.test_case "null deref" `Quick test_null_deref;
+    Alcotest.test_case "null argument" `Quick test_null_arg;
+    Alcotest.test_case "dangling pointer" `Quick test_dangling_pointer;
+    Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+    Alcotest.test_case "unreachable block" `Quick test_unreachable_block;
+    Alcotest.test_case "dead store" `Quick test_dead_store;
+    Alcotest.test_case "unused result" `Quick test_unused_result;
+    Alcotest.test_case "initializing callee" `Quick test_initializing_callee;
+    Alcotest.test_case "unknown check rejected" `Quick test_unknown_check_rejected;
+    Alcotest.test_case "summaries" `Quick test_summaries;
+    Alcotest.test_case "alias phi same base" `Quick test_alias_phi_same_base;
+    Alcotest.test_case "alias phi mixed bases" `Quick test_alias_phi_mixed_bases;
+    Alcotest.test_case "alias phi cyclic" `Quick test_alias_phi_cyclic;
+    Alcotest.test_case "deterministic order" `Quick test_deterministic_order;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "workloads lint clean" `Slow test_workloads_clean;
+    Alcotest.test_case "verify type-rule message" `Quick test_verify_type_rule_message;
+    Alcotest.test_case "verify phi messages" `Quick test_verify_phi_predecessor_messages;
+    Alcotest.test_case "verify dominance message" `Quick test_verify_dominance_message;
+    Alcotest.test_case "broken pass is reported" `Quick test_pass_broke_module;
+  ]

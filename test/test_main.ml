@@ -14,4 +14,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("vmem", Test_vmem.suite);
       ("codegen", Test_codegen.suite);
+      ("lint", Test_lint.suite);
     ]
