@@ -207,6 +207,10 @@ type llee_row = {
   l_off_par : float; (* parallel offline translation, seconds *)
   l_off_same : bool; (* parallel cache contents == sequential *)
   l_cycles : int64; (* simulated cycles of the workload *)
+  l_lint_cold_ms : float; (* cold launch: full llva-lint analysis *)
+  l_lint_warm_ms : float; (* warm launch: read + decode the verdict entry *)
+  l_lint_runs : int; (* lint analyses on cold launch (1) *)
+  l_lint_skipped : int; (* verdict reuses on warm launch (1) *)
 }
 
 let llee_workloads = [ "255.vortex"; "164.gzip"; "181.mcf"; "ptrdist-anagram" ]
@@ -243,7 +247,7 @@ let llee_row name : llee_row =
          (Printf.sprintf "%s.%s.x86lite" eng_seq.Llee.key n))
   in
   let names =
-    "__module__"
+    "#module#"
     :: List.filter_map
          (fun (f : Llva.Ir.func) ->
            if Llva.Ir.is_declaration f then None else Some f.Llva.Ir.fname)
@@ -251,11 +255,23 @@ let llee_row name : llee_row =
   in
   let off_same =
     List.for_all (fun n -> entry s_seq n = entry s_chk n) names
+    (* the lint verdict entry must be byte-identical too *)
+    && Option.map
+         (fun e -> e.Llee.Storage.data)
+         (s_seq.Llee.Storage.read (Llee.lint_entry_name eng_seq))
+       = Option.map
+           (fun e -> e.Llee.Storage.data)
+           (s_chk.Llee.Storage.read (Llee.lint_entry_name eng_seq))
   in
   (* warm-after-offline launch: the whole-module entry means O(1) reads *)
   let counted, reads = counting_storage s_seq in
   let warm_off = Llee.fresh_run { eng_seq with Llee.storage = counted } in
   ignore (Llee.run warm_off);
+  (* lint-before-cache timings: cold = the full analysis (recorded by the
+     cold launch above), warm = reading + decoding the verdict entry *)
+  let _, lint_warm =
+    time_best (fun () -> Llee.verdict (Llee.fresh_run cold))
+  in
   {
     l_name = name;
     l_cold_n = cold.Llee.stats.Llee.translations;
@@ -267,22 +283,27 @@ let llee_row name : llee_row =
     l_off_par = off_par;
     l_off_same = off_same;
     l_cycles = cold.Llee.stats.Llee.cycles;
+    l_lint_cold_ms = cold.Llee.stats.Llee.lint_time *. 1000.0;
+    l_lint_warm_ms = lint_warm *. 1000.0;
+    l_lint_runs = cold.Llee.stats.Llee.lint_runs;
+    l_lint_skipped = warm.Llee.stats.Llee.lint_skipped;
   }
 
 let run_llee () =
   section "LLEE: program launch with and without the OS storage API";
-  Printf.printf "%-17s %10s %12s %12s %10s %10s %11s %11s %8s %7s\n" "Program"
-    "cold trans" "cold ms" "warm ms" "hits" "warm reads" "offline(s)"
-    "parallel(s)" "speedup" "same";
+  Printf.printf "%-17s %10s %12s %12s %10s %10s %11s %11s %8s %7s %9s %9s\n"
+    "Program" "cold trans" "cold ms" "warm ms" "hits" "warm reads"
+    "offline(s)" "parallel(s)" "speedup" "same" "lint cold" "lint warm";
   let rows = List.map llee_row llee_workloads in
   List.iter
     (fun r ->
       Printf.printf
-        "%-17s %10d %12.3f %12.3f %10d %10d %11.4f %11.4f %7.2fx %7b\n"
+        "%-17s %10d %12.3f %12.3f %10d %10d %11.4f %11.4f %7.2fx %7b %7.2fms \
+         %7.2fms\n"
         r.l_name r.l_cold_n r.l_cold_ms r.l_warm_ms r.l_warm_hits r.l_warm_reads
         r.l_off_seq r.l_off_par
         (r.l_off_seq /. r.l_off_par)
-        r.l_off_same)
+        r.l_off_same r.l_lint_cold_ms r.l_lint_warm_ms)
     rows;
   Printf.printf
     "\n(cold launches translate online; warm launches read the offline\n\
@@ -291,7 +312,9 @@ let run_llee () =
     \ 'warm reads' counts storage reads on a warm-after-offline launch:\n\
     \ the whole-module cache entry makes it O(1). 'parallel(s)' is\n\
     \ translate_offline on %d domain(s); 'same' checks the parallel cache\n\
-    \ is byte-identical to the sequential one.)\n"
+    \ is byte-identical to the sequential one, lint verdict entry\n\
+    \ included. 'lint cold' is the full llva-lint analysis a cold launch\n\
+    \ pays once; 'lint warm' is reading the recorded verdict instead.)\n"
     (Llee.Pool.default_domains ());
   rows
 
@@ -399,9 +422,12 @@ let write_bench_json ~path (rows : llee_row list) (mt : mem_row) =
          \"cold_translate_ms\": %.3f, \"warm_translate_ms\": %.3f, \
          \"warm_cache_hits\": %d, \"warm_storage_reads\": %d, \
          \"offline_seq_s\": %.4f, \"offline_par_s\": %.4f, \
-         \"parallel_identical\": %b, \"cycles\": %Ld}%s\n"
+         \"parallel_identical\": %b, \"cycles\": %Ld, \
+         \"lint_cold_ms\": %.3f, \"lint_warm_ms\": %.3f, \
+         \"lint_runs\": %d, \"lint_skipped\": %d}%s\n"
         (json_escape r.l_name) r.l_cold_n r.l_cold_ms r.l_warm_ms r.l_warm_hits
         r.l_warm_reads r.l_off_seq r.l_off_par r.l_off_same r.l_cycles
+        r.l_lint_cold_ms r.l_lint_warm_ms r.l_lint_runs r.l_lint_skipped
         (if k = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";

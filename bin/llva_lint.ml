@@ -6,6 +6,7 @@
      llva_lint input.ll --checks uninit-load,oob-access
      llva_lint input.ll --checks all --werror
      llva_lint --workloads                  # lint the built-in suite
+     llva_lint input.bc --cache-dir DIR     # record/reuse the LLEE verdict entry
 
    Exit codes: 0 — no gating findings; 1 — at least one error-severity
    finding (warnings gate too under --werror); 2 — usage error or the
@@ -27,8 +28,7 @@ let parse_checks = function
         Printf.eprintf "unknown check %s (use --list-checks)\n" c;
         exit 2)
 
-let lint_module ?checks ~json ~werror m =
-  let diags = Check.Lint.run ?checks m in
+let report_diags ~json ~werror diags =
   if json then print_endline (Check.Diag.render_json diags)
   else begin
     List.iter (fun d -> print_endline (Check.Diag.to_text d)) diags;
@@ -41,6 +41,26 @@ let lint_module ?checks ~json ~werror m =
   end;
   Check.Diag.count_severity Check.Diag.Error diags > 0
   || (werror && Check.Diag.count_severity Check.Diag.Warning diags > 0)
+
+let lint_module ?checks ~json ~werror m =
+  report_diags ~json ~werror (Check.Lint.run ?checks m)
+
+(* --cache-dir: run the lint-before-cache path against an on-disk LLEE
+   cache. A first run analyzes and records the verdict entry (pre-seeding
+   the cache for later llva-run/LLEE launches of the same object code); a
+   later run of the identical module reuses the recorded verdict and
+   performs zero recomputation. The cache status goes to stderr so stdout
+   stays the plain report. *)
+let lint_via_cache ~dir ~json ~werror m =
+  let storage = Llee.Storage.on_disk ~dir in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 m in
+  let v = Llee.verdict eng in
+  Printf.eprintf "lint verdict for module %s: %s (analysis v%d)\n"
+    eng.Llee.key
+    (if eng.Llee.stats.Llee.lint_skipped > 0 then "reused from cache"
+     else "computed and recorded")
+    Check.Lint.version;
+  report_diags ~json ~werror (Check.Lint.verdict_diags v)
 
 let lint_workloads ?checks ~json ~werror () =
   let failed = ref false in
@@ -79,7 +99,7 @@ let lint_workloads ?checks ~json ~werror () =
       reports;
   !failed
 
-let run input json checks list_checks werror workloads =
+let run input json checks list_checks werror workloads cache_dir =
   if list_checks then begin
     List.iter
       (fun (c : Check.Lint.check_info) ->
@@ -90,6 +110,13 @@ let run input json checks list_checks werror workloads =
     exit 0
   end;
   let checks = parse_checks checks in
+  (match cache_dir with
+  | Some _ when workloads || checks <> None ->
+      (* the recorded verdict is shared with LLEE, which lints with the
+         default check set; a custom set must not poison it *)
+      prerr_endline "--cache-dir takes a single input and no --checks";
+      exit 2
+  | _ -> ());
   let failed =
     if workloads then lint_workloads ?checks ~json ~werror ()
     else
@@ -105,7 +132,9 @@ let run input json checks list_checks werror workloads =
               List.iter (fun e -> Printf.eprintf "verify: %s\n" e) errs;
               prerr_endline "lint requires a verified module";
               exit 2);
-          lint_module ?checks ~json ~werror m
+          (match cache_dir with
+          | Some dir -> lint_via_cache ~dir ~json ~werror m
+          | None -> lint_module ?checks ~json ~werror m)
   in
   exit (if failed then 1 else 0)
 
@@ -132,10 +161,20 @@ let workloads =
     & info [ "workloads" ]
         ~doc:"lint the 17 built-in workloads (optimized at -O2)")
 
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "lint through an on-disk LLEE cache: record the verdict entry on \
+           first analysis, reuse it on later runs of the same module")
+
 let cmd =
   Cmd.v
     (Cmd.info "llva-lint" ~doc:"static safety analysis over LLVA modules")
     Term.(
-      const run $ input $ json $ checks $ list_checks $ werror $ workloads)
+      const run $ input $ json $ checks $ list_checks $ werror $ workloads
+      $ cache_dir)
 
 let () = exit (Cmd.eval cmd)

@@ -79,6 +79,12 @@ let run input engine stats opt cache_dir =
             eng.Llee.stats.Llee.cache_corrupt;
           Printf.sprintf "translate time: %.3f ms"
             (eng.Llee.stats.Llee.translate_time *. 1000.0);
+          Printf.sprintf "lint runs: %d" eng.Llee.stats.Llee.lint_runs;
+          Printf.sprintf "lint skipped (verdict cached): %d"
+            eng.Llee.stats.Llee.lint_skipped;
+          Printf.sprintf "lint rejected: %d" eng.Llee.stats.Llee.lint_rejected;
+          Printf.sprintf "lint time: %.3f ms"
+            (eng.Llee.stats.Llee.lint_time *. 1000.0);
           Printf.sprintf "cycles: %Ld" eng.Llee.stats.Llee.cycles;
         ]
   | e ->

@@ -128,10 +128,15 @@ let parse (s : string) : t =
               advance ();
               if !pos + 4 > len then fail "truncated \\u escape";
               let hex = String.sub s !pos 4 in
-              let code =
-                try int_of_string ("0x" ^ hex)
-                with Failure _ -> fail "bad \\u escape"
+              (* exactly four hex digits: [int_of_string "0x..."] would also
+                 accept OCaml literal syntax like underscores ("1_2f"), which
+                 is not JSON *)
+              let is_hex = function
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+                | _ -> false
               in
+              if not (String.for_all is_hex hex) then fail "bad \\u escape";
+              let code = int_of_string ("0x" ^ hex) in
               pos := !pos + 4;
               (* only the control-plane characters we emit; anything else
                  in the BMP is passed through as UTF-8 would require more

@@ -111,3 +111,76 @@ let run ?checks (m : Ir.modl) : Diag.t list =
   !acc
   |> List.filter (fun (d : Diag.t) -> List.mem d.Diag.check enabled)
   |> Diag.sort
+
+(* ---------- cacheable verdicts (lint-before-cache) ---------- *)
+
+(* A verdict is the recordable outcome of one analyzer run: the analysis
+   version that produced it, the checks that ran, and the findings. The
+   execution manager stores verdicts next to cached translations so a
+   module is linted once — warm launches reuse the recorded verdict
+   instead of re-analyzing (paper §4.1: idle-time work is done once and
+   amortized across launches).
+
+   [version] stamps every recorded verdict. Bump it whenever the analyzer
+   can produce different findings for the same module (new checks, fixed
+   false negatives, changed severities): recorded verdicts with another
+   stamp are rejected by [verdict_of_json] and force a re-lint. *)
+
+let version = 1
+
+type verdict = {
+  v_version : int; (* analysis version that produced this verdict *)
+  v_checks : string list; (* check ids that ran *)
+  v_diags : Diag.t list; (* recorded findings, deterministically ordered *)
+}
+
+let verdict ?checks (m : Ir.modl) : verdict =
+  let enabled =
+    match checks with
+    | None -> default_checks
+    | Some names ->
+        validate_checks names;
+        names
+  in
+  { v_version = version; v_checks = enabled; v_diags = run ~checks:enabled m }
+
+let verdict_diags v = v.v_diags
+let verdict_errors v = Diag.count_severity Diag.Error v.v_diags
+let verdict_warnings v = Diag.count_severity Diag.Warning v.v_diags
+
+(* Clean means no error-severity findings: warnings never gate caching,
+   matching the CLI's exit-code policy (without --werror). *)
+let verdict_clean v = verdict_errors v = 0
+
+let verdict_to_json (v : verdict) : Json.t =
+  Json.Obj
+    [
+      ("lint_version", Json.Int v.v_version);
+      ("checks", Json.List (List.map (fun c -> Json.Str c) v.v_checks));
+      ("report", Diag.to_json v.v_diags);
+    ]
+
+(* Strict reader: raises [Json.Parse_error] on any schema violation, an
+   unknown check id (the catalogue changed under the verdict), or a
+   version stamp other than the current [version] — a stale verdict must
+   never be trusted, it forces a re-lint instead. *)
+let verdict_of_json (j : Json.t) : verdict =
+  let stamp =
+    Json.get_int "lint_version" (Json.get_member "verdict" "lint_version" j)
+  in
+  if stamp <> version then
+    raise
+      (Json.Parse_error
+         (Printf.sprintf "stale lint version %d (current %d)" stamp version));
+  let checks =
+    List.map
+      (Json.get_string "checks")
+      (Json.get_list "checks" (Json.get_member "verdict" "checks" j))
+  in
+  (try validate_checks checks
+   with Unknown_check c -> raise (Json.Parse_error ("unknown check " ^ c)));
+  {
+    v_version = stamp;
+    v_checks = checks;
+    v_diags = Diag.of_json (Json.get_member "verdict" "report" j);
+  }

@@ -36,6 +36,10 @@ type stats = {
   mutable native_instrs : int64; (* dynamic native instruction count *)
   mutable invalidations : int; (* SMC-triggered cache invalidations *)
   mutable cache_corrupt : int; (* undecodable cache entries dropped *)
+  mutable lint_runs : int; (* llva-lint analyses actually computed *)
+  mutable lint_skipped : int; (* recorded verdicts reused instead *)
+  mutable lint_rejected : int; (* cache installs refused by an Error verdict *)
+  mutable lint_time : float; (* seconds spent in the analyzer *)
 }
 
 let fresh_stats () =
@@ -47,6 +51,10 @@ let fresh_stats () =
     native_instrs = 0L;
     invalidations = 0;
     cache_corrupt = 0;
+    lint_runs = 0;
+    lint_skipped = 0;
+    lint_rejected = 0;
+    lint_time = 0.0;
   }
 
 type t = {
@@ -89,11 +97,18 @@ let of_module ?(storage = Storage.none) ?(timestamp = 0.0) ~target m =
 let cache_name t fname =
   Printf.sprintf "%s.%s.%s" t.key fname (target_name t.target)
 
-(* The whole-module entry written by offline translation: every function's
-   translation in one read. "__module__" cannot collide with a function
-   entry because LLVA identifiers never contain that form alongside the
-   key/target framing used here. *)
-let module_entry_name t = cache_name t "__module__"
+(* Reserved (non-function) cache entries are framed with '#', a character
+   the LLVA identifier grammar excludes ([a-zA-Z0-9._$-] only), so no
+   function name — not even one literally called "__module__" — can ever
+   collide with them. *)
+let module_entry_name t = cache_name t "#module#"
+
+(* The llva-lint verdict entry: keyed by the module content hash and the
+   analyzer version stamp, with no target component — findings are
+   target-independent, so both back-ends share one verdict. A
+   [Check.Lint.version] bump changes the name, orphaning old verdicts. *)
+let lint_entry_name t =
+  Printf.sprintf "%s.#lint#.v%d" t.key Check.Lint.version
 
 let read_cached t name : string option =
   match t.storage.Storage.read name with
@@ -139,6 +154,71 @@ let timed t f =
   t.stats.translate_time <-
     t.stats.translate_time +. (Unix.gettimeofday () -. start);
   result
+
+(* ---------- lint-before-cache ---------- *)
+
+(* Obtain the module's llva-lint verdict, reusing a recorded one when the
+   storage cache holds a fresh, well-formed verdict for this exact module
+   hash and analyzer version ([lint_skipped] counts the reuse). A
+   missing, stale (program timestamp or version stamp), or corrupt
+   verdict entry re-analyzes exactly once ([lint_runs]) and writes the
+   verdict back through the storage API. *)
+let verdict t : Check.Lint.verdict =
+  let recorded =
+    match read_cached t (lint_entry_name t) with
+    | None -> None
+    | Some data -> (
+        match unframe_entry data with
+        | None ->
+            t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
+            None
+        | Some payload -> (
+            match Check.Lint.verdict_of_json (Check.Json.parse payload) with
+            | v -> Some v
+            | exception Check.Json.Parse_error _ ->
+                t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
+                None))
+  in
+  match recorded with
+  | Some v ->
+      t.stats.lint_skipped <- t.stats.lint_skipped + 1;
+      v
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let v = Check.Lint.verdict t.m in
+      t.stats.lint_time <- t.stats.lint_time +. (Unix.gettimeofday () -. t0);
+      t.stats.lint_runs <- t.stats.lint_runs + 1;
+      t.storage.Storage.write (lint_entry_name t)
+        (frame_entry
+           (Check.Json.to_string ~pretty:false
+              (Check.Lint.verdict_to_json v)));
+      v
+
+(* The gate itself: with no storage there is nothing to protect (nothing
+   is ever cached), so no lint runs — the pure-JIT path is unchanged.
+   With storage, an Error verdict refuses to install or write cached
+   native code ([lint_rejected]). *)
+let lint_gate t : Check.Lint.verdict option =
+  if not t.storage.Storage.available then None
+  else
+    let v = verdict t in
+    if Check.Lint.verdict_clean v then None
+    else begin
+      t.stats.lint_rejected <- t.stats.lint_rejected + 1;
+      Some v
+    end
+
+(* Exit code reported when the gate refuses a poisoned module. *)
+let lint_rejected_code = 125
+
+let lint_rejected_report t v =
+  Printf.sprintf
+    "llee: refusing execution of module %s: llva-lint recorded %d error(s) \
+     (verdict v%d)\n%s\n"
+    t.key
+    (Check.Lint.verdict_errors v)
+    Check.Lint.version
+    (Check.Diag.render_text (Check.Lint.verdict_diags v))
 
 (* ---------- per-target drivers ---------- *)
 
@@ -232,9 +312,18 @@ let run_sparc t ?fuel () =
   t.stats.invalidations <- Hashtbl.length st.Sparclite.Sim.redirects;
   (code, Sparclite.Sim.output st)
 
-(* Launch the program: JIT with transparent offline caching. *)
+(* Launch the program: JIT with transparent offline caching. When a
+   storage cache is attached, the module is linted first (once — warm
+   launches reuse the recorded verdict): an Error verdict degrades the
+   launch to a reported failure instead of installing cached native
+   code. *)
 let run ?fuel t =
-  match t.target with X86 -> run_x86 t ?fuel () | Sparc -> run_sparc t ?fuel ()
+  match lint_gate t with
+  | Some v -> (lint_rejected_code, lint_rejected_report t v)
+  | None -> (
+      match t.target with
+      | X86 -> run_x86 t ?fuel ()
+      | Sparc -> run_sparc t ?fuel ())
 
 (* Idle-time offline translation: translate every function and populate
    the cache without executing (paper: "flagging it for translation and
@@ -245,9 +334,7 @@ let run ?fuel t =
    launches need a single storage read. SMC invalidation still operates
    per function: the redirect mechanism resolves the replacement function
    by name, whichever entry it was loaded from. *)
-let translate_offline ?domains t =
-  if not t.storage.Storage.available then
-    invalid_arg "Llee.translate_offline: no storage API registered";
+let translate_offline_unchecked ?domains t =
   let fns =
     List.filter (fun (f : Ir.func) -> not (Ir.is_declaration f)) t.m.Ir.funcs
   in
@@ -278,6 +365,17 @@ let translate_offline ?domains t =
   match t.target with
   | X86 -> go (fun image f -> X86lite.Compile.compile_function t.m image f)
   | Sparc -> go (fun image f -> Sparclite.Compile.compile_function t.m image f)
+
+let translate_offline ?domains t =
+  if not t.storage.Storage.available then
+    invalid_arg "Llee.translate_offline: no storage API registered";
+  match lint_gate t with
+  | Some _ ->
+      (* poisoned module: the verdict entry is recorded (so the refusal
+         itself is amortized across launches) but no native translations
+         ever enter the cache *)
+      ()
+  | None -> translate_offline_unchecked ?domains t
 
 (* Collect a profile with the instrumented reference engine, then apply
    the software trace cache: hot-trace relayout + retranslation. Returns

@@ -52,6 +52,11 @@ let in_memory () =
 let on_disk ~dir =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let path name =
+    (* Sanitization must be injective: mapping every unsafe character to
+       '_' would send distinct names (a cache for "a$b" and one for
+       "a_b") to the same file, silently serving one entry's data for the
+       other. The readable prefix keeps cache directories inspectable;
+       the digest of the raw name keeps the mapping collision-free. *)
     let safe =
       String.map
         (fun c ->
@@ -60,7 +65,8 @@ let on_disk ~dir =
           | _ -> '_')
         name
     in
-    Filename.concat dir safe
+    Filename.concat dir
+      (Printf.sprintf "%s-%s" safe (Digest.to_hex (Digest.string name)))
   in
   {
     read =
@@ -87,8 +93,14 @@ let on_disk ~dir =
         let tmp = Printf.sprintf "%s.%d.tmp" p (Unix.getpid ()) in
         try
           let oc = open_out_bin tmp in
-          output_string oc data;
-          close_out oc;
+          (* a failing [output_string]/[close_out] (full disk, quota, I/O
+             error) must still close the fd — [close_out] does not close
+             on a flush failure — and must leave no tmp file behind *)
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc data;
+              close_out oc);
           Sys.rename tmp p
         with Sys_error _ | Unix.Unix_error _ ->
           (try Sys.remove tmp with Sys_error _ -> ()));

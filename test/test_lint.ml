@@ -518,6 +518,86 @@ let test_json_roundtrip () =
        false
      with Check.Json.Parse_error _ -> true)
 
+let test_json_unicode_escapes () =
+  (* exactly four hex digits: OCaml's int_of_string would also accept
+     literal syntax like "0_41", which is not JSON *)
+  check_bool "valid \\u escape accepted" true
+    (Check.Json.parse "\"\\u0041\"" = Check.Json.Str "A");
+  check_bool "lowercase hex accepted" true
+    (Check.Json.parse "\"\\u000a\"" = Check.Json.Str "\n");
+  let rejects src =
+    try
+      ignore (Check.Json.parse src);
+      false
+    with Check.Json.Parse_error _ -> true
+  in
+  check_bool "underscore digit-separator rejected" true (rejects "\"\\u0_41\"");
+  check_bool "non-hex characters rejected" true (rejects "\"\\u00gz\"");
+  check_bool "nested 0x prefix rejected" true (rejects "\"\\u0x41\"");
+  check_bool "truncated escape rejected" true (rejects "\"\\u00\"");
+  (* control characters still round-trip through the printer's \u form *)
+  check_bool "control char round-trips" true
+    (Check.Json.parse (Check.Json.to_string (Check.Json.Str "\x01"))
+    = Check.Json.Str "\x01")
+
+(* ---------- cacheable verdicts ---------- *)
+
+let test_verdict_roundtrip () =
+  let m = Resolve.parse_module multi_bug_src in
+  let v = Check.Lint.verdict ~checks:Check.Lint.check_ids m in
+  check_bool "fixture verdict is not clean" false (Check.Lint.verdict_clean v);
+  check_bool "verdict has errors" true (Check.Lint.verdict_errors v > 0);
+  let j = Check.Json.to_string (Check.Lint.verdict_to_json v) in
+  let v2 = Check.Lint.verdict_of_json (Check.Json.parse j) in
+  check_int "version stamp preserved" Check.Lint.version
+    v2.Check.Lint.v_version;
+  check_bool "checks preserved" true
+    (v2.Check.Lint.v_checks = Check.Lint.check_ids);
+  check_int "finding count preserved"
+    (List.length (Check.Lint.verdict_diags v))
+    (List.length (Check.Lint.verdict_diags v2));
+  check_int "error count preserved" (Check.Lint.verdict_errors v)
+    (Check.Lint.verdict_errors v2);
+  check_int "warning count preserved" (Check.Lint.verdict_warnings v)
+    (Check.Lint.verdict_warnings v2);
+  (* a clean module's verdict is clean and round-trips too *)
+  let clean =
+    Check.Lint.verdict (Resolve.parse_module "int %f() {\nentry:\n  ret int 0\n}\n")
+  in
+  check_bool "clean verdict" true (Check.Lint.verdict_clean clean);
+  check_bool "clean verdict round-trips clean" true
+    (Check.Lint.verdict_clean
+       (Check.Lint.verdict_of_json
+          (Check.Json.parse
+             (Check.Json.to_string (Check.Lint.verdict_to_json clean)))))
+
+let test_verdict_strict_reader () =
+  let rejects src =
+    try
+      ignore (Check.Lint.verdict_of_json (Check.Json.parse src));
+      false
+    with Check.Json.Parse_error _ -> true
+  in
+  let payload ?(version = Check.Lint.version) ?(checks = "") () =
+    Printf.sprintf
+      "{\"lint_version\": %d, \"checks\": [%s], \"report\": {\"version\": 1, \
+       \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}}"
+      version checks
+  in
+  check_bool "current version accepted" true
+    (Check.Lint.verdict_clean
+       (Check.Lint.verdict_of_json (Check.Json.parse (payload ()))));
+  check_bool "stale version stamp rejected" true
+    (rejects (payload ~version:(Check.Lint.version + 1) ()));
+  check_bool "ancient version stamp rejected" true (rejects (payload ~version:0 ()));
+  check_bool "unknown check id rejected" true
+    (rejects (payload ~checks:"\"no-such-check\"" ()));
+  check_bool "missing fields rejected" true (rejects "{\"lint_version\": 1}");
+  check_bool "mistyped checks rejected" true
+    (rejects
+       "{\"lint_version\": 1, \"checks\": 3, \"report\": {\"version\": 1, \
+        \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}}")
+
 (* ---------- the acceptance bar: optimized workloads are clean ---------- *)
 
 let test_workloads_clean () =
@@ -668,6 +748,9 @@ let suite =
     Alcotest.test_case "alias phi cyclic" `Quick test_alias_phi_cyclic;
     Alcotest.test_case "deterministic order" `Quick test_deterministic_order;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json unicode escapes" `Quick test_json_unicode_escapes;
+    Alcotest.test_case "verdict roundtrip" `Quick test_verdict_roundtrip;
+    Alcotest.test_case "verdict strict reader" `Quick test_verdict_strict_reader;
     Alcotest.test_case "workloads lint clean" `Slow test_workloads_clean;
     Alcotest.test_case "verify type-rule message" `Quick test_verify_type_rule_message;
     Alcotest.test_case "verify phi messages" `Quick test_verify_phi_predecessor_messages;

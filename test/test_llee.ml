@@ -6,6 +6,7 @@ open Llva
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
 
 let program =
   {|
@@ -290,7 +291,7 @@ let test_module_entry_fallback () =
   let m = Gen.parse program in
   let eng = Llee.of_module ~storage ~target:Llee.X86 m in
   Llee.translate_offline eng;
-  let module_key = Printf.sprintf "%s.__module__.x86lite" eng.Llee.key in
+  let module_key = Printf.sprintf "%s.#module#.x86lite" eng.Llee.key in
   storage.Llee.Storage.write module_key "LLEE1\x00not a marshalled module";
   let warm = Llee.fresh_run eng in
   let r = Llee.run warm in
@@ -319,7 +320,7 @@ let test_stale_module_entry () =
     v2.Llee.stats.Llee.translations;
   check_int "stale offline cache: no hits" 0 v2.Llee.stats.Llee.cache_hits;
   (* the stale module entry was deleted, not just skipped *)
-  let module_key = Printf.sprintf "%s.__module__.x86lite" v2.Llee.key in
+  let module_key = Printf.sprintf "%s.#module#.x86lite" v2.Llee.key in
   check_bool "stale module entry evicted" true
     (storage.Llee.Storage.read module_key = None)
 
@@ -345,7 +346,16 @@ let test_parallel_offline_identical () =
           check_bool ("identical entry for " ^ f) true
             (String.equal a.Llee.Storage.data b.Llee.Storage.data)
       | _ -> Alcotest.fail ("missing cache entry for " ^ f))
-    [ "main"; "hot"; "cold_helper"; "__module__" ];
+    [ "main"; "hot"; "cold_helper"; "#module#" ];
+  (* the lint verdict entry must be byte-identical as well *)
+  (match
+     ( s_seq.Llee.Storage.read (Llee.lint_entry_name e_seq),
+       s_par.Llee.Storage.read (Llee.lint_entry_name e_par) )
+   with
+  | Some a, Some b ->
+      check_bool "identical verdict entry" true
+        (String.equal a.Llee.Storage.data b.Llee.Storage.data)
+  | _ -> Alcotest.fail "missing lint verdict entry");
   (* and the parallel cache actually runs *)
   let warm = Llee.fresh_run e_par in
   let r = Llee.run warm in
@@ -363,9 +373,242 @@ let test_parallel_reoptimize () =
   let r2 = Llee.run eng2 in
   check_bool "same behaviour after parallel validation" true (r1 = r2)
 
+(* ---------- cache identity regressions ---------- *)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let fresh_tmp_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s_%d" tag (Unix.getpid ()))
+  in
+  (match Sys.readdir dir with
+  | files ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        files
+  | exception Sys_error _ -> ());
+  dir
+
+let rm_rf_dir dir =
+  (match Sys.readdir dir with
+  | files ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        files
+  | exception Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let test_module_named_function () =
+  (* "__module__" is a perfectly legal LLVA identifier, so it must get its
+     own cache entry, distinct from the reserved whole-module entry (which
+     is '#'-framed exactly because identifiers cannot contain '#') *)
+  let src =
+    {|
+int %__module__(int %x) {
+entry:
+  %r = add int %x, 41
+  ret int %r
+}
+int %main() {
+entry:
+  %r = call int %__module__(int 1)
+  ret int %r
+}
+|}
+  in
+  let m = Gen.parse src in
+  let expected = Gen.run_interp m in
+  let storage = Llee.Storage.in_memory () in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 m in
+  Llee.translate_offline eng;
+  check_bool "function and reserved entries are distinct" true
+    (Llee.cache_name eng "__module__" <> Llee.module_entry_name eng);
+  check_bool "function entry present" true
+    (storage.Llee.Storage.read (Llee.cache_name eng "__module__") <> None);
+  check_bool "module entry present" true
+    (storage.Llee.Storage.read (Llee.module_entry_name eng) <> None);
+  let warm = Llee.fresh_run eng in
+  let r = Llee.run warm in
+  check_bool "runs with a function named __module__" true (r = expected);
+  check_int "warm: nothing retranslated" 0 warm.Llee.stats.Llee.translations;
+  check_int "warm: both functions from cache" 2 warm.Llee.stats.Llee.cache_hits;
+  check_int "warm: nothing corrupt" 0 warm.Llee.stats.Llee.cache_corrupt
+
+let test_storage_name_collision () =
+  (* distinct cache names must never share an on-disk file: 'a$b' and
+     'a_b' used to sanitize to the same path, silently serving one
+     entry's native code for the other *)
+  let dir = fresh_tmp_dir "llee_sanitize_test" in
+  let storage = Llee.Storage.on_disk ~dir in
+  storage.Llee.Storage.write "a$b" "dollar entry";
+  storage.Llee.Storage.write "a_b" "underscore entry";
+  (match storage.Llee.Storage.read "a$b" with
+  | Some e -> check_string "a$b keeps its own data" "dollar entry" e.Llee.Storage.data
+  | None -> Alcotest.fail "a$b entry lost");
+  (match storage.Llee.Storage.read "a_b" with
+  | Some e -> check_string "a_b keeps its own data" "underscore entry" e.Llee.Storage.data
+  | None -> Alcotest.fail "a_b entry lost");
+  (* deleting one must not delete the other *)
+  storage.Llee.Storage.delete "a$b";
+  check_bool "a$b gone" true (storage.Llee.Storage.read "a$b" = None);
+  check_bool "a_b survives" true (storage.Llee.Storage.read "a_b" <> None);
+  rm_rf_dir dir
+
+let test_storage_write_midfail () =
+  (* a write that fails after open (full disk: flushing to /dev/full
+     raises on close_out) must close the fd and remove the tmp file *)
+  if not (Sys.file_exists "/dev/full" && Sys.file_exists "/proc/self/fd")
+  then ()
+  else begin
+    let dir = fresh_tmp_dir "llee_midfail_test" in
+    let storage = Llee.Storage.on_disk ~dir in
+    (* a successful write reveals the sanitized path the name maps to *)
+    storage.Llee.Storage.write "victim" "original data";
+    let file =
+      match Sys.readdir dir with
+      | [| f |] -> Filename.concat dir f
+      | _ -> Alcotest.fail "expected exactly one cache file"
+    in
+    let tmp = Printf.sprintf "%s.%d.tmp" file (Unix.getpid ()) in
+    let fd_count () = Array.length (Sys.readdir "/proc/self/fd") in
+    let before = fd_count () in
+    for _ = 1 to 5 do
+      (* route the tmp file to /dev/full so the flush on close fails *)
+      Unix.symlink "/dev/full" tmp;
+      storage.Llee.Storage.write "victim" "replacement that never lands";
+      check_bool "tmp file removed after failed write" true
+        (not (Sys.file_exists tmp))
+    done;
+    check_int "no fd leaked across failed writes" before (fd_count ());
+    (match storage.Llee.Storage.read "victim" with
+    | Some e ->
+        check_string "failed write left the old entry intact" "original data"
+          e.Llee.Storage.data
+    | None -> Alcotest.fail "victim entry lost");
+    (* and the storage still works afterwards *)
+    storage.Llee.Storage.write "victim" "new data";
+    (match storage.Llee.Storage.read "victim" with
+    | Some e -> check_string "storage usable after failure" "new data" e.Llee.Storage.data
+    | None -> Alcotest.fail "post-failure write lost");
+    rm_rf_dir dir
+  end
+
+(* ---------- lint-before-cache ---------- *)
+
+(* provably wrong: uninit-load reports an error-severity finding *)
+let poisoned_program =
+  {|
+int %main() {
+entry:
+  %x = alloca int
+  %v = load int* %x
+  ret int %v
+}
+|}
+
+let test_lint_gate_blocks_poisoned_cache () =
+  let storage = Llee.Storage.in_memory () in
+  let m = Gen.parse poisoned_program in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 m in
+  Llee.translate_offline eng;
+  check_int "offline: lint ran once" 1 eng.Llee.stats.Llee.lint_runs;
+  check_int "offline: rejected" 1 eng.Llee.stats.Llee.lint_rejected;
+  check_int "offline: nothing translated" 0 eng.Llee.stats.Llee.translations;
+  check_bool "no native function entry in storage" true
+    (storage.Llee.Storage.read (Llee.cache_name eng "main") = None);
+  check_bool "no whole-module entry in storage" true
+    (storage.Llee.Storage.read (Llee.module_entry_name eng) = None);
+  check_bool "verdict entry recorded" true
+    (storage.Llee.Storage.read (Llee.lint_entry_name eng) <> None);
+  (* a launch degrades to a reported failure, not a crash *)
+  let launch = Llee.fresh_run eng in
+  let code, out = Llee.run launch in
+  check_int "lint-rejected exit code" Llee.lint_rejected_code code;
+  check_bool "report names the finding" true (contains out "uninit-load");
+  check_int "launch: verdict reused" 1 launch.Llee.stats.Llee.lint_skipped;
+  check_int "launch: zero lint recomputation" 0 launch.Llee.stats.Llee.lint_runs;
+  check_int "launch: rejected" 1 launch.Llee.stats.Llee.lint_rejected;
+  check_int "launch: nothing translated" 0 launch.Llee.stats.Llee.translations;
+  check_bool "still no native code cached" true
+    (storage.Llee.Storage.read (Llee.cache_name eng "main") = None);
+  (* without storage there is nothing to protect: the pure-JIT path does
+     not lint at all (the DAISY/Crusoe situation is unchanged) *)
+  let free = Llee.of_module ~target:Llee.X86 m in
+  ignore (Llee.run free);
+  check_int "no storage: no lint" 0 free.Llee.stats.Llee.lint_runs;
+  check_int "no storage: not rejected" 0 free.Llee.stats.Llee.lint_rejected
+
+let test_lint_warm_zero_recompute () =
+  let storage = Llee.Storage.in_memory () in
+  let cold = Llee.of_module ~storage ~target:Llee.X86 (Gen.parse program) in
+  let r1 = Llee.run cold in
+  check_bool "clean module still runs" true (r1 = expected_result);
+  check_int "cold: linted once" 1 cold.Llee.stats.Llee.lint_runs;
+  check_int "cold: nothing reused" 0 cold.Llee.stats.Llee.lint_skipped;
+  check_int "cold: not rejected" 0 cold.Llee.stats.Llee.lint_rejected;
+  let warm = Llee.fresh_run cold in
+  let r2 = Llee.run warm in
+  check_bool "warm run ok" true (r2 = expected_result);
+  check_int "warm: zero lint recomputation" 0 warm.Llee.stats.Llee.lint_runs;
+  check_int "warm: verdict reused" 1 warm.Llee.stats.Llee.lint_skipped;
+  check_int "warm: not rejected" 0 warm.Llee.stats.Llee.lint_rejected
+
+let test_lint_verdict_corrupt_or_stale () =
+  let storage = Llee.Storage.in_memory () in
+  let cold = Llee.of_module ~storage ~target:Llee.X86 (Gen.parse program) in
+  ignore (Llee.run cold);
+  let name = Llee.lint_entry_name cold in
+  (* corrupt verdict: exactly one re-lint, and the verdict is re-recorded *)
+  storage.Llee.Storage.write name "definitely not a verdict";
+  let w1 = Llee.fresh_run cold in
+  ignore (Llee.run w1);
+  check_int "corrupt verdict: exactly one re-lint" 1 w1.Llee.stats.Llee.lint_runs;
+  check_int "corrupt verdict: nothing reused" 0 w1.Llee.stats.Llee.lint_skipped;
+  check_bool "corruption counted" true (w1.Llee.stats.Llee.cache_corrupt >= 1);
+  let w2 = Llee.fresh_run cold in
+  ignore (Llee.run w2);
+  check_int "re-recorded verdict reused" 1 w2.Llee.stats.Llee.lint_skipped;
+  check_int "re-recorded verdict: no recompute" 0 w2.Llee.stats.Llee.lint_runs;
+  (* framed but version-bumped payload under the current entry name: the
+     strict reader rejects it and the launch re-lints exactly once *)
+  let bumped =
+    Printf.sprintf
+      "{\"lint_version\": %d, \"checks\": [], \"report\": {\"version\": 1, \
+       \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}}"
+      (Check.Lint.version + 1)
+  in
+  storage.Llee.Storage.write name ("LLEE1\x00" ^ bumped);
+  let w3 = Llee.fresh_run cold in
+  ignore (Llee.run w3);
+  check_int "version-bumped verdict: exactly one re-lint" 1
+    w3.Llee.stats.Llee.lint_runs;
+  check_int "version-bumped verdict: nothing reused" 0
+    w3.Llee.stats.Llee.lint_skipped;
+  (* a missing verdict entry behaves the same *)
+  storage.Llee.Storage.delete name;
+  let w4 = Llee.fresh_run cold in
+  ignore (Llee.run w4);
+  check_int "missing verdict: exactly one re-lint" 1 w4.Llee.stats.Llee.lint_runs
+
 let suite =
   suite
   @ [
+      Alcotest.test_case "module-named function" `Quick
+        test_module_named_function;
+      Alcotest.test_case "storage name collision" `Quick
+        test_storage_name_collision;
+      Alcotest.test_case "storage mid-write failure" `Quick
+        test_storage_write_midfail;
+      Alcotest.test_case "lint gate blocks poisoned cache" `Quick
+        test_lint_gate_blocks_poisoned_cache;
+      Alcotest.test_case "lint warm zero recompute" `Quick
+        test_lint_warm_zero_recompute;
+      Alcotest.test_case "lint verdict corrupt or stale" `Quick
+        test_lint_verdict_corrupt_or_stale;
       Alcotest.test_case "corrupted cache" `Quick test_corrupted_cache;
       Alcotest.test_case "truncated marshal" `Quick test_truncated_marshal;
       Alcotest.test_case "module entry fast path" `Quick
