@@ -211,6 +211,8 @@ type llee_row = {
   l_lint_warm_ms : float; (* warm launch: read + decode the verdict entry *)
   l_lint_runs : int; (* lint analyses on cold launch (1) *)
   l_lint_skipped : int; (* verdict reuses on warm launch (1) *)
+  l_quarantined : int; (* entries quarantined on the damaged launch *)
+  l_repaired : int; (* entries retranslated + rewritten on that launch *)
 }
 
 let llee_workloads = [ "255.vortex"; "164.gzip"; "181.mcf"; "ptrdist-anagram" ]
@@ -272,6 +274,23 @@ let llee_row name : llee_row =
   let _, lint_warm =
     time_best (fun () -> Llee.verdict (Llee.fresh_run cold))
   in
+  (* self-healing: flip one byte in the whole-module entry and in main's
+     per-function entry; the checksummed frame must quarantine both and
+     the launch retranslates (repairs) the function it actually needs *)
+  let corrupt n =
+    let ename = Printf.sprintf "%s.%s.x86lite" eng_seq.Llee.key n in
+    match s_seq.Llee.Storage.read ename with
+    | Some e ->
+        let b = Bytes.of_string e.Llee.Storage.data in
+        let i = Bytes.length b - 1 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+        s_seq.Llee.Storage.write ename (Bytes.to_string b)
+    | None -> ()
+  in
+  corrupt "#module#";
+  corrupt "main";
+  let heal = Llee.fresh_run eng_seq in
+  ignore (Llee.run heal);
   {
     l_name = name;
     l_cold_n = cold.Llee.stats.Llee.translations;
@@ -287,23 +306,28 @@ let llee_row name : llee_row =
     l_lint_warm_ms = lint_warm *. 1000.0;
     l_lint_runs = cold.Llee.stats.Llee.lint_runs;
     l_lint_skipped = warm.Llee.stats.Llee.lint_skipped;
+    l_quarantined = heal.Llee.stats.Llee.cache_quarantined;
+    l_repaired = heal.Llee.stats.Llee.cache_repaired;
   }
 
 let run_llee () =
   section "LLEE: program launch with and without the OS storage API";
-  Printf.printf "%-17s %10s %12s %12s %10s %10s %11s %11s %8s %7s %9s %9s\n"
+  Printf.printf
+    "%-17s %10s %12s %12s %10s %10s %11s %11s %8s %7s %9s %9s %5s %4s\n"
     "Program" "cold trans" "cold ms" "warm ms" "hits" "warm reads"
-    "offline(s)" "parallel(s)" "speedup" "same" "lint cold" "lint warm";
+    "offline(s)" "parallel(s)" "speedup" "same" "lint cold" "lint warm" "quar"
+    "rep";
   let rows = List.map llee_row llee_workloads in
   List.iter
     (fun r ->
       Printf.printf
         "%-17s %10d %12.3f %12.3f %10d %10d %11.4f %11.4f %7.2fx %7b %7.2fms \
-         %7.2fms\n"
+         %7.2fms %5d %4d\n"
         r.l_name r.l_cold_n r.l_cold_ms r.l_warm_ms r.l_warm_hits r.l_warm_reads
         r.l_off_seq r.l_off_par
         (r.l_off_seq /. r.l_off_par)
-        r.l_off_same r.l_lint_cold_ms r.l_lint_warm_ms)
+        r.l_off_same r.l_lint_cold_ms r.l_lint_warm_ms r.l_quarantined
+        r.l_repaired)
     rows;
   Printf.printf
     "\n(cold launches translate online; warm launches read the offline\n\
@@ -314,7 +338,10 @@ let run_llee () =
     \ translate_offline on %d domain(s); 'same' checks the parallel cache\n\
     \ is byte-identical to the sequential one, lint verdict entry\n\
     \ included. 'lint cold' is the full llva-lint analysis a cold launch\n\
-    \ pays once; 'lint warm' is reading the recorded verdict instead.)\n"
+    \ pays once; 'lint warm' is reading the recorded verdict instead.\n\
+    \ 'quar'/'rep' exercise the self-healing cache: with one byte flipped\n\
+    \ in the whole-module entry and in main's entry, the checksummed\n\
+    \ frame quarantines both and the launch retranslates what it needs.)\n"
     (Llee.Pool.default_domains ());
   rows
 
@@ -424,10 +451,12 @@ let write_bench_json ~path (rows : llee_row list) (mt : mem_row) =
          \"offline_seq_s\": %.4f, \"offline_par_s\": %.4f, \
          \"parallel_identical\": %b, \"cycles\": %Ld, \
          \"lint_cold_ms\": %.3f, \"lint_warm_ms\": %.3f, \
-         \"lint_runs\": %d, \"lint_skipped\": %d}%s\n"
+         \"lint_runs\": %d, \"lint_skipped\": %d, \
+         \"quarantined\": %d, \"repaired\": %d}%s\n"
         (json_escape r.l_name) r.l_cold_n r.l_cold_ms r.l_warm_ms r.l_warm_hits
         r.l_warm_reads r.l_off_seq r.l_off_par r.l_off_same r.l_cycles
         r.l_lint_cold_ms r.l_lint_warm_ms r.l_lint_runs r.l_lint_skipped
+        r.l_quarantined r.l_repaired
         (if k = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";

@@ -4,35 +4,33 @@
      llva_run prog.bc                          # reference interpreter
      llva_run prog.bc --engine x86             # X86-lite simulator
      llva_run prog.bc --engine llee-sparc      # LLEE JIT, cached on disk
-     llva_run prog.bc --stats                  # print execution statistics *)
+     llva_run prog.bc --stats                  # print execution statistics
+
+   Every engine reports failures through the same structured outcome:
+   a guest trap exits 134, an exhausted --fuel budget exits 124, and a
+   lint-refused launch exits 125 — never an uncaught OCaml exception. *)
 
 open Cmdliner
 
-let run input engine stats opt cache_dir =
+let run input engine stats opt fuel cache_dir =
   let m = Tool_common.load_module input in
   Tool_common.check_verify m;
   if opt > 0 then ignore (Transform.Passmgr.optimize ~level:opt m);
-  let finish code output st_lines =
+  let finish (outcome : Llee.Outcome.t) output st_lines =
     print_string output;
+    (match outcome with
+    | Llee.Outcome.Exit _ -> ()
+    | o -> Printf.eprintf "%s\n" (Llee.Outcome.to_string o));
     if stats then begin
       Printf.eprintf "--- stats ---\n";
       List.iter (fun l -> Printf.eprintf "%s\n" l) st_lines
     end;
-    exit code
+    exit (Llee.Outcome.exit_code outcome)
   in
   match engine with
   | "interp" ->
-      let st = Interp.create m in
-      let code =
-        try Interp.run_main st with
-        | Interp.Trap k ->
-            Printf.eprintf "trap: %s\n" (Interp.trap_to_string k);
-            134
-        | Interp.Unwound ->
-            Printf.eprintf "uncaught unwind\n";
-            134
-      in
-      finish code (Interp.output st)
+      let outcome, st = Llee.Outcome.run_main_interp ?fuel m in
+      finish outcome (Interp.output st)
         [
           Printf.sprintf "llva instructions executed: %d"
             st.Interp.stats.Interp.steps;
@@ -41,8 +39,8 @@ let run input engine stats opt cache_dir =
         ]
   | "x86" ->
       let cm = X86lite.Compile.compile_module m in
-      let code, st = X86lite.Sim.run_main cm in
-      finish code (X86lite.Sim.output st)
+      let outcome, st = Llee.Outcome.run_main_x86 ?fuel cm in
+      finish outcome (X86lite.Sim.output st)
         [
           Printf.sprintf "native instructions: %Ld" st.X86lite.Sim.icount;
           Printf.sprintf "cycles: %Ld" st.X86lite.Sim.cycles;
@@ -53,8 +51,8 @@ let run input engine stats opt cache_dir =
         ]
   | "sparc" ->
       let cm = Sparclite.Compile.compile_module m in
-      let code, st = Sparclite.Sim.run_main cm in
-      finish code (Sparclite.Sim.output st)
+      let outcome, st = Llee.Outcome.run_main_sparc ?fuel cm in
+      finish outcome (Sparclite.Sim.output st)
         [
           Printf.sprintf "native instructions: %Ld" st.Sparclite.Sim.icount;
           Printf.sprintf "cycles: %Ld" st.Sparclite.Sim.cycles;
@@ -69,14 +67,23 @@ let run input engine stats opt cache_dir =
         | None -> Llee.Storage.none
       in
       let eng = Llee.of_module ~storage ~target m in
-      let code, output = Llee.run eng in
-      finish code output
+      let outcome, output = Llee.run ?fuel eng in
+      finish outcome output
         [
           Printf.sprintf "functions translated: %d"
             eng.Llee.stats.Llee.translations;
           Printf.sprintf "cache hits: %d" eng.Llee.stats.Llee.cache_hits;
           Printf.sprintf "corrupt cache entries: %d"
             eng.Llee.stats.Llee.cache_corrupt;
+          Printf.sprintf "quarantined cache entries: %d"
+            eng.Llee.stats.Llee.cache_quarantined;
+          Printf.sprintf "repaired cache entries: %d"
+            eng.Llee.stats.Llee.cache_repaired;
+          Printf.sprintf "storage errors contained: %d"
+            eng.Llee.stats.Llee.storage_errors;
+          Printf.sprintf "unreadable storage entries: %d"
+            eng.Llee.storage.Llee.Storage.counters
+              .Llee.Storage.unreadable;
           Printf.sprintf "translate time: %.3f ms"
             (eng.Llee.stats.Llee.translate_time *. 1000.0);
           Printf.sprintf "lint runs: %d" eng.Llee.stats.Llee.lint_runs;
@@ -97,6 +104,13 @@ let engine = Arg.(value & opt string "interp" & info [ "engine"; "e" ] ~docv:"EN
 let stats = Arg.(value & flag & info [ "stats" ])
 let opt = Arg.(value & opt int 0 & info [ "O" ] ~docv:"LEVEL")
 
+let fuel =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:"instruction budget; exhausting it exits 124")
+
 let cache_dir =
   Arg.(
     value
@@ -106,6 +120,6 @@ let cache_dir =
 let cmd =
   Cmd.v
     (Cmd.info "llva-run" ~doc:"execute LLVA programs")
-    Term.(const run $ input $ engine $ stats $ opt $ cache_dir)
+    Term.(const run $ input $ engine $ stats $ opt $ fuel $ cache_dir)
 
 let () = exit (Cmd.eval cmd)

@@ -38,10 +38,11 @@ int main() {
 }
 |}
 
-let show tag (eng : Llee.t) (code, out) =
+let show tag (eng : Llee.t) (outcome, out) =
   Printf.printf
     "%-28s exit=%d translated=%d cache-hits=%d translate-time=%.3f ms\n" tag
-    code eng.Llee.stats.Llee.translations eng.Llee.stats.Llee.cache_hits
+    (Llee.Outcome.exit_code outcome)
+    eng.Llee.stats.Llee.translations eng.Llee.stats.Llee.cache_hits
     (eng.Llee.stats.Llee.translate_time *. 1000.0);
   print_string out
 

@@ -90,8 +90,9 @@ let () =
   let bytes = Encode.encode m in
   Printf.printf "virtual object code: %d bytes\n" (String.length bytes);
   let eng = Llee.load ~target:Llee.X86 bytes in
-  let lcode, lout = Llee.run eng in
+  let loutcome, lout = Llee.run eng in
   Printf.printf
     "LLEE (jit)  : exit=%d output=%s (translated %d functions in %.3f ms)\n"
-    lcode lout eng.Llee.stats.Llee.translations
+    (Llee.Outcome.exit_code loutcome)
+    lout eng.Llee.stats.Llee.translations
     (eng.Llee.stats.Llee.translate_time *. 1000.0)

@@ -1,0 +1,10 @@
+; An infinite loop: with a --fuel budget every engine must stop with a
+; structured fuel-exhausted outcome and exit 124 (exercised by the
+; @chaos dune alias).
+
+int %main() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}

@@ -1,0 +1,20 @@
+; A module that lints clean but traps at runtime: the divisor is loaded
+; from a global, so llva-lint's constant-division check cannot prove it
+; zero. Every engine must contain the trap as a structured outcome and
+; exit 134 — never crash with an uncaught simulator exception (exercised
+; by the @chaos dune alias).
+
+%zero = global int 0
+
+int %div_by_global(int %n) {
+entry:
+  %z = load int* %zero
+  %q = div int %n, %z
+  ret int %q
+}
+
+int %main() {
+entry:
+  %r = call int %div_by_global(int 50)
+  ret int %r
+}

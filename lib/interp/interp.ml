@@ -47,6 +47,9 @@ type state = {
   mutable stack : int64;
   mutable depth : int;
   mutable fuel : int; (* < 0 means unlimited *)
+  (* the function currently executing; on a trap that escapes to the
+     caller it names the frame the trap fired in (best-effort) *)
+  mutable current : string;
   mutable trap_handler : Ir.func option;
   mutable privileged : bool;
   (* §3.4 SMC: future invocations of key go to the replacement *)
@@ -71,6 +74,7 @@ let create ?(fuel = -1) (m : Ir.modl) : state =
     stack = Vmem.Memory.stack_top;
     depth = 0;
     fuel;
+    current = "main";
     trap_handler = None;
     privileged = false;
     redirects = Hashtbl.create 8;
@@ -217,13 +221,18 @@ and call_function st (f : Ir.func) args : Eval.scalar =
            | None -> ())
          f.Ir.fargs
      with Invalid_argument _ -> ());
+    let prev = st.current in
+    st.current <- f.Ir.fname;
     let finish result =
       st.stack <- frame.saved_stack;
       st.depth <- st.depth - 1;
+      st.current <- prev;
       result
     in
     try finish (exec_block st frame (Ir.entry_block f) None)
     with e ->
+      (* deliberately do not restore [current]: a propagating trap keeps
+         the name of the innermost function it fired in *)
       st.stack <- frame.saved_stack;
       st.depth <- st.depth - 1;
       raise e

@@ -1,0 +1,25 @@
+(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. LLEE cache
+   entries carry this checksum inside their magic frame so bit-rot
+   anywhere in a stored payload is detected before unmarshalling — a
+   damaged entry is quarantined and retranslated instead of feeding
+   garbage to [Marshal]. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let string s =
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* fixed-width lowercase hex, the form stored in the cache frame *)
+let hex s = Printf.sprintf "%08x" (string s)

@@ -23,6 +23,8 @@ module Storage = Storage
 module Profile = Profile
 module Trace = Trace
 module Pool = Pool
+module Outcome = Outcome
+module Crc32 = Crc32
 
 type target = X86 | Sparc
 
@@ -36,6 +38,9 @@ type stats = {
   mutable native_instrs : int64; (* dynamic native instruction count *)
   mutable invalidations : int; (* SMC-triggered cache invalidations *)
   mutable cache_corrupt : int; (* undecodable cache entries dropped *)
+  mutable cache_quarantined : int; (* checksum-failed entries moved aside *)
+  mutable cache_repaired : int; (* quarantined entries rewritten fresh *)
+  mutable storage_errors : int; (* storage ops contained as miss/no-op *)
   mutable lint_runs : int; (* llva-lint analyses actually computed *)
   mutable lint_skipped : int; (* recorded verdicts reused instead *)
   mutable lint_rejected : int; (* cache installs refused by an Error verdict *)
@@ -51,6 +56,9 @@ let fresh_stats () =
     native_instrs = 0L;
     invalidations = 0;
     cache_corrupt = 0;
+    cache_quarantined = 0;
+    cache_repaired = 0;
+    storage_errors = 0;
     lint_runs = 0;
     lint_skipped = 0;
     lint_rejected = 0;
@@ -66,6 +74,9 @@ type t = {
   program_timestamp : float;
   stats : stats;
   funcs_by_name : (string, Ir.func) Hashtbl.t; (* defined functions *)
+  (* entries quarantined this launch; a successful rewrite under the same
+     name counts as a repair *)
+  quarantined : (string, unit) Hashtbl.t;
 }
 
 (* "Load the executable": decode virtual object code, remember its content
@@ -89,6 +100,7 @@ let load ?(storage = Storage.none) ?(timestamp = 0.0) ~target bytes =
     program_timestamp = timestamp;
     stats = fresh_stats ();
     funcs_by_name;
+    quarantined = Hashtbl.create 8;
   }
 
 let of_module ?(storage = Storage.none) ?(timestamp = 0.0) ~target m =
@@ -110,39 +122,108 @@ let module_entry_name t = cache_name t "#module#"
 let lint_entry_name t =
   Printf.sprintf "%s.#lint#.v%d" t.key Check.Lint.version
 
+(* ---------- contained storage operations ---------- *)
+
+(* The storage API may throw — injected faults, transient I/O errors that
+   outlasted the retry budget, a hostile filesystem. None of that may
+   take the launch down: a throwing read is a miss, a throwing write or
+   delete is a no-op, and each is counted in [storage_errors]. *)
+let storage_read t name : Storage.entry option =
+  try t.storage.Storage.read name
+  with _ ->
+    t.stats.storage_errors <- t.stats.storage_errors + 1;
+    None
+
+let storage_delete t name =
+  try t.storage.Storage.delete name
+  with _ -> t.stats.storage_errors <- t.stats.storage_errors + 1
+
+(* A successful write under a name quarantined this launch is a repair:
+   the damaged entry was moved aside and a freshly translated (or
+   re-linted) replacement has landed. *)
+let storage_write t name data =
+  match t.storage.Storage.write name data with
+  | () ->
+      if Hashtbl.mem t.quarantined name then begin
+        Hashtbl.remove t.quarantined name;
+        t.stats.cache_repaired <- t.stats.cache_repaired + 1
+      end
+  | exception _ -> t.stats.storage_errors <- t.stats.storage_errors + 1
+
+(* A checksum-failed entry is damaged but was certainly ours (the magic
+   matched): move it aside on the storage medium — renamed, never
+   re-read — so the retranslation about to happen can write a repaired
+   entry under the original name. *)
+let quarantine_entry t name =
+  t.stats.cache_quarantined <- t.stats.cache_quarantined + 1;
+  Hashtbl.replace t.quarantined name ();
+  try t.storage.Storage.quarantine name
+  with _ -> t.stats.storage_errors <- t.stats.storage_errors + 1
+
 let read_cached t name : string option =
-  match t.storage.Storage.read name with
+  match storage_read t name with
   | Some entry when entry.Storage.timestamp >= t.program_timestamp ->
       Some entry.Storage.data
   | Some _ ->
       (* stale translation: drop it *)
-      t.storage.Storage.delete name;
+      storage_delete t name;
       None
   | None -> None
 
-(* Cached entries are framed with a magic prefix so a corrupted or
-   foreign cache entry is treated as a miss instead of crashing the
-   deserializer. *)
-let cache_magic = "LLEE1\x00"
+(* ---------- checksummed entry framing ---------- *)
 
-let frame_entry data = cache_magic ^ data
+(* Cached entries are framed with a magic prefix plus a CRC-32 of the
+   payload (8 lowercase hex digits). The magic rejects foreign or
+   truncated-into-the-header files; the checksum catches any damage to
+   the payload itself, which is the self-healing trigger: quarantine,
+   retranslate, write back. *)
+let cache_magic = "LLEE2\x00"
 
-let unframe_entry data =
+let frame_entry payload = cache_magic ^ Crc32.hex payload ^ payload
+
+type framed = Payload of string | Bad_magic | Bad_checksum
+
+(* strict fixed-width hex: [int_of_string "0x…"] would accept OCaml
+   literal syntax like underscores *)
+let hex8 s =
+  let v = ref 0 in
+  let ok = ref (String.length s = 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> v := (!v * 16) + (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> v := (!v * 16) + (Char.code c - Char.code 'a' + 10)
+      | _ -> ok := false)
+    s;
+  if !ok then Some !v else None
+
+let unframe_entry data : framed =
   let n = String.length cache_magic in
-  if String.length data > n && String.sub data 0 n = cache_magic then
-    Some (String.sub data n (String.length data - n))
-  else None
+  if String.length data < n + 8 || String.sub data 0 n <> cache_magic then
+    Bad_magic
+  else
+    let payload = String.sub data (n + 8) (String.length data - n - 8) in
+    match hex8 (String.sub data n 8) with
+    | Some crc when crc = Crc32.string payload -> Payload payload
+    | Some _ | None ->
+        (* ours for sure (the magic matched) but damaged — in the payload
+           or in the checksum field itself *)
+        Bad_checksum
 
-(* Decode one framed cache entry. [Marshal.from_string] raises
-   [Failure] on a corrupted header and [Invalid_argument] on truncated
-   input; both (and a bad magic frame) count as corruption and read as a
-   miss. *)
-let unmarshal_entry t data =
+(* Decode one framed cache entry. A failed checksum quarantines the entry
+   (it was valid once and rotted); a bad magic or an unmarshalable
+   payload that still passed its checksum counts as plain corruption — a
+   foreign or garbage file that was never a valid entry. Either way the
+   read is a miss and the caller retranslates. *)
+let unmarshal_entry t name data =
   match unframe_entry data with
-  | None ->
+  | Bad_magic ->
       t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
       None
-  | Some payload -> (
+  | Bad_checksum ->
+      quarantine_entry t name;
+      None
+  | Payload payload -> (
       try Some (Marshal.from_string payload 0)
       with Failure _ | Invalid_argument _ ->
         t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
@@ -164,15 +245,19 @@ let timed t f =
    verdict entry re-analyzes exactly once ([lint_runs]) and writes the
    verdict back through the storage API. *)
 let verdict t : Check.Lint.verdict =
+  let name = lint_entry_name t in
   let recorded =
-    match read_cached t (lint_entry_name t) with
+    match read_cached t name with
     | None -> None
     | Some data -> (
         match unframe_entry data with
-        | None ->
+        | Bad_magic ->
             t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
             None
-        | Some payload -> (
+        | Bad_checksum ->
+            quarantine_entry t name;
+            None
+        | Payload payload -> (
             match Check.Lint.verdict_of_json (Check.Json.parse payload) with
             | v -> Some v
             | exception Check.Json.Parse_error _ ->
@@ -188,7 +273,7 @@ let verdict t : Check.Lint.verdict =
       let v = Check.Lint.verdict t.m in
       t.stats.lint_time <- t.stats.lint_time +. (Unix.gettimeofday () -. t0);
       t.stats.lint_runs <- t.stats.lint_runs + 1;
-      t.storage.Storage.write (lint_entry_name t)
+      storage_write t name
         (frame_entry
            (Check.Json.to_string ~pretty:false
               (Check.Lint.verdict_to_json v)));
@@ -232,10 +317,11 @@ let find_function t name = Hashtbl.find_opt t.funcs_by_name name
 let make_resolver (type cf) t ~(compile : Ir.func -> cf)
     ~(installed : (string, cf) Hashtbl.t) : string -> cf option =
   let preloaded : (string, cf) Hashtbl.t = Hashtbl.create 16 in
-  (match Option.bind (read_cached t (module_entry_name t)) (unmarshal_entry t) with
-  | Some (pairs : (string * cf) list) ->
-      List.iter (fun (n, cf) -> Hashtbl.replace preloaded n cf) pairs
-  | None -> ());
+  (let mname = module_entry_name t in
+   match Option.bind (read_cached t mname) (unmarshal_entry t mname) with
+   | Some (pairs : (string * cf) list) ->
+       List.iter (fun (n, cf) -> Hashtbl.replace preloaded n cf) pairs
+   | None -> ());
   fun name ->
     match Hashtbl.find_opt installed name with
     | Some cf -> Some cf
@@ -247,8 +333,8 @@ let make_resolver (type cf) t ~(compile : Ir.func -> cf)
               match Hashtbl.find_opt preloaded name with
               | Some cf -> Some cf
               | None ->
-                  Option.bind (read_cached t (cache_name t name))
-                    (unmarshal_entry t)
+                  let cname = cache_name t name in
+                  Option.bind (read_cached t cname) (unmarshal_entry t cname)
             in
             match cached with
             | Some cf ->
@@ -256,10 +342,12 @@ let make_resolver (type cf) t ~(compile : Ir.func -> cf)
                 Hashtbl.replace installed name cf;
                 Some cf
             | None ->
-                (* JIT: translate on demand, write back to the cache *)
+                (* JIT: translate on demand, write back to the cache —
+                   which is also the repair path for an entry the
+                   checksum just quarantined *)
                 let cf = timed t (fun () -> compile f) in
                 t.stats.translations <- t.stats.translations + 1;
-                t.storage.Storage.write (cache_name t name)
+                storage_write t (cache_name t name)
                   (frame_entry (Marshal.to_string cf []));
                 Hashtbl.replace installed name cf;
                 Some cf))
@@ -278,15 +366,18 @@ let run_x86 t ?fuel () =
   st.X86lite.Sim.lookup <- (fun _st name -> resolve name);
   st.X86lite.Sim.regs.(X86lite.X86.sp) <- Vmem.Memory.stack_top;
   st.X86lite.Sim.regs.(X86lite.X86.bp) <- Vmem.Memory.stack_top;
-  let code =
-    match X86lite.Sim.call_function st "main" [] with
-    | v -> Int64.to_int (Ir.normalize_int Types.Int v)
-    | exception Vmem.Runtime.Exit_called c -> c
+  let outcome =
+    Outcome.protect
+      ~engine:("llee-" ^ target_name t.target)
+      ~current:(fun () -> st.X86lite.Sim.cur.X86lite.Compile.cf_name)
+      (fun () ->
+        Int64.to_int
+          (Ir.normalize_int Types.Int (X86lite.Sim.call_function st "main" [])))
   in
   t.stats.cycles <- st.X86lite.Sim.cycles;
   t.stats.native_instrs <- st.X86lite.Sim.icount;
   t.stats.invalidations <- Hashtbl.length st.X86lite.Sim.redirects;
-  (code, X86lite.Sim.output st)
+  (outcome, X86lite.Sim.output st)
 
 let run_sparc t ?fuel () =
   let image = Vmem.Image.load t.m in
@@ -302,24 +393,36 @@ let run_sparc t ?fuel () =
   st.Sparclite.Sim.lookup <- (fun _st name -> resolve name);
   st.Sparclite.Sim.regs.(Sparclite.Sparc.sp) <- Vmem.Memory.stack_top;
   st.Sparclite.Sim.regs.(Sparclite.Sparc.fp) <- Vmem.Memory.stack_top;
-  let code =
-    match Sparclite.Sim.call_function st "main" [] with
-    | v -> Int64.to_int (Ir.normalize_int Types.Int v)
-    | exception Vmem.Runtime.Exit_called c -> c
+  let outcome =
+    Outcome.protect
+      ~engine:("llee-" ^ target_name t.target)
+      ~current:(fun () -> st.Sparclite.Sim.cur.Sparclite.Compile.cf_name)
+      (fun () ->
+        Int64.to_int
+          (Ir.normalize_int Types.Int
+             (Sparclite.Sim.call_function st "main" [])))
   in
   t.stats.cycles <- st.Sparclite.Sim.cycles;
   t.stats.native_instrs <- st.Sparclite.Sim.icount;
   t.stats.invalidations <- Hashtbl.length st.Sparclite.Sim.redirects;
-  (code, Sparclite.Sim.output st)
+  (outcome, Sparclite.Sim.output st)
 
 (* Launch the program: JIT with transparent offline caching. When a
    storage cache is attached, the module is linted first (once — warm
    launches reuse the recorded verdict): an Error verdict degrades the
    launch to a reported failure instead of installing cached native
-   code. *)
-let run ?fuel t =
+   code. Returns a structured [Outcome.t] — traps, fuel exhaustion and
+   lint refusals come back as data, never as escaping exceptions. *)
+let run ?fuel t : Outcome.t * string =
   match lint_gate t with
-  | Some v -> (lint_rejected_code, lint_rejected_report t v)
+  | Some v ->
+      ( Outcome.Cache_degraded
+          { reason =
+              Printf.sprintf "llva-lint recorded %d error(s) for module %s"
+                (Check.Lint.verdict_errors v)
+                t.key
+          },
+        lint_rejected_report t v )
   | None -> (
       match t.target with
       | X86 -> run_x86 t ?fuel ()
@@ -353,10 +456,10 @@ let translate_offline_unchecked ?domains t =
       (fun (name, cf, dt) ->
         t.stats.translations <- t.stats.translations + 1;
         t.stats.translate_time <- t.stats.translate_time +. dt;
-        t.storage.Storage.write (cache_name t name)
+        storage_write t (cache_name t name)
           (frame_entry (Marshal.to_string cf [])))
       compiled;
-    t.storage.Storage.write (module_entry_name t)
+    storage_write t (module_entry_name t)
       (frame_entry
          (Marshal.to_string
             (List.map (fun (name, cf, _) -> (name, cf)) compiled)
@@ -381,7 +484,8 @@ let translate_offline ?domains t =
    the software trace cache: hot-trace relayout + retranslation. Returns
    the relaid-out engine (cache entries of the old layout are unreachable
    through the new content hash). *)
-let fresh_run t = { t with stats = fresh_stats () }
+let fresh_run t =
+  { t with stats = fresh_stats (); quarantined = Hashtbl.create 8 }
 
 let reoptimize ?fuel ?(validate = true) ?domains t : t * int =
   (* profile and relayout the same decoded copy so block ids line up *)

@@ -5,7 +5,13 @@
    §4.1: "flagging it for translation and not actual execution") can use
    every core the OS grants. Results are always returned in input order,
    so callers that write cache entries by iterating the result list get
-   byte-identical cache contents whatever the scheduling. *)
+   byte-identical cache contents whatever the scheduling.
+
+   Fault containment: a task that raises must never poison the pool. All
+   tasks still run to completion (a raising task aborts only itself, not
+   its siblings), every spawned domain is always joined, and the earliest
+   input's exception re-raises in the submitter once the fan-out has
+   drained — identically in the sequential and parallel paths. *)
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
@@ -13,52 +19,72 @@ let default_domains () = max 1 (Domain.recommended_domain_count ())
    work out over up to [domains] domains (default: the runtime's
    recommended count), and returns the results in input order. [f] must
    not mutate state shared with other calls of [f]. Exceptions raised by
-   [f] re-raise in the caller, earliest input first. With [domains <= 1]
-   (or on a single-core host) this is exactly [List.map]. *)
+   [f] are contained per task: every task runs regardless of its
+   siblings' fate, workers stay alive, and after the whole fan-out
+   completes the exception of the earliest input re-raises in the
+   caller. With [domains <= 1] (or on a single-core host) the semantics
+   are identical, just sequential. *)
 let map ?domains f xs =
   let workers =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
   let items = Array.of_list xs in
   let n = Array.length items in
-  if workers <= 1 || n <= 1 then List.map f xs
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          let r = try Ok (f items.(i)) with e -> Error e in
-          results.(i) <- Some r;
-          loop ()
-        end
-      in
-      loop ()
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r = try Ok (f items.(i)) with e -> Error e in
+        results.(i) <- Some r;
+        loop ()
+      end
     in
-    let doms = List.init (min workers n) (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join doms;
-    Array.to_list results
-    |> List.map (function
-         | Some (Ok r) -> r
-         | Some (Error e) -> raise e
-         | None -> assert false)
+    loop ()
+  in
+  if workers > 1 && n > 1 then begin
+    (* one worker runs on the calling domain; a failed [Domain.spawn]
+       (resource exhaustion) degrades the fan-out instead of aborting
+       it, and the domains that did spawn are always joined *)
+    let doms =
+      List.filter_map
+        (fun _ -> try Some (Domain.spawn worker) with _ -> None)
+        (List.init (min workers n - 1) Fun.id)
+    in
+    worker ();
+    List.iter Domain.join doms
   end
+  else worker ();
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok r) -> r
+       | Some (Error e) -> raise e
+       | None -> assert false)
 
 (* [both ?domains fa fb] runs the two thunks concurrently (one on the
-   calling domain, one spawned) and returns both results; sequential when
-   only one domain is available. Used for LLEE's baseline-vs-candidate
-   validation runs during reoptimization. *)
+   calling domain, one spawned) and returns both results; sequential
+   when only one domain is available or the spawn fails. Both thunks
+   always run; if both raise, [fa]'s exception wins. Used for LLEE's
+   baseline-vs-candidate validation runs during reoptimization. *)
 let both ?domains fa fb =
   let workers =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
-  if workers <= 1 then (fa (), fb ())
-  else begin
-    let db = Domain.spawn (fun () -> try Ok (fb ()) with e -> Error e) in
-    let ra = try Ok (fa ()) with e -> Error e in
-    let rb = Domain.join db in
-    match (ra, rb) with
-    | Ok a, Ok b -> (a, b)
-    | Error e, _ | _, Error e -> raise e
-  end
+  let guard f () = try Ok (f ()) with e -> Error e in
+  let ra, rb =
+    if workers <= 1 then
+      let ra = guard fa () in
+      (ra, guard fb ())
+    else
+      match Domain.spawn (guard fb) with
+      | db ->
+          let ra = guard fa () in
+          (ra, Domain.join db)
+      | exception _ ->
+          let ra = guard fa () in
+          (ra, guard fb ())
+  in
+  match (ra, rb) with
+  | Ok a, Ok b -> (a, b)
+  | Error e, _ | _, Error e -> raise e

@@ -4,7 +4,29 @@
    timestamp". The OS may implement it (in-memory or on-disk here); when
    absent ([none]) everything still works, with online translation on
    every launch — exactly the DAISY/Crusoe situation the paper improves
-   on. *)
+   on.
+
+   Failure semantics: reads distinguish "entry missing" ([None]) from
+   "entry present but unreadable" ([Transient]); the transient class is
+   the only one worth retrying ([with_retry]). Damaged entries detected
+   by the execution manager are moved aside with [quarantine] — renamed,
+   never re-read — so a repair write can land under the original name.
+   [faulty] wraps any storage with deterministic injected faults; it is
+   the substrate of the chaos test suite. *)
+
+(* A storage operation failed in a way a retry may fix: an existing entry
+   could not be read, an injected transient fault, a racing writer. Never
+   raised for a missing entry. *)
+exception Transient of string
+
+(* Per-storage health counters, shared by every decorator wrapped around
+   the same underlying store. *)
+type counters = {
+  mutable unreadable : int; (* existing entries that failed to read *)
+  mutable retried : int; (* transient faults absorbed by [with_retry] *)
+}
+
+let fresh_counters () = { unreadable = 0; retried = 0 }
 
 type entry = { data : string; timestamp : float }
 
@@ -12,8 +34,10 @@ type t = {
   read : string -> entry option;
   write : string -> string -> unit;
   delete : string -> unit;
-  size : unit -> int; (* total bytes cached *)
+  quarantine : string -> unit; (* move a damaged entry aside, never re-read *)
+  size : unit -> int; (* total live bytes cached (quarantined excluded) *)
   available : bool;
+  counters : counters;
 }
 
 (* No OS support: every read misses, writes are dropped. *)
@@ -22,9 +46,16 @@ let none =
     read = (fun _ -> None);
     write = (fun _ _ -> ());
     delete = (fun _ -> ());
+    quarantine = (fun _ -> ());
     size = (fun () -> 0);
     available = false;
+    counters = fresh_counters ();
   }
+
+(* Quarantined entries keep living under a reserved suffix so they can be
+   inspected post-mortem; '#' is outside the LLVA identifier grammar, so
+   no legitimate cache name can collide with a quarantined one. *)
+let quarantine_suffix = "#quarantined#"
 
 (* An in-memory cache (models OS support with a RAM-backed store). The
    clock is a logical counter so behaviour is deterministic. *)
@@ -38,19 +69,33 @@ let in_memory () =
         clock := !clock +. 1.0;
         Hashtbl.replace table name { data; timestamp = !clock });
     delete = (fun name -> Hashtbl.remove table name);
+    quarantine =
+      (fun name ->
+        match Hashtbl.find_opt table name with
+        | Some e ->
+            Hashtbl.remove table name;
+            Hashtbl.replace table (name ^ quarantine_suffix) e
+        | None -> ());
     size =
       (fun () ->
-        Hashtbl.fold (fun _ e acc -> acc + String.length e.data) table 0);
+        Hashtbl.fold
+          (fun n e acc ->
+            if Filename.check_suffix n quarantine_suffix then acc
+            else acc + String.length e.data)
+          table 0);
     available = true;
+    counters = fresh_counters ();
   }
 
 (* An on-disk cache rooted at [dir]; names are sanitized to file names.
    Writes are atomic (temp file + rename) so a crash or a concurrent
-   launch can never leave a torn entry behind, and reads/sizes treat any
-   filesystem surprise — deleted-underfoot files, subdirectories, torn
-   temp files — as a cache miss rather than an error. *)
+   launch can never leave a torn entry behind. Reads distinguish a
+   missing entry (a miss, [None]) from an existing-but-unreadable one
+   (counted, raised as [Transient] so [with_retry] can have another go —
+   the file may be mid-replacement by a concurrent writer). *)
 let on_disk ~dir =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let counters = fresh_counters () in
   let path name =
     (* Sanitization must be injective: mapping every unsafe character to
        '_' would send distinct names (a cache for "a$b" and one for
@@ -68,12 +113,18 @@ let on_disk ~dir =
     Filename.concat dir
       (Printf.sprintf "%s-%s" safe (Digest.to_hex (Digest.string name)))
   in
+  let unreadable p msg =
+    counters.unreadable <- counters.unreadable + 1;
+    raise (Transient (Printf.sprintf "unreadable cache entry %s: %s" p msg))
+  in
   {
     read =
       (fun name ->
         let p = path name in
         match open_in_bin p with
-        | exception Sys_error _ -> None
+        | exception Sys_error msg ->
+            (* missing vs unreadable: only the latter is worth a retry *)
+            if Sys.file_exists p then unreadable p msg else None
         | ic -> (
             match
               let len = in_channel_length ic in
@@ -86,7 +137,10 @@ let on_disk ~dir =
                 Some entry
             | exception (Sys_error _ | End_of_file | Unix.Unix_error _) ->
                 close_in_noerr ic;
-                None));
+                (* opened but failed mid-read: the entry exists (or did an
+                   instant ago), so this is the transient class *)
+                if Sys.file_exists p then unreadable p "failed mid-read"
+                else None));
     write =
       (fun name data ->
         let p = path name in
@@ -106,6 +160,10 @@ let on_disk ~dir =
           (try Sys.remove tmp with Sys_error _ -> ()));
     delete =
       (fun name -> try Sys.remove (path name) with Sys_error _ -> ());
+    quarantine =
+      (fun name ->
+        let p = path name in
+        try Sys.rename p (p ^ ".quarantined") with Sys_error _ -> ());
     size =
       (fun () ->
         match Sys.readdir dir with
@@ -113,7 +171,10 @@ let on_disk ~dir =
         | files ->
             Array.fold_left
               (fun acc f ->
-                if Filename.check_suffix f ".tmp" then acc
+                if
+                  Filename.check_suffix f ".tmp"
+                  || Filename.check_suffix f ".quarantined"
+                then acc
                 else
                   match Unix.stat (Filename.concat dir f) with
                   | { Unix.st_kind = Unix.S_REG; st_size; _ } -> acc + st_size
@@ -121,6 +182,7 @@ let on_disk ~dir =
                   | exception (Unix.Unix_error _ | Sys_error _) -> acc)
               0 files);
     available = true;
+    counters;
   }
 
 (* Serialize every operation on [s] behind a mutex, making it safe to
@@ -133,9 +195,154 @@ let locked s =
     Fun.protect ~finally:(fun () -> Mutex.unlock m) f
   in
   {
+    s with
     read = (fun name -> guard (fun () -> s.read name));
     write = (fun name data -> guard (fun () -> s.write name data));
     delete = (fun name -> guard (fun () -> s.delete name));
+    quarantine = (fun name -> guard (fun () -> s.quarantine name));
     size = (fun () -> guard (fun () -> s.size ()));
-    available = s.available;
+  }
+
+(* ---------- fault injection ---------- *)
+
+(* Deterministic injected storage faults (the chaos-suite substrate).
+   Probabilities are per operation; the PRNG stream is fixed by
+   [fault_seed], so a given (seed, operation sequence) pair always
+   injects the same faults. *)
+type fault_config = {
+  fault_seed : int;
+  read_corrupt : float; (* P(a successful read serves a damaged payload) *)
+  write_fail : float; (* P(a write raises a permanent Sys_error) *)
+  write_torn : float; (* P(a write stores only a prefix of the data) *)
+  transient : float; (* P(an op raises [Transient]; a retry redraws) *)
+}
+
+let no_faults =
+  {
+    fault_seed = 0;
+    read_corrupt = 0.0;
+    write_fail = 0.0;
+    write_torn = 0.0;
+    transient = 0.0;
+  }
+
+type fault_counters = {
+  mutable corrupt_reads : int; (* reads corrupted in flight *)
+  mutable torn_writes : int; (* writes stored truncated *)
+  mutable failed_writes : int; (* writes refused with Sys_error *)
+  mutable transient_faults : int; (* ops that raised [Transient] *)
+  mutable damaged_serves : int; (* reads that returned damaged bytes,
+                                   whether corrupted in flight or torn at
+                                   rest — each one is a fault the reader
+                                   must detect and contain *)
+  damaged_names : (string, int) Hashtbl.t; (* damaged serves per name *)
+}
+
+(* [faulty config s] wraps [s] so that reads may serve corrupted
+   payloads, writes may fail or store torn prefixes, and any operation
+   may raise a transient error, all driven by a deterministic PRNG.
+   Corruption flips the final byte, and torn writes keep at least 15
+   bytes of prefix, so a framed LLEE entry is always caught by its
+   payload checksum (never reduced to a bad-magic read) — which is what
+   lets the chaos suite assert exact quarantine counts. Returns the
+   wrapped storage and live fault counters. *)
+let faulty config s =
+  let rng = Random.State.make [| config.fault_seed |] in
+  let fc =
+    {
+      corrupt_reads = 0;
+      torn_writes = 0;
+      failed_writes = 0;
+      transient_faults = 0;
+      damaged_serves = 0;
+      damaged_names = Hashtbl.create 16;
+    }
+  in
+  (* names whose stored value is currently a torn prefix *)
+  let torn : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let draw p = p > 0.0 && Random.State.float rng 1.0 < p in
+  let transient op =
+    if draw config.transient then begin
+      fc.transient_faults <- fc.transient_faults + 1;
+      raise (Transient ("injected: transient " ^ op ^ " fault"))
+    end
+  in
+  let serve_damaged name =
+    fc.damaged_serves <- fc.damaged_serves + 1;
+    Hashtbl.replace fc.damaged_names name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt fc.damaged_names name))
+  in
+  let storage =
+    {
+      s with
+      read =
+        (fun name ->
+          transient "read";
+          match s.read name with
+          | None -> None
+          | Some e when draw config.read_corrupt && String.length e.data > 0
+            ->
+              fc.corrupt_reads <- fc.corrupt_reads + 1;
+              serve_damaged name;
+              let b = Bytes.of_string e.data in
+              let k = Bytes.length b - 1 in
+              Bytes.set b k (Char.chr (Char.code (Bytes.get b k) lxor 0xFF));
+              Some { e with data = Bytes.to_string b }
+          | Some e ->
+              if Hashtbl.mem torn name then serve_damaged name;
+              Some e);
+      write =
+        (fun name data ->
+          transient "write";
+          if draw config.write_fail then begin
+            fc.failed_writes <- fc.failed_writes + 1;
+            raise (Sys_error "injected: write failure")
+          end;
+          if draw config.write_torn && String.length data > 16 then begin
+            fc.torn_writes <- fc.torn_writes + 1;
+            s.write name (String.sub data 0 (max 15 (String.length data / 2)));
+            Hashtbl.replace torn name ()
+          end
+          else begin
+            s.write name data;
+            Hashtbl.remove torn name
+          end);
+      delete =
+        (fun name ->
+          transient "delete";
+          s.delete name;
+          Hashtbl.remove torn name);
+      quarantine =
+        (* quarantining is the recovery path — keep it reliable *)
+        (fun name ->
+          s.quarantine name;
+          Hashtbl.remove torn name);
+    }
+  in
+  (storage, fc)
+
+(* ---------- bounded retry ---------- *)
+
+(* Retry reads/writes/deletes that raise [Transient], with bounded
+   exponential backoff ([backoff], 2*[backoff], 4*[backoff], ...). The
+   permanent class (plain [Sys_error], missing entries) is never retried.
+   After [attempts] tries the [Transient] propagates — the execution
+   manager above contains it as a miss / dropped write. *)
+let with_retry ?(attempts = 5) ?(backoff = 0.0005) s =
+  let retry op =
+    let rec go k delay =
+      match op () with
+      | v -> v
+      | exception Transient _ when k < attempts - 1 ->
+          s.counters.retried <- s.counters.retried + 1;
+          if delay > 0.0 then Unix.sleepf delay;
+          go (k + 1) (delay *. 2.0)
+    in
+    go 0 backoff
+  in
+  {
+    s with
+    read = (fun name -> retry (fun () -> s.read name));
+    write = (fun name data -> retry (fun () -> s.write name data));
+    delete = (fun name -> retry (fun () -> s.delete name));
   }

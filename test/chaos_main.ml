@@ -1,0 +1,173 @@
+(* Chaos suite: run every workload of the paper's Table 2 under injected
+   storage faults and assert that LLEE contains all of them.
+
+   Scenario 1 (read chaos): a fully-populated offline cache whose reads
+   are corrupted in flight. Every damaged serve must be detected by the
+   entry checksum and quarantined — exactly one quarantine per damaged
+   serve — and every quarantined entry the launch actually needs must be
+   retranslated and repaired (the whole-module entry is the one entry the
+   run path never rewrites). Program output and exit must be identical to
+   the fault-free baseline.
+
+   Scenario 2 (write chaos): a cold launch whose storage drops, tears, or
+   transiently refuses writes (with bounded retry absorbing the transient
+   class). The launch itself must be correct — the cache is an
+   optimization, never a correctness dependency — and the damage it left
+   behind must self-heal: one warm launch quarantines and repairs the
+   torn entries, and the launch after that runs entirely from cache.
+
+   Any OCaml exception escaping an engine entry point crashes this
+   harness, which is precisely the regression it guards against. The
+   fault seed is fixed for reproducibility; override with CHAOS_SEED. *)
+
+module Storage = Llee.Storage
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0xC0FFEE)
+  | None -> 0xC0FFEE
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "  FAIL %s\n%!" name
+  end
+
+let check_eq name pp a b =
+  if a <> b then begin
+    incr failures;
+    Printf.printf "  FAIL %s: %s <> %s\n%!" name (pp a) (pp b)
+  end
+
+let outcome_pp (o, out) =
+  Printf.sprintf "%s (%d output bytes)" (Llee.Outcome.to_string o)
+    (String.length out)
+
+(* totals across the whole campaign, for the summary line *)
+let t_quarantined = ref 0
+let t_repaired = ref 0
+let t_damaged = ref 0
+let t_torn = ref 0
+let t_failed_writes = ref 0
+let t_transient = ref 0
+let t_retried = ref 0
+
+let with_storage eng storage = { (Llee.fresh_run eng) with Llee.storage }
+
+let run_workload (w : Workloads.workload) =
+  Printf.printf "%-17s %!" w.Workloads.name;
+  let m = Workloads.compile_optimized ~level:1 w in
+  let bytes = Llva.Encode.encode m in
+
+  (* fault-free baseline *)
+  let s0 = Storage.in_memory () in
+  let base = Llee.load ~storage:s0 ~target:Llee.X86 bytes in
+  let expected = Llee.run base in
+  check "baseline exits normally"
+    (match expected with Llee.Outcome.Exit _, _ -> true | _ -> false);
+
+  (* ---- scenario 1: read chaos over a populated offline cache ---- *)
+  let s1 = Storage.in_memory () in
+  let eng1 = Llee.load ~storage:s1 ~target:Llee.X86 bytes in
+  Llee.translate_offline ~domains:1 eng1;
+  let faulty_cfg =
+    {
+      Storage.fault_seed = seed;
+      read_corrupt = 0.75;
+      write_fail = 0.0;
+      write_torn = 0.0;
+      transient = 0.0;
+    }
+  in
+  let fs1, fc1 = Storage.faulty faulty_cfg s1 in
+  let chaos1 = with_storage eng1 fs1 in
+  let r1 = Llee.run chaos1 in
+  check_eq "read chaos: output identical to baseline" outcome_pp r1 expected;
+  (* exact containment accounting: one quarantine per damaged serve, one
+     repair per damaged serve the run path rewrites (every entry except
+     the whole-module one, which only offline translation writes) *)
+  check_eq "read chaos: quarantined == damaged serves" string_of_int
+    chaos1.Llee.stats.Llee.cache_quarantined fc1.Storage.damaged_serves;
+  let module_damage =
+    Option.value ~default:0
+      (Hashtbl.find_opt fc1.Storage.damaged_names (Llee.module_entry_name eng1))
+  in
+  check_eq "read chaos: repaired == damaged - module entry" string_of_int
+    chaos1.Llee.stats.Llee.cache_repaired
+    (fc1.Storage.damaged_serves - module_damage);
+  t_quarantined := !t_quarantined + chaos1.Llee.stats.Llee.cache_quarantined;
+  t_repaired := !t_repaired + chaos1.Llee.stats.Llee.cache_repaired;
+  t_damaged := !t_damaged + fc1.Storage.damaged_serves;
+  (* the repairs landed: a fault-free launch over the same storage is
+     clean — nothing quarantined, nothing retranslated *)
+  let healed1 = with_storage eng1 s1 in
+  let h1 = Llee.run healed1 in
+  check_eq "read chaos: healed launch correct" outcome_pp h1 expected;
+  check "read chaos: healed launch quarantines nothing"
+    (healed1.Llee.stats.Llee.cache_quarantined = 0);
+  check "read chaos: healed launch retranslates nothing"
+    (healed1.Llee.stats.Llee.translations = 0);
+
+  (* ---- scenario 2: write chaos on a cold launch, bounded retry ---- *)
+  let s2u = Storage.in_memory () in
+  let fs2, fc2 =
+    Storage.faulty
+      {
+        Storage.fault_seed = seed + 1;
+        read_corrupt = 0.0;
+        write_fail = 0.15;
+        write_torn = 0.25;
+        transient = 0.15;
+      }
+      s2u
+  in
+  let s2 = Storage.with_retry ~attempts:6 ~backoff:0.0 fs2 in
+  let eng2 = Llee.load ~storage:s2 ~target:Llee.X86 bytes in
+  let r2 = Llee.run eng2 in
+  check_eq "write chaos: cold launch correct despite faults" outcome_pp r2
+    expected;
+  t_torn := !t_torn + fc2.Storage.torn_writes;
+  t_failed_writes := !t_failed_writes + fc2.Storage.failed_writes;
+  t_transient := !t_transient + fc2.Storage.transient_faults;
+  t_retried := !t_retried + s2.Storage.counters.Storage.retried;
+  (* whatever the write faults left behind self-heals: the first clean
+     warm launch quarantines every torn entry it touches and repairs it,
+     the second runs entirely from cache *)
+  let warm2 = with_storage eng2 s2u in
+  let rw = Llee.run warm2 in
+  check_eq "write chaos: warm launch correct over damaged cache" outcome_pp rw
+    expected;
+  check "write chaos: torn entries were quarantined, not trusted"
+    (warm2.Llee.stats.Llee.cache_quarantined
+     >= warm2.Llee.stats.Llee.cache_repaired);
+  t_quarantined := !t_quarantined + warm2.Llee.stats.Llee.cache_quarantined;
+  t_repaired := !t_repaired + warm2.Llee.stats.Llee.cache_repaired;
+  let warm3 = with_storage eng2 s2u in
+  let rw3 = Llee.run warm3 in
+  check_eq "write chaos: second warm launch correct" outcome_pp rw3 expected;
+  check "write chaos: cache fully healed"
+    (warm3.Llee.stats.Llee.cache_quarantined = 0
+    && warm3.Llee.stats.Llee.translations = 0);
+  Printf.printf "ok (quar %d+%d, rep %d+%d, torn %d, failed %d, transient %d)\n%!"
+    chaos1.Llee.stats.Llee.cache_quarantined
+    warm2.Llee.stats.Llee.cache_quarantined
+    chaos1.Llee.stats.Llee.cache_repaired warm2.Llee.stats.Llee.cache_repaired
+    fc2.Storage.torn_writes fc2.Storage.failed_writes
+    fc2.Storage.transient_faults
+
+let () =
+  Printf.printf "chaos campaign: %d workloads, fault seed %#x\n%!"
+    (List.length Workloads.all) seed;
+  List.iter run_workload Workloads.all;
+  Printf.printf
+    "campaign totals: %d damaged serves, %d quarantined, %d repaired, %d torn \
+     writes, %d failed writes, %d transient faults (%d retried)\n"
+    !t_damaged !t_quarantined !t_repaired !t_torn !t_failed_writes !t_transient
+    !t_retried;
+  if !failures > 0 then begin
+    Printf.printf "chaos campaign FAILED: %d assertion(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "chaos campaign passed\n"

@@ -52,11 +52,18 @@ entry:
 
 let expected_result = Gen.run_interp (Gen.parse program)
 
+(* unwrap a launch that must finish normally: [Llee.run] returns a
+   structured outcome, and these tests expect a plain exit *)
+let run_ok eng =
+  match Llee.run eng with
+  | Llee.Outcome.Exit c, out -> (c, out)
+  | o, _ -> Alcotest.fail ("unexpected outcome: " ^ Llee.Outcome.to_string o)
+
 let test_jit_no_storage () =
   (* no OS storage: every launch translates online (the DAISY/Crusoe
      situation) *)
   let eng = Llee.of_module ~target:Llee.X86 (Gen.parse program) in
-  let r = Llee.run eng in
+  let r = run_ok eng in
   check_bool "result matches interp" true (r = expected_result);
   (* only functions actually called get translated: cold_helper is not *)
   check_int "two functions JITed" 2 eng.Llee.stats.Llee.translations;
@@ -68,12 +75,12 @@ let test_warm_cache () =
   let storage = Llee.Storage.in_memory () in
   let m = Gen.parse program in
   let cold = Llee.of_module ~storage ~target:Llee.X86 m in
-  let r1 = Llee.run cold in
+  let r1 = run_ok cold in
   check_bool "cold run ok" true (r1 = expected_result);
   check_int "cold: translated" 2 cold.Llee.stats.Llee.translations;
   (* second launch of the same object code: all code comes from cache *)
   let warm = Llee.fresh_run cold in
-  let r2 = Llee.run warm in
+  let r2 = run_ok warm in
   check_bool "warm run ok" true (r2 = expected_result);
   check_int "warm: no translations" 0 warm.Llee.stats.Llee.translations;
   check_int "warm: cache hits" 2 warm.Llee.stats.Llee.cache_hits
@@ -87,7 +94,7 @@ let test_offline_translation () =
   check_int "all three functions translated" 3 eng.Llee.stats.Llee.translations;
   check_bool "cache populated" true (storage.Llee.Storage.size () > 0);
   let launch = Llee.fresh_run eng in
-  let r = Llee.run launch in
+  let r = run_ok launch in
   check_bool "runs from cache" true (r = expected_result);
   check_int "launch: zero translations" 0
     launch.Llee.stats.Llee.translations;
@@ -114,10 +121,10 @@ let test_on_disk_storage () =
   let storage = Llee.Storage.on_disk ~dir in
   let m = Gen.parse program in
   let eng = Llee.of_module ~storage ~target:Llee.X86 m in
-  let r1 = Llee.run eng in
+  let r1 = run_ok eng in
   check_bool "disk-cached run" true (r1 = expected_result);
   let warm = Llee.fresh_run eng in
-  let r2 = Llee.run warm in
+  let r2 = run_ok warm in
   check_bool "warm disk run" true (r2 = expected_result);
   check_int "warm from disk" 0 warm.Llee.stats.Llee.translations;
   (* cleanup *)
@@ -158,9 +165,9 @@ let test_trace_formation () =
 
 let test_reoptimize_preserves_semantics () =
   let eng = Llee.of_module ~target:Llee.X86 (Gen.parse program) in
-  let r1 = Llee.run eng in
+  let r1 = run_ok eng in
   let eng2, _moved = Llee.reoptimize eng in
-  let r2 = Llee.run eng2 in
+  let r2 = run_ok eng2 in
   check_bool "same behaviour after relayout" true (r1 = r2);
   check_bool "verifies after relayout" true (Verify.verify_module eng2.Llee.m = [])
 
@@ -203,7 +210,7 @@ entry:
 |}
   in
   let eng = Llee.of_module ~target:Llee.X86 (Gen.parse src) in
-  let code, _ = Llee.run eng in
+  let code, _ = run_ok eng in
   check_int "patched applies to future calls" 101 code;
   check_bool "invalidation observed" true
     (eng.Llee.stats.Llee.invalidations >= 1)
@@ -236,7 +243,7 @@ let test_corrupted_cache () =
     (fun f -> storage.Llee.Storage.write (key f) "garbage bytes!")
     [ "main"; "hot" ];
   let again = Llee.fresh_run eng in
-  let r = Llee.run again in
+  let r = run_ok again in
   check_bool "still correct" true (r = expected_result);
   check_int "retranslated after corruption" 2
     again.Llee.stats.Llee.translations;
@@ -244,9 +251,9 @@ let test_corrupted_cache () =
   check_int "bad-magic entries counted" 2 again.Llee.stats.Llee.cache_corrupt
 
 let test_truncated_marshal () =
-  (* magic intact but the marshalled payload cut short:
-     [Marshal.from_string] raises Invalid_argument, which must read as a
-     miss and count as corruption *)
+  (* magic intact but the payload cut short: the frame checksum no longer
+     matches, so the entry is quarantined (never re-read), retranslated,
+     and the rewrite counts as a repair *)
   let storage = Llee.Storage.in_memory () in
   let eng = Llee.of_module ~storage ~target:Llee.X86 (Gen.parse program) in
   ignore (Llee.run eng);
@@ -261,11 +268,20 @@ let test_truncated_marshal () =
       | None -> Alcotest.fail ("missing cache entry for " ^ f))
     [ "main"; "hot" ];
   let again = Llee.fresh_run eng in
-  let r = Llee.run again in
+  let r = run_ok again in
   check_bool "still correct after truncation" true (r = expected_result);
   check_int "retranslated after truncation" 2 again.Llee.stats.Llee.translations;
   check_int "no bogus hits" 0 again.Llee.stats.Llee.cache_hits;
-  check_bool "truncation counted" true (again.Llee.stats.Llee.cache_corrupt >= 2)
+  check_int "checksum mismatches quarantined" 2
+    again.Llee.stats.Llee.cache_quarantined;
+  check_int "both entries repaired" 2 again.Llee.stats.Llee.cache_repaired;
+  (* the repaired cache serves the next launch with no retranslation *)
+  let healed = Llee.fresh_run eng in
+  let r2 = run_ok healed in
+  check_bool "healed cache correct" true (r2 = expected_result);
+  check_int "healed: no translations" 0 healed.Llee.stats.Llee.translations;
+  check_int "healed: nothing quarantined" 0
+    healed.Llee.stats.Llee.cache_quarantined
 
 let test_module_entry_fast_path () =
   (* offline translation writes a whole-module entry; a warm launch can
@@ -279,7 +295,7 @@ let test_module_entry_fast_path () =
     (fun f -> storage.Llee.Storage.delete (key f))
     [ "main"; "hot"; "cold_helper" ];
   let warm = Llee.fresh_run eng in
-  let r = Llee.run warm in
+  let r = run_ok warm in
   check_bool "runs from module entry" true (r = expected_result);
   check_int "module entry: no translations" 0 warm.Llee.stats.Llee.translations;
   check_int "module entry: hits" 2 warm.Llee.stats.Llee.cache_hits
@@ -292,9 +308,10 @@ let test_module_entry_fallback () =
   let eng = Llee.of_module ~storage ~target:Llee.X86 m in
   Llee.translate_offline eng;
   let module_key = Printf.sprintf "%s.#module#.x86lite" eng.Llee.key in
-  storage.Llee.Storage.write module_key "LLEE1\x00not a marshalled module";
+  storage.Llee.Storage.write module_key
+    (Llee.frame_entry "not a marshalled module");
   let warm = Llee.fresh_run eng in
-  let r = Llee.run warm in
+  let r = run_ok warm in
   check_bool "falls back to per-function entries" true (r = expected_result);
   check_int "fallback: no translations" 0 warm.Llee.stats.Llee.translations;
   check_int "fallback: per-function hits" 2 warm.Llee.stats.Llee.cache_hits;
@@ -314,7 +331,7 @@ let test_stale_module_entry () =
   let v1 = Llee.load ~storage ~timestamp:0.0 ~target:Llee.X86 bytes in
   Llee.translate_offline v1;
   let v2 = Llee.load ~storage ~timestamp:1e9 ~target:Llee.X86 bytes in
-  let r = Llee.run v2 in
+  let r = run_ok v2 in
   check_bool "stale offline cache: correct" true (r = expected_result);
   check_int "stale offline cache: retranslated" 2
     v2.Llee.stats.Llee.translations;
@@ -358,7 +375,7 @@ let test_parallel_offline_identical () =
   | _ -> Alcotest.fail "missing lint verdict entry");
   (* and the parallel cache actually runs *)
   let warm = Llee.fresh_run e_par in
-  let r = Llee.run warm in
+  let r = run_ok warm in
   check_bool "parallel cache runs" true (r = expected_result);
   check_int "parallel cache: no translations" 0
     warm.Llee.stats.Llee.translations
@@ -368,9 +385,9 @@ let test_parallel_reoptimize () =
      outcome must match semantics either way *)
   let storage = Llee.Storage.in_memory () in
   let eng = Llee.of_module ~storage ~target:Llee.X86 (Gen.parse program) in
-  let r1 = Llee.run eng in
+  let r1 = run_ok eng in
   let eng2, _moved = Llee.reoptimize ~domains:2 eng in
-  let r2 = Llee.run eng2 in
+  let r2 = run_ok eng2 in
   check_bool "same behaviour after parallel validation" true (r1 = r2)
 
 (* ---------- cache identity regressions ---------- *)
@@ -432,7 +449,7 @@ entry:
   check_bool "module entry present" true
     (storage.Llee.Storage.read (Llee.module_entry_name eng) <> None);
   let warm = Llee.fresh_run eng in
-  let r = Llee.run warm in
+  let r = run_ok warm in
   check_bool "runs with a function named __module__" true (r = expected);
   check_int "warm: nothing retranslated" 0 warm.Llee.stats.Llee.translations;
   check_int "warm: both functions from cache" 2 warm.Llee.stats.Llee.cache_hits;
@@ -526,8 +543,11 @@ let test_lint_gate_blocks_poisoned_cache () =
     (storage.Llee.Storage.read (Llee.lint_entry_name eng) <> None);
   (* a launch degrades to a reported failure, not a crash *)
   let launch = Llee.fresh_run eng in
-  let code, out = Llee.run launch in
-  check_int "lint-rejected exit code" Llee.lint_rejected_code code;
+  let outcome, out = Llee.run launch in
+  check_bool "degrades to Cache_degraded" true
+    (match outcome with Llee.Outcome.Cache_degraded _ -> true | _ -> false);
+  check_int "lint-rejected exit code" Llee.lint_rejected_code
+    (Llee.Outcome.exit_code outcome);
   check_bool "report names the finding" true (contains out "uninit-load");
   check_int "launch: verdict reused" 1 launch.Llee.stats.Llee.lint_skipped;
   check_int "launch: zero lint recomputation" 0 launch.Llee.stats.Llee.lint_runs;
@@ -545,13 +565,13 @@ let test_lint_gate_blocks_poisoned_cache () =
 let test_lint_warm_zero_recompute () =
   let storage = Llee.Storage.in_memory () in
   let cold = Llee.of_module ~storage ~target:Llee.X86 (Gen.parse program) in
-  let r1 = Llee.run cold in
+  let r1 = run_ok cold in
   check_bool "clean module still runs" true (r1 = expected_result);
   check_int "cold: linted once" 1 cold.Llee.stats.Llee.lint_runs;
   check_int "cold: nothing reused" 0 cold.Llee.stats.Llee.lint_skipped;
   check_int "cold: not rejected" 0 cold.Llee.stats.Llee.lint_rejected;
   let warm = Llee.fresh_run cold in
-  let r2 = Llee.run warm in
+  let r2 = run_ok warm in
   check_bool "warm run ok" true (r2 = expected_result);
   check_int "warm: zero lint recomputation" 0 warm.Llee.stats.Llee.lint_runs;
   check_int "warm: verdict reused" 1 warm.Llee.stats.Llee.lint_skipped;
@@ -581,7 +601,7 @@ let test_lint_verdict_corrupt_or_stale () =
        \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}}"
       (Check.Lint.version + 1)
   in
-  storage.Llee.Storage.write name ("LLEE1\x00" ^ bumped);
+  storage.Llee.Storage.write name (Llee.frame_entry bumped);
   let w3 = Llee.fresh_run cold in
   ignore (Llee.run w3);
   check_int "version-bumped verdict: exactly one re-lint" 1

@@ -10,6 +10,8 @@ let () =
       ("transform", Test_transform.suite);
       ("backends", Test_backends.suite);
       ("llee", Test_llee.suite);
+      ("outcome", Test_outcome.suite);
+      ("storage", Test_storage.suite);
       ("minic", Test_minic.suite);
       ("workloads", Test_workloads.suite);
       ("vmem", Test_vmem.suite);
