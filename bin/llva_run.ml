@@ -12,7 +12,7 @@
 
 open Cmdliner
 
-let run input engine stats opt fuel cache_dir =
+let run input engine stats opt fuel cache_dir peephole =
   let m = Tool_common.load_module input in
   Tool_common.check_verify m;
   if opt > 0 then ignore (Transform.Passmgr.optimize ~level:opt m);
@@ -66,7 +66,7 @@ let run input engine stats opt fuel cache_dir =
         | Some dir -> Llee.Storage.on_disk ~dir
         | None -> Llee.Storage.none
       in
-      let eng = Llee.of_module ~storage ~target m in
+      let eng = Llee.of_module ~storage ~peephole ~target m in
       let outcome, output = Llee.run ?fuel eng in
       finish outcome output
         [
@@ -92,6 +92,16 @@ let run input engine stats opt fuel cache_dir =
           Printf.sprintf "lint rejected: %d" eng.Llee.stats.Llee.lint_rejected;
           Printf.sprintf "lint time: %.3f ms"
             (eng.Llee.stats.Llee.lint_time *. 1000.0);
+          Printf.sprintf "peephole rewrites: %d"
+            eng.Llee.stats.Llee.peep_rewrites;
+          Printf.sprintf "peephole cycles saved (static): %d"
+            eng.Llee.stats.Llee.peep_cycles_saved;
+          Printf.sprintf "peephole searches: %d"
+            eng.Llee.stats.Llee.peep_searches;
+          Printf.sprintf "peephole table loads: %d"
+            eng.Llee.stats.Llee.peep_table_loads;
+          Printf.sprintf "peephole time: %.3f ms"
+            (eng.Llee.stats.Llee.peep_time *. 1000.0);
           Printf.sprintf "cycles: %Ld" eng.Llee.stats.Llee.cycles;
         ]
   | e ->
@@ -117,9 +127,17 @@ let cache_dir =
     & opt (some string) None
     & info [ "cache" ] ~docv:"DIR" ~doc:"offline code cache for llee engines")
 
+let peephole =
+  Arg.(
+    value & flag
+    & info [ "peephole" ]
+        ~doc:
+          "apply the superoptimized peephole table in llee engines (learned \
+           once and cached as a #peep# entry when --cache is given)")
+
 let cmd =
   Cmd.v
     (Cmd.info "llva-run" ~doc:"execute LLVA programs")
-    Term.(const run $ input $ engine $ stats $ opt $ fuel $ cache_dir)
+    Term.(const run $ input $ engine $ stats $ opt $ fuel $ cache_dir $ peephole)
 
 let () = exit (Cmd.eval cmd)

@@ -45,6 +45,11 @@ type stats = {
   mutable lint_skipped : int; (* recorded verdicts reused instead *)
   mutable lint_rejected : int; (* cache installs refused by an Error verdict *)
   mutable lint_time : float; (* seconds spent in the analyzer *)
+  mutable peep_rewrites : int; (* peephole rewrites applied while translating *)
+  mutable peep_cycles_saved : int; (* static cycles removed by those rewrites *)
+  mutable peep_searches : int; (* superoptimizer searches actually run *)
+  mutable peep_table_loads : int; (* rewrite tables loaded from storage *)
+  mutable peep_time : float; (* seconds acquiring the table (search or load) *)
 }
 
 let fresh_stats () =
@@ -63,6 +68,11 @@ let fresh_stats () =
     lint_skipped = 0;
     lint_rejected = 0;
     lint_time = 0.0;
+    peep_rewrites = 0;
+    peep_cycles_saved = 0;
+    peep_searches = 0;
+    peep_table_loads = 0;
+    peep_time = 0.0;
   }
 
 type t = {
@@ -77,13 +87,18 @@ type t = {
   (* entries quarantined this launch; a successful rewrite under the same
      name counts as a repair *)
   quarantined : (string, unit) Hashtbl.t;
+  peephole : bool; (* apply the superoptimized rewrite table *)
+  (* the table for this launch, acquired lazily by [ensure_peep_table]:
+     loaded from the [#peep#] cache entry or learned by a fresh search *)
+  mutable peep_table : Superopt.Table.t option;
 }
 
 (* "Load the executable": decode virtual object code, remember its content
    hash (this plays the role of the program timestamp check: a changed
    program never matches stale cache entries, and an explicitly newer
    [timestamp] invalidates older ones). *)
-let load ?(storage = Storage.none) ?(timestamp = 0.0) ~target bytes =
+let load ?(storage = Storage.none) ?(timestamp = 0.0) ?(peephole = false)
+    ~target bytes =
   let m = Decode.decode bytes in
   let funcs_by_name = Hashtbl.create 64 in
   List.iter
@@ -101,13 +116,22 @@ let load ?(storage = Storage.none) ?(timestamp = 0.0) ~target bytes =
     stats = fresh_stats ();
     funcs_by_name;
     quarantined = Hashtbl.create 8;
+    peephole;
+    peep_table = None;
   }
 
-let of_module ?(storage = Storage.none) ?(timestamp = 0.0) ~target m =
-  load ~storage ~timestamp ~target (Encode.encode m)
+let of_module ?(storage = Storage.none) ?(timestamp = 0.0) ?(peephole = false)
+    ~target m =
+  load ~storage ~timestamp ~peephole ~target (Encode.encode m)
 
+(* Native-code entry identity includes the peephole table fingerprint:
+   code compiled under different rewrite tables (or with the pass off —
+   no suffix) never shares a cache entry. *)
 let cache_name t fname =
-  Printf.sprintf "%s.%s.%s" t.key fname (target_name t.target)
+  let base = Printf.sprintf "%s.%s.%s" t.key fname (target_name t.target) in
+  match t.peep_table with
+  | Some tb -> base ^ ".p" ^ Superopt.Table.fingerprint tb
+  | None -> base
 
 (* Reserved (non-function) cache entries are framed with '#', a character
    the LLVA identifier grammar excludes ([a-zA-Z0-9._$-] only), so no
@@ -121,6 +145,14 @@ let module_entry_name t = cache_name t "#module#"
    [Check.Lint.version] bump changes the name, orphaning old verdicts. *)
 let lint_entry_name t =
   Printf.sprintf "%s.#lint#.v%d" t.key Check.Lint.version
+
+(* The superoptimizer's rewrite-table entry: keyed by the module content
+   hash, the target (tables encode target instructions, so the back-ends
+   cannot share one) and the table format version — a
+   [Superopt.Table.version] bump orphans old tables. *)
+let peep_entry_name t =
+  Printf.sprintf "%s.#peep#.%s.v%d" t.key (target_name t.target)
+    Superopt.Table.version
 
 (* ---------- contained storage operations ---------- *)
 
@@ -235,6 +267,70 @@ let timed t f =
   t.stats.translate_time <-
     t.stats.translate_time +. (Unix.gettimeofday () -. start);
   result
+
+(* ---------- superoptimized peephole tables ---------- *)
+
+let learn_table t =
+  match t.target with
+  | X86 -> Superopt.Search.learn_x86 [ t.m ]
+  | Sparc -> Superopt.Search.learn_sparc [ t.m ]
+
+(* Acquire this launch's rewrite table, reusing a recorded one when the
+   storage cache holds a fresh, well-formed [#peep#] entry for this
+   module hash, target and table version ([peep_table_loads] counts the
+   reuse). A missing, stale, or corrupt entry runs the enumerative
+   search exactly once ([peep_searches]) and writes the winning table
+   back through the storage API — so the search cost is paid once per
+   program version and amortized across every later launch. Without
+   storage the table is re-learned every launch. Either way the time
+   spent here lands in [peep_time], never in [translate_time]. *)
+let ensure_peep_table t : Superopt.Table.t option =
+  if not t.peephole then None
+  else
+    match t.peep_table with
+    | Some _ as some -> some
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        let name = peep_entry_name t in
+        let recorded =
+          match read_cached t name with
+          | None -> None
+          | Some data -> (
+              match unframe_entry data with
+              | Bad_magic ->
+                  t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
+                  None
+              | Bad_checksum ->
+                  quarantine_entry t name;
+                  None
+              | Payload payload -> (
+                  (* strict decode: wrong magic/version, undecodable
+                     payload, target mismatch or a rule that disagrees
+                     with the current cycle model all count as plain
+                     corruption — re-search rather than apply *)
+                  match
+                    Superopt.Table.of_string
+                      ~expect_target:(target_name t.target) payload
+                  with
+                  | tb -> Some tb
+                  | exception Superopt.Table.Invalid_table _ ->
+                      t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
+                      None))
+        in
+        let tb =
+          match recorded with
+          | Some tb ->
+              t.stats.peep_table_loads <- t.stats.peep_table_loads + 1;
+              tb
+          | None ->
+              let tb = learn_table t in
+              t.stats.peep_searches <- t.stats.peep_searches + 1;
+              storage_write t name (frame_entry (Superopt.Table.to_string tb));
+              tb
+        in
+        t.stats.peep_time <- t.stats.peep_time +. (Unix.gettimeofday () -. t0);
+        t.peep_table <- Some tb;
+        Some tb
 
 (* ---------- lint-before-cache ---------- *)
 
@@ -353,13 +449,21 @@ let make_resolver (type cf) t ~(compile : Ir.func -> cf)
                 Some cf))
 
 let run_x86 t ?fuel () =
+  (* table first: cache identities include its fingerprint *)
+  let peep =
+    match ensure_peep_table t with
+    | Some tb -> Superopt.Table.x86_pairs tb
+    | None -> []
+  in
+  let ps = X86lite.Compile.fresh_peep_stats () in
   let image = Vmem.Image.load t.m in
   let cmod =
     { X86lite.Compile.cm = t.m; image; funcs = Hashtbl.create 32 }
   in
   let resolve =
     make_resolver t
-      ~compile:(fun f -> X86lite.Compile.compile_function t.m image f)
+      ~compile:(fun f ->
+        X86lite.Compile.compile_function t.m image ~peep ~peep_stats:ps f)
       ~installed:cmod.X86lite.Compile.funcs
   in
   let st = X86lite.Sim.create ?fuel cmod in
@@ -377,16 +481,26 @@ let run_x86 t ?fuel () =
   t.stats.cycles <- st.X86lite.Sim.cycles;
   t.stats.native_instrs <- st.X86lite.Sim.icount;
   t.stats.invalidations <- Hashtbl.length st.X86lite.Sim.redirects;
+  t.stats.peep_rewrites <- t.stats.peep_rewrites + ps.X86lite.Compile.rewrites;
+  t.stats.peep_cycles_saved <-
+    t.stats.peep_cycles_saved + ps.X86lite.Compile.cycles_saved;
   (outcome, X86lite.Sim.output st)
 
 let run_sparc t ?fuel () =
+  let peep =
+    match ensure_peep_table t with
+    | Some tb -> Superopt.Table.sparc_pairs tb
+    | None -> []
+  in
+  let ps = Sparclite.Compile.fresh_peep_stats () in
   let image = Vmem.Image.load t.m in
   let cmod =
     { Sparclite.Compile.cm = t.m; image; funcs = Hashtbl.create 32 }
   in
   let resolve =
     make_resolver t
-      ~compile:(fun f -> Sparclite.Compile.compile_function t.m image f)
+      ~compile:(fun f ->
+        Sparclite.Compile.compile_function t.m image ~peep ~peep_stats:ps f)
       ~installed:cmod.Sparclite.Compile.funcs
   in
   let st = Sparclite.Sim.create ?fuel cmod in
@@ -405,6 +519,10 @@ let run_sparc t ?fuel () =
   t.stats.cycles <- st.Sparclite.Sim.cycles;
   t.stats.native_instrs <- st.Sparclite.Sim.icount;
   t.stats.invalidations <- Hashtbl.length st.Sparclite.Sim.redirects;
+  t.stats.peep_rewrites <-
+    t.stats.peep_rewrites + ps.Sparclite.Compile.rewrites;
+  t.stats.peep_cycles_saved <-
+    t.stats.peep_cycles_saved + ps.Sparclite.Compile.cycles_saved;
   (outcome, Sparclite.Sim.output st)
 
 (* Launch the program: JIT with transparent offline caching. When a
@@ -438,36 +556,59 @@ let run ?fuel t : Outcome.t * string =
    per function: the redirect mechanism resolves the replacement function
    by name, whichever entry it was loaded from. *)
 let translate_offline_unchecked ?domains t =
+  let tb = ensure_peep_table t in
   let fns =
     List.filter (fun (f : Ir.func) -> not (Ir.is_declaration f)) t.m.Ir.funcs
   in
-  let go : 'cf. (Vmem.Image.t -> Ir.func -> 'cf) -> unit =
+  (* workers return peephole counts as plain data: the shared stats
+     record must only be mutated on the calling domain *)
+  let go : 'cf. (Vmem.Image.t -> Ir.func -> 'cf * int * int) -> unit =
    fun compile ->
     let image = Vmem.Image.load t.m in
     let compiled =
       Pool.map ?domains
         (fun (f : Ir.func) ->
           let t0 = Unix.gettimeofday () in
-          let cf = compile image f in
-          (f.Ir.fname, cf, Unix.gettimeofday () -. t0))
+          let cf, rewrites, saved = compile image f in
+          (f.Ir.fname, cf, rewrites, saved, Unix.gettimeofday () -. t0))
         fns
     in
     List.iter
-      (fun (name, cf, dt) ->
+      (fun (name, cf, rewrites, saved, dt) ->
         t.stats.translations <- t.stats.translations + 1;
         t.stats.translate_time <- t.stats.translate_time +. dt;
+        t.stats.peep_rewrites <- t.stats.peep_rewrites + rewrites;
+        t.stats.peep_cycles_saved <- t.stats.peep_cycles_saved + saved;
         storage_write t (cache_name t name)
           (frame_entry (Marshal.to_string cf [])))
       compiled;
     storage_write t (module_entry_name t)
       (frame_entry
          (Marshal.to_string
-            (List.map (fun (name, cf, _) -> (name, cf)) compiled)
+            (List.map (fun (name, cf, _, _, _) -> (name, cf)) compiled)
             []))
   in
   match t.target with
-  | X86 -> go (fun image f -> X86lite.Compile.compile_function t.m image f)
-  | Sparc -> go (fun image f -> Sparclite.Compile.compile_function t.m image f)
+  | X86 ->
+      let peep =
+        match tb with Some tb -> Superopt.Table.x86_pairs tb | None -> []
+      in
+      go (fun image f ->
+          let ps = X86lite.Compile.fresh_peep_stats () in
+          let cf =
+            X86lite.Compile.compile_function t.m image ~peep ~peep_stats:ps f
+          in
+          (cf, ps.X86lite.Compile.rewrites, ps.X86lite.Compile.cycles_saved))
+  | Sparc ->
+      let peep =
+        match tb with Some tb -> Superopt.Table.sparc_pairs tb | None -> []
+      in
+      go (fun image f ->
+          let ps = Sparclite.Compile.fresh_peep_stats () in
+          let cf =
+            Sparclite.Compile.compile_function t.m image ~peep ~peep_stats:ps f
+          in
+          (cf, ps.Sparclite.Compile.rewrites, ps.Sparclite.Compile.cycles_saved))
 
 let translate_offline ?domains t =
   if not t.storage.Storage.available then
@@ -485,7 +626,12 @@ let translate_offline ?domains t =
    the relaid-out engine (cache entries of the old layout are unreachable
    through the new content hash). *)
 let fresh_run t =
-  { t with stats = fresh_stats (); quarantined = Hashtbl.create 8 }
+  {
+    t with
+    stats = fresh_stats ();
+    quarantined = Hashtbl.create 8;
+    peep_table = None (* re-acquired (cache load, normally) on next use *);
+  }
 
 let reoptimize ?fuel ?(validate = true) ?domains t : t * int =
   (* profile and relayout the same decoded copy so block ids line up *)
@@ -494,7 +640,7 @@ let reoptimize ?fuel ?(validate = true) ?domains t : t * int =
   let moved = Trace.relayout_module prof m in
   let t' =
     of_module ~storage:t.storage ~timestamp:t.program_timestamp
-      ~target:t.target m
+      ~peephole:t.peephole ~target:t.target m
   in
   if moved = 0 then (t', 0)
   else if not validate then (t', moved)

@@ -44,9 +44,23 @@ type ctx = {
   saved_float : (freg * int) list;
   label_alloc : int ref;
   extra_label_pos : (int, int) Hashtbl.t;
+  label_boundary : int ref; (* emit index of the latest label: fusion fence *)
 }
 
-let emit ctx i = ctx.buf := i :: !(ctx.buf)
+(* Emit with a tiny peephole (mirroring the X86-lite emitter): a reload
+   of the frame slot just stored becomes a register move (or disappears
+   entirely when the registers agree), and "or rd, rs, 0" self-moves
+   vanish. A label fences fusion. These fire even with an empty learned
+   rewrite table, giving the offline superoptimizer (lib/superopt) a
+   clean baseline. *)
+let emit ctx i =
+  let fused () = List.length !(ctx.buf) > !(ctx.label_boundary) in
+  match (i, !(ctx.buf)) with
+  | Alu3 (Or, W64, true, rd, rs, Imm 0), _ when rd = rs -> ()
+  | Ld (W64, _, rd, b, d), St (W64, rs, b', d') :: _
+    when b = b' && d = d' && fused () ->
+      if rd <> rs then ctx.buf := Alu3 (Or, W64, true, rd, rs, Imm 0) :: !(ctx.buf)
+  | _ -> ctx.buf := i :: !(ctx.buf)
 
 let fresh_label ctx =
   let l = !(ctx.label_alloc) in
@@ -54,6 +68,7 @@ let fresh_label ctx =
   l
 
 let place_label ctx l =
+  ctx.label_boundary := List.length !(ctx.buf);
   Hashtbl.replace ctx.extra_label_pos l (List.length !(ctx.buf))
 
 let slot_disp k = -24 - (8 * k)
@@ -696,10 +711,169 @@ let rec relax (code : instr array) =
       in
       relax out
 
+(* ---------- learned peephole rewriting ----------
+
+   Mirror of the X86-lite machinery (see lib/x86lite/compile.ml for the
+   soundness argument): FP-relative 8-byte-aligned full-word frame slots
+   are renamed to sentinel displacements [slot_var_base + 8k] so one
+   oracle-verified rule covers every concrete frame offset. Windows
+   touching SP, FP or LR as data, non-FP or unaligned memory, traps, or
+   control flow stay concrete and match no rule. *)
+
+let slot_var_base = 1_000_000
+
+exception Not_canon
+
+let canon_disp vars d =
+  if d mod 8 = 0 && abs d < slot_var_base then begin
+    let k =
+      match List.assoc_opt d !vars with
+      | Some k -> k
+      | None ->
+          let k = List.length !vars in
+          vars := !vars @ [ (d, k) ];
+          k
+    in
+    slot_var_base + (8 * k)
+  end
+  else raise Not_canon
+
+let canon_instr vars i =
+  let rok r = if r = sp || r = fp || r = lr then raise Not_canon else r in
+  let ook = function Rs r -> Rs (rok r) | Imm v -> Imm v in
+  match i with
+  | Alu3 ((Div | Rem), _, _, _, _, _) -> raise Not_canon
+  | Alu3 (op, w, s, rd, rs1, o) -> Alu3 (op, w, s, rok rd, rok rs1, ook o)
+  | Sethi (rd, v) -> Sethi (rok rd, v)
+  | Ld (W64, s, rd, b, d) when b = fp ->
+      Ld (W64, s, rok rd, fp, canon_disp vars d)
+  | St (W64, rs, b, d) when b = fp -> St (W64, rok rs, fp, canon_disp vars d)
+  | Cmp (w, s, r, o) -> Cmp (w, s, rok r, ook o)
+  | Movcc (cc, rd) -> Movcc (cc, rok rd)
+  | _ -> raise Not_canon
+
+let canon_window (w : instr list) : instr list * int array =
+  let vars = ref [] in
+  match List.map (canon_instr vars) w with
+  | cw -> (cw, Array.of_list (List.map fst !vars))
+  | exception Not_canon -> (w, [||])
+
+let concretize (vars : int array) (w : instr list) : instr list =
+  let disp d =
+    if d >= slot_var_base then begin
+      let k = (d - slot_var_base) / 8 in
+      if k >= Array.length vars then raise Not_canon;
+      vars.(k)
+    end
+    else d
+  in
+  List.map
+    (fun i ->
+      match i with
+      | Ld (w_, s, rd, b, d) -> Ld (w_, s, rd, b, disp d)
+      | St (w_, rs, b, d) -> St (w_, rs, b, disp d)
+      | i -> i)
+    w
+
+type peep_stats = { mutable rewrites : int; mutable cycles_saved : int }
+
+let fresh_peep_stats () = { rewrites = 0; cycles_saved = 0 }
+
+let window_cycles w = List.fold_left (fun acc i -> acc + cycles_of i) 0 w
+
+let apply_rules_pass ~index ~max_len (code : instr array) =
+  let n = Array.length code in
+  let is_target = Array.make (n + 2) false in
+  Array.iter
+    (function
+      | Ba l | Bcc (_, l) | CallSymI (_, l) | CallIndI (_, l) ->
+          if l >= 0 && l < n + 2 then is_target.(l) <- true
+      | _ -> ())
+    code;
+  let out = ref [] and out_len = ref 0 in
+  let new_index = Array.make (n + 1) 0 in
+  let rewrites = ref 0 and saved = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    new_index.(!i) <- !out_len;
+    let applied = ref false in
+    let k = ref (min max_len (n - !i)) in
+    while (not !applied) && !k >= 1 do
+      let interior = ref false in
+      for j = !i + 1 to !i + !k - 1 do
+        if is_target.(j) then interior := true
+      done;
+      (if not !interior then
+         let window = Array.to_list (Array.sub code !i !k) in
+         let cw, vars = canon_window window in
+         match Hashtbl.find_opt index cw with
+         | Some rhs -> (
+             match concretize vars rhs with
+             | rhs_c ->
+                 let before = window_cycles window
+                 and after = window_cycles rhs_c in
+                 if after < before then begin
+                   List.iter
+                     (fun ins ->
+                       out := ins :: !out;
+                       incr out_len)
+                     rhs_c;
+                   incr rewrites;
+                   saved := !saved + (before - after);
+                   i := !i + !k;
+                   applied := true
+                 end
+             | exception Not_canon -> ())
+         | None -> ());
+      if not !applied then decr k
+    done;
+    if not !applied then begin
+      out := code.(!i) :: !out;
+      incr out_len;
+      incr i
+    end
+  done;
+  new_index.(n) <- !out_len;
+  let remap l = if l >= 0 && l <= n then new_index.(min l n) else l in
+  let arr =
+    Array.map
+      (function
+        | Ba l -> Ba (remap l)
+        | Bcc (cc, l) -> Bcc (cc, remap l)
+        | CallSymI (s, l) -> CallSymI (s, remap l)
+        | CallIndI (r, l) -> CallIndI (r, remap l)
+        | other -> other)
+      (Array.of_list (List.rev !out))
+  in
+  (arr, !rewrites, !saved)
+
+let apply_rules ~(rules : (instr list * instr list) list)
+    (code : instr array) : instr array * int * int =
+  if rules = [] then (code, 0, 0)
+  else begin
+    let index = Hashtbl.create 64 in
+    let max_len = ref 1 in
+    List.iter
+      (fun (lhs, rhs) ->
+        if lhs <> [] && not (Hashtbl.mem index lhs) then begin
+          Hashtbl.replace index lhs rhs;
+          max_len := max !max_len (List.length lhs)
+        end)
+      rules;
+    let rec go code total_r total_s passes =
+      if passes = 0 then (code, total_r, total_s)
+      else
+        let code', r, s = apply_rules_pass ~index ~max_len:!max_len code in
+        if r = 0 then (code', total_r, total_s)
+        else go code' (total_r + r) (total_s + s) (passes - 1)
+    in
+    go code 0 0 4
+  end
+
 (* ---------- function compilation ---------- *)
 
 let compile_function (m : Ir.modl) (img : Vmem.Image.t)
-    ?(spill_everything = false) (f : Ir.func) : cfunc =
+    ?(spill_everything = false) ?(peep = []) ?peep_stats (f : Ir.func) : cfunc =
   let env = Ir.type_env m in
   let lt = Vmem.Layout.for_module m in
   let ivs = Codegen.Intervals.build ~env f in
@@ -755,6 +929,7 @@ let compile_function (m : Ir.modl) (img : Vmem.Image.t)
       saved_float = !saved_float;
       label_alloc = ref (List.length f.Ir.fblocks);
       extra_label_pos = Hashtbl.create 8;
+      label_boundary = ref 0;
     }
   in
   (* prologue: save fp and lr relative to the entry sp, establish frame *)
@@ -793,6 +968,7 @@ let compile_function (m : Ir.modl) (img : Vmem.Image.t)
   let label_pos = Hashtbl.create 16 in
   List.iter
     (fun (b : Ir.block) ->
+      ctx.label_boundary := List.length !(ctx.buf);
       Hashtbl.replace label_pos (label_of ctx b) (List.length !(ctx.buf));
       List.iter (fun c -> copy_from_transfer ctx c)
         (Codegen.Phiplan.start_copies plan b);
@@ -825,6 +1001,18 @@ let compile_function (m : Ir.modl) (img : Vmem.Image.t)
       code
   in
   let code = relax (invert_branches code) in
+  let code =
+    match peep with
+    | [] -> code
+    | rules ->
+        let code, r, s = apply_rules ~rules code in
+        (match peep_stats with
+        | Some ps ->
+            ps.rewrites <- ps.rewrites + r;
+            ps.cycles_saved <- ps.cycles_saved + s
+        | None -> ());
+        relax code
+  in
   {
     cf_name = f.Ir.fname;
     code;
@@ -832,14 +1020,15 @@ let compile_function (m : Ir.modl) (img : Vmem.Image.t)
     frame_slots = total_frame / 8;
   }
 
-let compile_module ?(spill_everything = false) (m : Ir.modl) : cmodule =
+let compile_module ?(spill_everything = false) ?(peep = []) ?peep_stats
+    (m : Ir.modl) : cmodule =
   let image = Vmem.Image.load m in
   let funcs = Hashtbl.create 32 in
   List.iter
     (fun (f : Ir.func) ->
       if not (Ir.is_declaration f) then
         Hashtbl.replace funcs f.Ir.fname
-          (compile_function m image ~spill_everything f))
+          (compile_function m image ~spill_everything ~peep ?peep_stats f))
     m.Ir.funcs;
   { cm = m; image; funcs }
 

@@ -83,6 +83,11 @@ type instr =
 (* every SPARC-lite instruction is one 4-byte word *)
 let size_of (_ : instr) = 4
 
+(* Latency model used by the simulator, the bench suite, and the
+   superoptimizer's search ranking (lib/superopt). Every constructor
+   must carry an explicit cost — no catch-all default — so a new
+   instruction cannot silently ride on a stale estimate; the test suite
+   asserts a positive cost for one exemplar of every constructor. *)
 let cycles_of = function
   | Alu3 (Mul, _, _, _, _, _) -> 3
   | Alu3 ((Div | Rem), _, _, _, _, _) -> 20
@@ -99,7 +104,10 @@ let cycles_of = function
   | AddSp _ -> 1
   | SubSpDyn _ -> 2
   | Falu (Fdiv, _, _, _, _) -> 15
-  | Falu _ -> 3
+  (* Frem used to hide under the generic 3-cycle arm; it is a library
+     call on real hardware and costs at least a divide. *)
+  | Falu (Frem, _, _, _, _) -> 20
+  | Falu ((Fadd | Fsub | Fmul), _, _, _, _) -> 3
   | Fmovs _ -> 1
   | Fconst _ -> 3
   | Fcmp _ -> 2

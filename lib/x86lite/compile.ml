@@ -58,14 +58,23 @@ let place_label ctx l =
   ctx.label_boundary := List.length !(ctx.buf);
   Hashtbl.replace ctx.extra_label_pos l (List.length !(ctx.buf))
 
-(* Emit with a tiny peephole: "mov [slot], r" immediately followed by
-   "mov r, [slot]" skips the reload (no label may intervene). *)
+(* Emit with a tiny peephole over the instruction being appended and the
+   newest buffered one (no label may intervene; [label_boundary] is the
+   fence):
+     mov [slot], r  ;  mov r, [slot]    drop the reload
+     mov [slot], r  ;  mov r2, [slot]   forward the register: mov r2, r
+     mov r, r                           drop the self-move
+   These fire even with an empty learned rewrite table, giving the
+   offline superoptimizer ([lib/superopt]) a clean baseline. *)
 let emit ctx i =
-  (match (i, !(ctx.buf)) with
-  | Mov (R r, M m), Mov (M m', R r') :: _
-    when r = r' && m = m' && List.length !(ctx.buf) > !(ctx.label_boundary) ->
+  let fused () = List.length !(ctx.buf) > !(ctx.label_boundary) in
+  match (i, !(ctx.buf)) with
+  | Mov (R r, R r'), _ when r = r' -> ()
+  | Mov (R r, M m), Mov (M m', R r') :: _ when r = r' && m = m' && fused () ->
       ()
-  | _ -> ctx.buf := i :: !(ctx.buf))
+  | Mov (R r, M m), Mov (M m', R r') :: _ when m = m' && fused () ->
+      ctx.buf := Mov (R r, R r') :: !(ctx.buf)
+  | _ -> ctx.buf := i :: !(ctx.buf)
 
 let slot_mem _ctx k = { base = bp; disp = -8 * (k + 1) }
 let transfer_mem ctx t = slot_mem ctx (ctx.n_value_slots + t)
@@ -579,10 +588,192 @@ let rec relax (code : instr array) =
       in
       relax out
 
+(* ---------- learned peephole rewriting ----------
+
+   [apply_rules] rewrites straight-line windows of the finished code
+   array against an oracle-verified rewrite table built offline by the
+   superoptimizer (lib/superopt). Rules are stored in *canonical* form:
+   BP-relative frame-slot displacements are renamed to sentinel values
+   [slot_var_base + 8k] in first-occurrence order, so a single rule
+   covers every concrete frame offset. A window is canonicalized only
+   when every memory operand is a BP-based 8-byte-aligned full-word slot
+   and no operand names SP or BP directly — distinct aligned slots can
+   never overlap, so execution is isomorphic under slot renaming and a
+   rule verified on one instantiation holds for all of them. Any other
+   window (Lea, SP-relative or unaligned memory, stack adjustment,
+   calls, ...) is left concrete, where it can never match a canonical
+   rule. *)
+
+let slot_var_base = 1_000_000
+
+exception Not_canon
+
+let canon_operand vars = function
+  | M { base; disp }
+    when base = bp && disp mod 8 = 0 && abs disp < slot_var_base ->
+      let k =
+        match List.assoc_opt disp !vars with
+        | Some k -> k
+        | None ->
+            let k = List.length !vars in
+            vars := !vars @ [ (disp, k) ];
+            k
+      in
+      M { base = bp; disp = slot_var_base + (8 * k) }
+  | M _ -> raise Not_canon
+  | R r when r = sp || r = bp -> raise Not_canon
+  | o -> o
+
+let canon_instr vars i =
+  match i with
+  | Mov (a, b) -> Mov (canon_operand vars a, canon_operand vars b)
+  | Alu (op, w, s, a, b) ->
+      Alu (op, w, s, canon_operand vars a, canon_operand vars b)
+  | Shift (l, w, s, a, b) ->
+      Shift (l, w, s, canon_operand vars a, canon_operand vars b)
+  | Cmp (w, s, a, b) -> Cmp (w, s, canon_operand vars a, canon_operand vars b)
+  | (Ext (r, _, _) | Setcc (_, r)) when r = sp || r = bp -> raise Not_canon
+  | Ext _ | Setcc _ -> i
+  | _ -> raise Not_canon
+
+(* Canonicalize a window. Returns the canonical form plus the concrete
+   displacement behind each slot variable; windows outside the
+   rewritable subset come back unchanged with no variables, so they
+   match no rule. *)
+let canon_window (w : instr list) : instr list * int array =
+  let vars = ref [] in
+  match List.map (canon_instr vars) w with
+  | cw -> (cw, Array.of_list (List.map fst !vars))
+  | exception Not_canon -> (w, [||])
+
+(* Substitute concrete slot displacements back into a canonical
+   instruction sequence (a rule's right-hand side). *)
+let concretize (vars : int array) (w : instr list) : instr list =
+  let op = function
+    | M { base; disp } when disp >= slot_var_base ->
+        let k = (disp - slot_var_base) / 8 in
+        if k >= Array.length vars then raise Not_canon;
+        M { base; disp = vars.(k) }
+    | o -> o
+  in
+  List.map
+    (fun i ->
+      match i with
+      | Mov (a, b) -> Mov (op a, op b)
+      | Alu (o2, w_, s, a, b) -> Alu (o2, w_, s, op a, op b)
+      | Shift (l, w_, s, a, b) -> Shift (l, w_, s, op a, op b)
+      | Cmp (w_, s, a, b) -> Cmp (w_, s, op a, op b)
+      | i -> i)
+    w
+
+type peep_stats = { mutable rewrites : int; mutable cycles_saved : int }
+
+let fresh_peep_stats () = { rewrites = 0; cycles_saved = 0 }
+
+let window_cycles w = List.fold_left (fun acc i -> acc + cycles_of i) 0 w
+
+(* One left-to-right rewriting pass. Windows that contain a branch
+   target strictly inside them are never rewritten (jumping into the
+   middle of a replacement would be meaningless); targets at a window's
+   first instruction are fine, since replacements are dropped in at
+   exactly that position. All branch targets are remapped afterwards. *)
+let apply_rules_pass ~index ~max_len (code : instr array) =
+  let n = Array.length code in
+  let is_target = Array.make (n + 2) false in
+  Array.iter
+    (function
+      | Jmp l | Jcc (_, l) | CallSymI (_, l) | CallIndI (_, l) ->
+          if l >= 0 && l < n + 2 then is_target.(l) <- true
+      | _ -> ())
+    code;
+  let out = ref [] and out_len = ref 0 in
+  let new_index = Array.make (n + 1) 0 in
+  let rewrites = ref 0 and saved = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    new_index.(!i) <- !out_len;
+    let applied = ref false in
+    let k = ref (min max_len (n - !i)) in
+    while (not !applied) && !k >= 1 do
+      let interior = ref false in
+      for j = !i + 1 to !i + !k - 1 do
+        if is_target.(j) then interior := true
+      done;
+      (if not !interior then
+         let window = Array.to_list (Array.sub code !i !k) in
+         let cw, vars = canon_window window in
+         match Hashtbl.find_opt index cw with
+         | Some rhs -> (
+             match concretize vars rhs with
+             | rhs_c ->
+                 let before = window_cycles window
+                 and after = window_cycles rhs_c in
+                 if after < before then begin
+                   List.iter
+                     (fun ins ->
+                       out := ins :: !out;
+                       incr out_len)
+                     rhs_c;
+                   incr rewrites;
+                   saved := !saved + (before - after);
+                   i := !i + !k;
+                   applied := true
+                 end
+             | exception Not_canon -> ())
+         | None -> ());
+      if not !applied then decr k
+    done;
+    if not !applied then begin
+      out := code.(!i) :: !out;
+      incr out_len;
+      incr i
+    end
+  done;
+  new_index.(n) <- !out_len;
+  let remap l = if l >= 0 && l <= n then new_index.(min l n) else l in
+  let arr =
+    Array.map
+      (function
+        | Jmp l -> Jmp (remap l)
+        | Jcc (cc, l) -> Jcc (cc, remap l)
+        | CallSymI (s, l) -> CallSymI (s, remap l)
+        | CallIndI (o, l) -> CallIndI (o, remap l)
+        | other -> other)
+      (Array.of_list (List.rev !out))
+  in
+  (arr, !rewrites, !saved)
+
+(* Apply a rewrite table (canonical lhs/rhs pairs) to fixpoint, bounded
+   at four passes. Purely deterministic: same table in, same code out.
+   Returns the rewritten code plus (rewrite count, static cycles
+   saved). *)
+let apply_rules ~(rules : (instr list * instr list) list)
+    (code : instr array) : instr array * int * int =
+  if rules = [] then (code, 0, 0)
+  else begin
+    let index = Hashtbl.create 64 in
+    let max_len = ref 1 in
+    List.iter
+      (fun (lhs, rhs) ->
+        if lhs <> [] && not (Hashtbl.mem index lhs) then begin
+          Hashtbl.replace index lhs rhs;
+          max_len := max !max_len (List.length lhs)
+        end)
+      rules;
+    let rec go code total_r total_s passes =
+      if passes = 0 then (code, total_r, total_s)
+      else
+        let code', r, s = apply_rules_pass ~index ~max_len:!max_len code in
+        if r = 0 then (code', total_r, total_s)
+        else go code' (total_r + r) (total_s + s) (passes - 1)
+    in
+    go code 0 0 4
+  end
+
 (* ---------- per-function ---------- *)
 
 let compile_function (m : Ir.modl) (img : Vmem.Image.t)
-    ?(linear_scan = false) (f : Ir.func) : cfunc =
+    ?(linear_scan = false) ?(peep = []) ?peep_stats (f : Ir.func) : cfunc =
   let env = Ir.type_env m in
   let lt = Vmem.Layout.for_module m in
   let ivs = Codegen.Intervals.build ~env f in
@@ -706,6 +897,18 @@ let compile_function (m : Ir.modl) (img : Vmem.Image.t)
       code
   in
   let code = relax (invert_branches code) in
+  let code =
+    match peep with
+    | [] -> code
+    | rules ->
+        let code, r, s = apply_rules ~rules code in
+        (match peep_stats with
+        | Some ps ->
+            ps.rewrites <- ps.rewrites + r;
+            ps.cycles_saved <- ps.cycles_saved + s
+        | None -> ());
+        relax code
+  in
   {
     cf_name = f.Ir.fname;
     code;
@@ -713,14 +916,15 @@ let compile_function (m : Ir.modl) (img : Vmem.Image.t)
     frame_slots = total_frame / 8;
   }
 
-let compile_module ?(linear_scan = false) (m : Ir.modl) : cmodule =
+let compile_module ?(linear_scan = false) ?(peep = []) ?peep_stats
+    (m : Ir.modl) : cmodule =
   let image = Vmem.Image.load m in
   let funcs = Hashtbl.create 32 in
   List.iter
     (fun (f : Ir.func) ->
       if not (Ir.is_declaration f) then
         Hashtbl.replace funcs f.Ir.fname
-          (compile_function m image ~linear_scan f))
+          (compile_function m image ~linear_scan ~peep ?peep_stats f))
     m.Ir.funcs;
   { cm = m; image; funcs }
 

@@ -136,7 +136,14 @@ let size_of = function
   | Fpushret _ -> 3
   | Trap _ -> 2
 
-(* ---------- cycle model ---------- *)
+(* ---------- cycle model ----------
+
+   Latency model used by the simulator, the bench suite, and the
+   superoptimizer's search ranking (lib/superopt). Every constructor
+   must carry an explicit cost — no catch-all default — so a new
+   instruction cannot silently ride on a stale estimate; the test suite
+   asserts a positive cost for one exemplar of every constructor.
+   Memory operands add [mem_cost] for the address generation + access. *)
 
 let mem_cost = function M _ -> 2 | _ -> 0
 
@@ -164,7 +171,10 @@ let cycles_of = function
   | Fmov _ -> 1
   | Fconst _ -> 2
   | Falu (Fdiv, _, _, _) -> 15
-  | Falu _ -> 3
+  (* Frem used to hide under the generic 3-cycle arm; it is a library
+     call on real hardware and costs at least a divide. *)
+  | Falu (Frem, _, _, _) -> 20
+  | Falu ((Fadd | Fsub | Fmul), _, _, _) -> 3
   | Fload _ | Fstore _ -> 2
   | Fcmp _ -> 2
   | Cvtif _ | Cvtfi _ -> 4

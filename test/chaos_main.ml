@@ -157,10 +157,89 @@ let run_workload (w : Workloads.workload) =
     fc2.Storage.torn_writes fc2.Storage.failed_writes
     fc2.Storage.transient_faults
 
+(* ---- scenario 3: the superoptimized peephole table under chaos ----
+   The [#peep#] rewrite-table entry rides the same checksummed frame as
+   every other cache entry, so a damaged serve must be quarantined, the
+   table re-searched exactly once (deterministically — same table, same
+   fingerprint, so the populated native entries stay reachable), and the
+   fresh write-back counted as a repair. *)
+let run_peep_chaos () =
+  Printf.printf "%-17s %!" "peephole-chaos";
+  let w = Option.get (Workloads.find "ptrdist-anagram") in
+  let m = Workloads.compile_optimized ~level:1 w in
+  let bytes = Llva.Encode.encode m in
+  (* fault-free peephole baseline; behavior must match the pass-off run *)
+  let s0 = Storage.in_memory () in
+  let base = Llee.load ~storage:s0 ~peephole:true ~target:Llee.X86 bytes in
+  let expected = Llee.run base in
+  check "peephole baseline exits normally"
+    (match expected with Llee.Outcome.Exit _, _ -> true | _ -> false);
+  let plain = Llee.load ~target:Llee.X86 bytes in
+  check_eq "peephole: behavior identical to pass-off" outcome_pp
+    (Llee.run plain) expected;
+  (* offline-populated cache (native entries + #peep# + #lint#), reads
+     corrupted in flight *)
+  let s1 = Storage.in_memory () in
+  let eng1 = Llee.load ~storage:s1 ~peephole:true ~target:Llee.X86 bytes in
+  Llee.translate_offline ~domains:1 eng1;
+  let fs1, fc1 =
+    Storage.faulty
+      {
+        Storage.fault_seed = seed + 2;
+        read_corrupt = 0.75;
+        write_fail = 0.0;
+        write_torn = 0.0;
+        transient = 0.0;
+      }
+      s1
+  in
+  let chaos = with_storage eng1 fs1 in
+  let r1 = Llee.run chaos in
+  check_eq "peep chaos: output identical to baseline" outcome_pp r1 expected;
+  check_eq "peep chaos: quarantined == damaged serves" string_of_int
+    chaos.Llee.stats.Llee.cache_quarantined fc1.Storage.damaged_serves;
+  let module_damage =
+    Option.value ~default:0
+      (Hashtbl.find_opt fc1.Storage.damaged_names (Llee.module_entry_name eng1))
+  in
+  (* the run path rewrites every quarantined entry it needs — the
+     re-searched #peep# table included — except the whole-module one *)
+  check_eq "peep chaos: repaired == damaged - module entry" string_of_int
+    chaos.Llee.stats.Llee.cache_repaired
+    (fc1.Storage.damaged_serves - module_damage);
+  let peep_damage =
+    Option.value ~default:0
+      (Hashtbl.find_opt fc1.Storage.damaged_names (Llee.peep_entry_name eng1))
+  in
+  check "peep chaos: damaged table re-searched, intact table loaded"
+    (if peep_damage > 0 then
+       chaos.Llee.stats.Llee.peep_searches = 1
+       && chaos.Llee.stats.Llee.peep_table_loads = 0
+     else
+       chaos.Llee.stats.Llee.peep_searches = 0
+       && chaos.Llee.stats.Llee.peep_table_loads = 1);
+  t_quarantined := !t_quarantined + chaos.Llee.stats.Llee.cache_quarantined;
+  t_repaired := !t_repaired + chaos.Llee.stats.Llee.cache_repaired;
+  t_damaged := !t_damaged + fc1.Storage.damaged_serves;
+  (* after the repairs: a clean launch loads the table, searches nothing,
+     translates nothing *)
+  let healed = with_storage eng1 s1 in
+  let h = Llee.run healed in
+  check_eq "peep chaos: healed launch correct" outcome_pp h expected;
+  check "peep chaos: healed launch loads the table"
+    (healed.Llee.stats.Llee.peep_table_loads = 1
+    && healed.Llee.stats.Llee.peep_searches = 0
+    && healed.Llee.stats.Llee.cache_quarantined = 0
+    && healed.Llee.stats.Llee.translations = 0);
+  Printf.printf "ok (quar %d, rep %d, peep damage %d)\n%!"
+    chaos.Llee.stats.Llee.cache_quarantined
+    chaos.Llee.stats.Llee.cache_repaired peep_damage
+
 let () =
   Printf.printf "chaos campaign: %d workloads, fault seed %#x\n%!"
     (List.length Workloads.all) seed;
   List.iter run_workload Workloads.all;
+  run_peep_chaos ();
   Printf.printf
     "campaign totals: %d damaged serves, %d quarantined, %d repaired, %d torn \
      writes, %d failed writes, %d transient faults (%d retried)\n"

@@ -1,0 +1,150 @@
+(* @superopt: guards the committed peephole rewrite tables
+   (test/tables/<target>.peep) and the superoptimizer behind them.
+
+   1. Strict decode + oracle re-verification: every rewrite of both
+      committed tables must still be certified by the simulator oracle
+      on its fixed boundary and seeded random vectors. A rule the
+      oracle refutes — because a back-end's semantics changed under it —
+      fails the build rather than miscompiling at run time.
+
+   2. Search determinism: two full searches over the 17-workload suite
+      must produce byte-identical tables (the cache-identity story
+      depends on it: same program, same table, same fingerprint).
+
+   3. Behavior identity: every workload, compiled with the committed
+      table applied, must produce exactly the interpreter's exit code
+      and output on both back-ends — and never more cycles than the
+      pass-off build.
+
+   A fresh search that differs from the committed bytes is reported as
+   a note (the selectors or the suite changed; regenerate with
+   llva_superopt --out), not a failure: the committed rules remain
+   sound as long as the oracle certifies them. *)
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "  FAIL %s\n%!" name
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_table ~target path =
+  match Superopt.Table.of_string ~expect_target:target (read_file path) with
+  | tb -> tb
+  | exception Superopt.Table.Invalid_table why ->
+      Printf.printf "FAIL %s: invalid committed table: %s\n" path why;
+      exit 1
+
+let () =
+  let x86_path, sparc_path =
+    match Sys.argv with
+    | [| _; a; b |] -> (a, b)
+    | _ -> ("tables/x86lite.peep", "tables/sparclite.peep")
+  in
+  let tx = load_table ~target:"x86lite" x86_path in
+  let ts = load_table ~target:"sparclite" sparc_path in
+  Printf.printf
+    "committed tables: x86lite %d rules (fingerprint %s), sparclite %d rules \
+     (fingerprint %s)\n\
+     %!"
+    (Superopt.Table.count tx)
+    (Superopt.Table.fingerprint tx)
+    (Superopt.Table.count ts)
+    (Superopt.Table.fingerprint ts);
+
+  (* 1. oracle re-verification of every committed rewrite *)
+  (match Superopt.Search.reverify tx with
+  | [] -> Printf.printf "x86lite: all rules re-verified\n%!"
+  | bad ->
+      check
+        (Printf.sprintf "x86lite rules refuted by the oracle: %s"
+           (String.concat "," (List.map string_of_int bad)))
+        false);
+  (match Superopt.Search.reverify ts with
+  | [] -> Printf.printf "sparclite: all rules re-verified\n%!"
+  | bad ->
+      check
+        (Printf.sprintf "sparclite rules refuted by the oracle: %s"
+           (String.concat "," (List.map string_of_int bad)))
+        false);
+
+  (* 2. search determinism over the training suite *)
+  let mods =
+    List.map (fun w -> Workloads.compile_optimized ~level:1 w) Workloads.all
+  in
+  let learn target = Superopt.Table.to_string (Superopt.Search.learn ~target mods) in
+  let lx1 = learn "x86lite" in
+  let lx2 = learn "x86lite" in
+  check "x86lite search deterministic" (lx1 = lx2);
+  let ls1 = learn "sparclite" in
+  let ls2 = learn "sparclite" in
+  check "sparclite search deterministic" (ls1 = ls2);
+  if lx1 <> Superopt.Table.to_string tx then
+    Printf.printf
+      "note: committed x86lite table differs from a fresh search — selectors \
+       or suite changed; regenerate with llva_superopt --out test/tables\n";
+  if ls1 <> Superopt.Table.to_string ts then
+    Printf.printf
+      "note: committed sparclite table differs from a fresh search — \
+       regenerate with llva_superopt --out test/tables\n";
+  Printf.printf "determinism: two searches per target, identical bytes\n%!";
+
+  (* 3. behavior identity on all 17 workloads with the pass enabled *)
+  let px = Superopt.Table.x86_pairs tx in
+  let ps = Superopt.Table.sparc_pairs ts in
+  List.iter
+    (fun (w : Workloads.workload) ->
+      let name = w.Workloads.name in
+      let m () = Workloads.compile_optimized ~level:1 w in
+      let ist = Interp.create ~fuel:100_000_000 (m ()) in
+      let icode = Interp.run_main ist in
+      let iout = Interp.output ist in
+      let xcode, xst =
+        X86lite.Sim.run_main (X86lite.Compile.compile_module ~peep:px (m ()))
+      in
+      check
+        (name ^ ": x86 behavior identical to interp with pass on")
+        (xcode = icode && X86lite.Sim.output xst = iout);
+      let x0code, x0st =
+        X86lite.Sim.run_main (X86lite.Compile.compile_module (m ()))
+      in
+      check
+        (name ^ ": x86 pass-on matches pass-off")
+        (xcode = x0code && X86lite.Sim.output xst = X86lite.Sim.output x0st);
+      check
+        (name ^ ": x86 cycles no worse")
+        (Int64.compare xst.X86lite.Sim.cycles x0st.X86lite.Sim.cycles <= 0);
+      let scode, sst =
+        Sparclite.Sim.run_main
+          (Sparclite.Compile.compile_module ~peep:ps (m ()))
+      in
+      check
+        (name ^ ": sparc behavior identical to interp with pass on")
+        (scode = icode && Sparclite.Sim.output sst = iout);
+      let s0code, s0st =
+        Sparclite.Sim.run_main (Sparclite.Compile.compile_module (m ()))
+      in
+      check
+        (name ^ ": sparc pass-on matches pass-off")
+        (scode = s0code && Sparclite.Sim.output sst = Sparclite.Sim.output s0st);
+      check
+        (name ^ ": sparc cycles no worse")
+        (Int64.compare sst.Sparclite.Sim.cycles s0st.Sparclite.Sim.cycles <= 0);
+      Printf.printf "%-17s ok (x86 %Ld -> %Ld, sparc %Ld -> %Ld cycles)\n%!"
+        name x0st.X86lite.Sim.cycles xst.X86lite.Sim.cycles
+        s0st.Sparclite.Sim.cycles sst.Sparclite.Sim.cycles)
+    Workloads.all;
+
+  if !failures > 0 then begin
+    Printf.printf "superopt gate FAILED: %d assertion(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "superopt gate passed\n"

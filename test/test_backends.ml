@@ -533,6 +533,246 @@ entry:
       check_int ("sparc on " ^ Target.to_string t) 777 code2)
     Target.all
 
+(* ---------- cycle/size model coverage ---------- *)
+
+(* One exemplar per instruction constructor of each back-end. The cost
+   models document a no-catch-all policy: every constructor must carry
+   an explicit positive cost and encoded size, so a new instruction can
+   never silently ride on a stale estimate. If a constructor is added,
+   this list fails to type-check until an exemplar is added here too. *)
+let x86_exemplars : X86lite.X86.instr list =
+  let open X86lite.X86 in
+  let m = { base = bp; disp = -8 } in
+  [
+    Mov (R ax, R cx);
+    Alu (Add, W64, true, R ax, R cx);
+    Alu (Imul, W64, true, R ax, R cx);
+    Div (W64, true, R ax, R cx);
+    Rem (W64, true, R ax, R cx);
+    Shift (true, W64, true, R ax, I 3L);
+    Ext (ax, W32, false);
+    Mload (ax, m, W32, true);
+    Mstore (m, ax, W32);
+    Cmp (W64, true, R ax, R cx);
+    Setcc (Eq, ax);
+    Jcc (Eq, 0);
+    Jmp 0;
+    Lea (ax, m);
+    Push (R ax);
+    Pop ax;
+    CallSym "f";
+    CallInd (R ax);
+    CallSymI ("f", 0);
+    CallIndI (R ax, 0);
+    Ret;
+    Unwind;
+    AddSp 8;
+    SubSpDyn (ax, cx);
+    Fmov (0, 1);
+    Fconst (0, 1.0);
+    Falu (Fadd, false, 0, 1);
+    Falu (Fdiv, false, 0, 1);
+    Falu (Frem, false, 0, 1);
+    Fload (0, m, false);
+    Fstore (m, 0, false);
+    Fcmp (0, 1);
+    Cvtif (0, ax, true);
+    Cvtfi (ax, 0, W64, true);
+    Fround 0;
+    Fpushret 0;
+    Trap "unreachable";
+  ]
+
+let sparc_exemplars : Sparclite.Sparc.instr list =
+  let open Sparclite.Sparc in
+  [
+    Alu3 (Add, W64, true, 1, 2, Rs 3);
+    Alu3 (Mul, W64, true, 1, 2, Rs 3);
+    Alu3 (Div, W64, true, 1, 2, Rs 3);
+    Alu3 (Rem, W64, true, 1, 2, Rs 3);
+    Sethi (1, 4096L);
+    Ld (W64, true, 1, fp, -8);
+    St (W64, 1, fp, -8);
+    Cmp (W64, true, 1, Rs 2);
+    Movcc (Eq, 1);
+    Bcc (Eq, 0);
+    Ba 0;
+    CallSym "f";
+    CallInd 1;
+    CallSymI ("f", 0);
+    CallIndI (1, 0);
+    RetS;
+    UnwindS;
+    AddSp 8;
+    SubSpDyn (1, 2);
+    Falu (Fadd, false, 0, 1, 2);
+    Falu (Fdiv, false, 0, 1, 2);
+    Falu (Frem, false, 0, 1, 2);
+    Fmovs (0, 1);
+    Fconst (0, 1.0);
+    Fld (false, 0, fp, -8);
+    Fst (false, 0, fp, -8);
+    Fcmp (0, 1);
+    Cvtif (0, 1, true);
+    Cvtfi (1, 0, W64, true);
+    Fround 0;
+    Mvfi (1, 0);
+    Mvif (0, 1);
+    TrapS "unreachable";
+  ]
+
+let test_cost_model_explicit () =
+  List.iter
+    (fun i ->
+      let c = X86lite.X86.cycles_of i in
+      let s = X86lite.X86.size_of i in
+      if c <= 0 || s <= 0 then
+        Alcotest.failf "x86 %s: cycles=%d size=%d (must be positive)"
+          (X86lite.X86.to_string i) c s)
+    x86_exemplars;
+  List.iter
+    (fun i ->
+      let c = Sparclite.Sparc.cycles_of i in
+      let s = Sparclite.Sparc.size_of i in
+      if c <= 0 || s <> 4 then
+        Alcotest.failf "sparc %s: cycles=%d size=%d (must be >0 / =4)"
+          (Sparclite.Sparc.to_string i) c s)
+    sparc_exemplars;
+  (* spot-check documented costs, including the formerly silently
+     defaulted float divide/remainder *)
+  let open X86lite.X86 in
+  check_int "x86 fdiv" 15 (cycles_of (Falu (Fdiv, false, 0, 1)));
+  check_int "x86 frem" 20 (cycles_of (Falu (Frem, false, 0, 1)));
+  check_int "x86 fadd" 3 (cycles_of (Falu (Fadd, false, 0, 1)));
+  check_int "x86 div" 20 (cycles_of (Div (W64, true, R ax, R cx)));
+  check_int "x86 mem operand cost" 3
+    (cycles_of (Mov (R ax, M { base = bp; disp = -8 })));
+  let open Sparclite.Sparc in
+  check_int "sparc fdiv" 15 (cycles_of (Falu (Fdiv, false, 0, 1, 2)));
+  check_int "sparc frem" 20 (cycles_of (Falu (Frem, false, 0, 1, 2)));
+  check_int "sparc div" 20 (cycles_of (Alu3 (Div, W64, true, 1, 2, Rs 3)))
+
+(* ---------- selector-level redundant-move elision ---------- *)
+
+let each_compiled_x86 m f =
+  let cm = X86lite.Compile.compile_module m in
+  Hashtbl.iter
+    (fun _ (cf : X86lite.Compile.cfunc) ->
+      Array.iter f cf.X86lite.Compile.code)
+    cm.X86lite.Compile.funcs
+
+let each_compiled_sparc m f =
+  let cm = Sparclite.Compile.compile_module ~spill_everything:true m in
+  Hashtbl.iter
+    (fun _ (cf : Sparclite.Compile.cfunc) ->
+      Array.iter f cf.Sparclite.Compile.code)
+    cm.Sparclite.Compile.funcs
+
+let test_no_redundant_moves () =
+  (* the naive selectors elide self-moves and same-slot store+reload
+     pairs at emit time; compiled workloads must contain no self-move *)
+  let names = [ "ptrdist-anagram"; "181.mcf" ] in
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.find name) in
+      each_compiled_x86 (Workloads.compile_optimized ~level:1 w) (function
+        | X86lite.X86.Mov (X86lite.X86.R a, X86lite.X86.R b) when a = b ->
+            Alcotest.failf "%s: x86 self-move survived emission" name
+        | _ -> ());
+      each_compiled_sparc (Workloads.compile_optimized ~level:1 w) (function
+        | Sparclite.Sparc.Alu3
+            (Sparclite.Sparc.Or, Sparclite.Sparc.W64, true, rd, rs,
+             Sparclite.Sparc.Imm 0)
+          when rd = rs ->
+            Alcotest.failf "%s: sparc self-move survived emission" name
+        | _ -> ()))
+    names
+
+(* ---------- peephole rule application ---------- *)
+
+let test_apply_rules_x86 () =
+  let open X86lite.X86 in
+  (* strength reduction: imul-by-8 -> shl-by-3 (a rule shape the
+     superoptimizer discovers; here applied by hand) *)
+  let rules =
+    [
+      ( [ Alu (Imul, W64, true, R ax, I 8L) ],
+        [ Shift (true, W64, true, R ax, I 3L) ] );
+      ([ Ext (cx, W64, true) ], []);
+    ]
+  in
+  let code =
+    [|
+      Jcc (Eq, 3); Alu (Imul, W64, true, R ax, I 8L); Ext (cx, W64, true); Ret;
+    |]
+  in
+  let out, rewrites, saved = X86lite.Compile.apply_rules ~rules code in
+  check_int "two rewrites" 2 rewrites;
+  (* imul(3) -> shl(1) saves 2; ext(1) -> nothing saves 1 *)
+  check_int "three cycles saved" 3 saved;
+  check_bool "rewritten code" true
+    (out
+    = [| Jcc (Eq, 2); Shift (true, W64, true, R ax, I 3L); Ret |]);
+  (* the branch target was remapped across the deleted instruction *)
+  (match out.(0) with
+  | Jcc (Eq, t) -> check_int "branch target remapped" 2 t
+  | _ -> Alcotest.fail "branch lost");
+  (* a window containing a jump target must not be rewritten *)
+  let code2 =
+    [| Jmp 2; Alu (Imul, W64, true, R ax, I 8L); Ext (cx, W64, true); Ret |]
+  in
+  let _, rw2, _ = X86lite.Compile.apply_rules ~rules code2 in
+  (* the imul rewrites (no target inside); position 2 is a jump target,
+     and single-instruction windows starting there are still legal *)
+  check_bool "rewrites bounded" true (rw2 >= 1);
+  (* empty rule set: code unchanged, nothing counted *)
+  let out3, rw3, sv3 = X86lite.Compile.apply_rules ~rules:[] code in
+  check_bool "no rules, no change" true (out3 = code && rw3 = 0 && sv3 = 0)
+
+let test_apply_rules_sparc () =
+  let open Sparclite.Sparc in
+  let rules =
+    [
+      ( [ Alu3 (Mul, W64, true, 1, 1, Imm 8) ],
+        [ Alu3 (Sll, W64, true, 1, 1, Imm 3) ] );
+    ]
+  in
+  let code =
+    [| Alu3 (Mul, W64, true, 1, 1, Imm 8); Bcc (Eq, 0); RetS |]
+  in
+  let out, rewrites, saved = Sparclite.Compile.apply_rules ~rules code in
+  check_int "one rewrite" 1 rewrites;
+  check_int "two cycles saved" 2 saved;
+  check_bool "strength-reduced" true
+    (out = [| Alu3 (Sll, W64, true, 1, 1, Imm 3); Bcc (Eq, 0); RetS |])
+
+let test_canon_window_roundtrip () =
+  let open X86lite.X86 in
+  (* two distinct bp slots canonicalize to the first-occurrence variables
+     and the variable assignment comes back in [vars] *)
+  let w =
+    [
+      Mov (R ax, M { base = bp; disp = -16 });
+      Mov (M { base = bp; disp = -8 }, R ax);
+    ]
+  in
+  let cw, vars = X86lite.Compile.canon_window w in
+  check_int "two slot variables" 2 (Array.length vars);
+  check_bool "vars recorded in order" true (vars.(0) = -16 && vars.(1) = -8);
+  check_bool "canonical form is slot-independent" true
+    (fst
+       (X86lite.Compile.canon_window
+          [
+            Mov (R ax, M { base = bp; disp = -48 });
+            Mov (M { base = bp; disp = -40 }, R ax);
+          ])
+    = cw);
+  (* a non-canonicalizable window (sp-relative) is returned unchanged
+     with no variables: it can never match a learned rule *)
+  let w2 = [ Mov (R ax, M { base = sp; disp = 0 }) ] in
+  let cw2, vars2 = X86lite.Compile.canon_window w2 in
+  check_bool "sp window left concrete" true (cw2 = w2 && vars2 = [||])
+
 let suite =
   [
     Alcotest.test_case "basic programs" `Quick test_basic_programs;
@@ -552,6 +792,12 @@ let suite =
     Alcotest.test_case "cycle counting" `Quick test_cycle_counting;
     Alcotest.test_case "code size" `Quick test_code_size_nonzero;
     Alcotest.test_case "portability native" `Quick test_portability_native;
+    Alcotest.test_case "cost model explicit" `Quick test_cost_model_explicit;
+    Alcotest.test_case "no redundant moves" `Quick test_no_redundant_moves;
+    Alcotest.test_case "apply rules x86" `Quick test_apply_rules_x86;
+    Alcotest.test_case "apply rules sparc" `Quick test_apply_rules_sparc;
+    Alcotest.test_case "canon window roundtrip" `Quick
+      test_canon_window_roundtrip;
     QCheck_alcotest.to_alcotest prop_backends_agree;
     QCheck_alcotest.to_alcotest prop_backends_agree_memory;
     QCheck_alcotest.to_alcotest prop_optimized_backends_agree;

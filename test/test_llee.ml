@@ -614,6 +614,136 @@ let test_lint_verdict_corrupt_or_stale () =
   ignore (Llee.run w4);
   check_int "missing verdict: exactly one re-lint" 1 w4.Llee.stats.Llee.lint_runs
 
+(* ---------- superoptimized peephole tables ---------- *)
+
+let test_peep_cold_search_warm_load () =
+  let storage = Llee.Storage.in_memory () in
+  let m = Gen.parse program in
+  let cold = Llee.of_module ~storage ~peephole:true ~target:Llee.X86 m in
+  let r1 = run_ok cold in
+  check_bool "peephole run correct" true (r1 = expected_result);
+  check_int "cold: exactly one search" 1 cold.Llee.stats.Llee.peep_searches;
+  check_int "cold: no table loads" 0 cold.Llee.stats.Llee.peep_table_loads;
+  check_bool "table entry recorded" true
+    (storage.Llee.Storage.read (Llee.peep_entry_name cold) <> None);
+  let warm = Llee.fresh_run cold in
+  let r2 = run_ok warm in
+  check_bool "warm peephole run correct" true (r2 = expected_result);
+  check_int "warm: zero searches" 0 warm.Llee.stats.Llee.peep_searches;
+  check_int "warm: table loaded once" 1 warm.Llee.stats.Llee.peep_table_loads;
+  check_int "warm: native code from cache" 0
+    warm.Llee.stats.Llee.translations;
+  (* observable behavior identical to the pass-off launch, and never
+     slower under the cycle model *)
+  let base = Llee.of_module ~target:Llee.X86 (Gen.parse program) in
+  let r0 = run_ok base in
+  check_bool "same behavior without the pass" true (r0 = r1);
+  check_bool "cycles no worse than baseline" true
+    (Int64.compare cold.Llee.stats.Llee.cycles base.Llee.stats.Llee.cycles
+    <= 0);
+  (* sparc back-end: same protocol *)
+  let scold =
+    Llee.of_module
+      ~storage:(Llee.Storage.in_memory ())
+      ~peephole:true ~target:Llee.Sparc (Gen.parse program)
+  in
+  let rs = run_ok scold in
+  check_bool "sparc peephole run correct" true (rs = expected_result);
+  check_int "sparc cold: exactly one search" 1
+    scold.Llee.stats.Llee.peep_searches
+
+let test_peep_entry_corrupt_stale_bumped () =
+  let storage = Llee.Storage.in_memory () in
+  let bytes = Llva.Encode.encode (Gen.parse program) in
+  let cold = Llee.load ~storage ~peephole:true ~target:Llee.X86 bytes in
+  ignore (run_ok cold);
+  check_int "cold: one search" 1 cold.Llee.stats.Llee.peep_searches;
+  let name = Llee.peep_entry_name cold in
+  (* foreign bytes under the entry name: bad magic, counted as plain
+     corruption, exactly one re-search *)
+  storage.Llee.Storage.write name "definitely not a rewrite table";
+  let w1 = Llee.fresh_run cold in
+  ignore (run_ok w1);
+  check_int "corrupt entry: exactly one re-search" 1
+    w1.Llee.stats.Llee.peep_searches;
+  check_int "corrupt entry: nothing loaded" 0
+    w1.Llee.stats.Llee.peep_table_loads;
+  check_bool "corruption counted" true (w1.Llee.stats.Llee.cache_corrupt >= 1);
+  (* the re-search re-recorded the entry: next launch loads it *)
+  let w2 = Llee.fresh_run cold in
+  ignore (run_ok w2);
+  check_int "re-recorded table reused" 1 w2.Llee.stats.Llee.peep_table_loads;
+  check_int "re-recorded table: no re-search" 0
+    w2.Llee.stats.Llee.peep_searches;
+  (* checksum damage: quarantined, re-searched once, and the write-back
+     of the fresh table counts as a repair *)
+  (match storage.Llee.Storage.read name with
+  | Some e ->
+      let b = Bytes.of_string e.Llee.Storage.data in
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+      storage.Llee.Storage.write name (Bytes.to_string b)
+  | None -> Alcotest.fail "missing peep entry");
+  let w3 = Llee.fresh_run cold in
+  ignore (run_ok w3);
+  check_int "damaged entry: exactly one re-search" 1
+    w3.Llee.stats.Llee.peep_searches;
+  check_bool "damaged entry quarantined" true
+    (w3.Llee.stats.Llee.cache_quarantined >= 1);
+  check_bool "damaged entry repaired" true
+    (w3.Llee.stats.Llee.cache_repaired >= 1);
+  (* a well-framed entry whose payload the strict table reader rejects
+     (wrong table magic/version) is corruption, not a crash *)
+  storage.Llee.Storage.write name (Llee.frame_entry "LLVAPEEP0\x00junk");
+  let w4 = Llee.fresh_run cold in
+  ignore (run_ok w4);
+  check_int "version-bumped table: exactly one re-search" 1
+    w4.Llee.stats.Llee.peep_searches;
+  check_bool "version-bumped table counted corrupt" true
+    (w4.Llee.stats.Llee.cache_corrupt >= 1);
+  (* a newer program timestamp orphans the recorded table *)
+  let v2 = Llee.load ~storage ~timestamp:1e9 ~peephole:true ~target:Llee.X86 bytes in
+  ignore (run_ok v2);
+  check_int "stale table: exactly one re-search" 1
+    v2.Llee.stats.Llee.peep_searches;
+  check_int "stale table: nothing loaded" 0
+    v2.Llee.stats.Llee.peep_table_loads
+
+let test_peep_table_determinism () =
+  (* two independent cold launches must leave byte-identical #peep#
+     entries AND byte-identical rewritten native code *)
+  let mk () =
+    let storage = Llee.Storage.in_memory () in
+    let eng =
+      Llee.of_module ~storage ~peephole:true ~target:Llee.X86
+        (Gen.parse program)
+    in
+    ignore (run_ok eng);
+    (storage, eng)
+  in
+  let s1, e1 = mk () in
+  let s2, e2 = mk () in
+  let data s name =
+    Option.map (fun e -> e.Llee.Storage.data) (s.Llee.Storage.read name)
+  in
+  check_bool "identical #peep# entries" true
+    (data s1 (Llee.peep_entry_name e1) = data s2 (Llee.peep_entry_name e2)
+    && data s1 (Llee.peep_entry_name e1) <> None);
+  (* cache_name includes the table fingerprint once the table is set *)
+  List.iter
+    (fun f ->
+      check_bool
+        ("identical native entry for " ^ f)
+        true
+        (data s1 (Llee.cache_name e1 f) = data s2 (Llee.cache_name e2 f)
+        && data s1 (Llee.cache_name e1 f) <> None))
+    [ "main"; "hot" ];
+  (* and the fingerprint-suffixed identity is disjoint from the plain
+     one: a pass-off launch of the same bytes misses this cache *)
+  let plain = Llee.of_module ~target:Llee.X86 (Gen.parse program) in
+  check_bool "peephole code keyed separately" true
+    (Llee.cache_name e1 "main" <> Llee.cache_name plain "main")
+
 let suite =
   suite
   @ [
@@ -639,4 +769,10 @@ let suite =
       Alcotest.test_case "parallel offline identical" `Quick
         test_parallel_offline_identical;
       Alcotest.test_case "parallel reoptimize" `Quick test_parallel_reoptimize;
+      Alcotest.test_case "peep cold search warm load" `Quick
+        test_peep_cold_search_warm_load;
+      Alcotest.test_case "peep entry corrupt or stale" `Quick
+        test_peep_entry_corrupt_stale_bumped;
+      Alcotest.test_case "peep table determinism" `Quick
+        test_peep_table_determinism;
     ]
