@@ -99,7 +99,20 @@ let lint_workloads ?checks ~json ~werror () =
       reports;
   !failed
 
-let run input json checks list_checks werror workloads cache_dir =
+(* --ranges: print the interprocedural value-range table instead of a
+   lint report — one section per defined function with per-argument,
+   per-instruction, and return ranges. *)
+let show_ranges m =
+  let t = Check.Ranges.compute m in
+  List.iter print_endline (Check.Ranges.render t);
+  Printf.eprintf "range analysis: %d sweep%s, %d interprocedural round%s%s\n"
+    (Check.Ranges.total_sweeps t)
+    (if Check.Ranges.total_sweeps t = 1 then "" else "s")
+    (Check.Ranges.rounds t)
+    (if Check.Ranges.rounds t = 1 then "" else "s")
+    (if Check.Ranges.fixpoint_reached t then "" else " (budget exhausted)")
+
+let run input json checks list_checks werror workloads cache_dir ranges =
   if list_checks then begin
     List.iter
       (fun (c : Check.Lint.check_info) ->
@@ -132,9 +145,14 @@ let run input json checks list_checks werror workloads cache_dir =
               List.iter (fun e -> Printf.eprintf "verify: %s\n" e) errs;
               prerr_endline "lint requires a verified module";
               exit 2);
-          (match cache_dir with
-          | Some dir -> lint_via_cache ~dir ~json ~werror m
-          | None -> lint_module ?checks ~json ~werror m)
+          if ranges then begin
+            show_ranges m;
+            false
+          end
+          else
+            (match cache_dir with
+            | Some dir -> lint_via_cache ~dir ~json ~werror m
+            | None -> lint_module ?checks ~json ~werror m)
   in
   exit (if failed then 1 else 0)
 
@@ -170,11 +188,19 @@ let cache_dir =
           "lint through an on-disk LLEE cache: record the verdict entry on \
            first analysis, reuse it on later runs of the same module")
 
+let ranges =
+  Arg.(
+    value & flag
+    & info [ "ranges" ]
+        ~doc:
+          "print the interprocedural value-range table for the input \
+           module instead of a lint report")
+
 let cmd =
   Cmd.v
     (Cmd.info "llva-lint" ~doc:"static safety analysis over LLVA modules")
     Term.(
       const run $ input $ json $ checks $ list_checks $ werror $ workloads
-      $ cache_dir)
+      $ cache_dir $ ranges)
 
 let () = exit (Cmd.eval cmd)

@@ -12,10 +12,39 @@
 
 open Cmdliner
 
-let run input engine stats opt fuel cache_dir peephole =
+let run input engine stats opt fuel cache_dir peephole doctor purge diff =
   let m = Tool_common.load_module input in
   Tool_common.check_verify m;
   if opt > 0 then ignore (Transform.Passmgr.optimize ~level:opt m);
+  if doctor || purge || diff <> None then begin
+    (* forensics mode: inspect the quarantined entries of the on-disk
+       cache and exit without executing the program *)
+    (match cache_dir with
+    | None ->
+        prerr_endline "--cache-doctor requires --cache DIR";
+        exit 2
+    | Some _ -> ());
+    let target =
+      match engine with
+      | "llee-sparc" -> Llee.Sparc
+      | "llee-x86" | "interp" -> Llee.X86
+      | e ->
+          Printf.eprintf "--cache-doctor requires an llee engine (got %s)\n" e;
+          exit 2
+    in
+    let storage = Llee.Storage.on_disk ~dir:(Option.get cache_dir) in
+    let eng = Llee.of_module ~storage ~peephole ~target m in
+    List.iter print_endline (Llee.cache_doctor eng);
+    (match diff with
+    | Some fname -> List.iter print_endline (Llee.diff_quarantined eng fname)
+    | None -> ());
+    if purge then begin
+      let n = Llee.purge_quarantined eng in
+      Printf.printf "purged %d quarantined entr%s\n" n
+        (if n = 1 then "y" else "ies")
+    end;
+    exit 0
+  end;
   let finish (outcome : Llee.Outcome.t) output st_lines =
     print_string output;
     (match outcome with
@@ -90,6 +119,8 @@ let run input engine stats opt fuel cache_dir peephole =
           Printf.sprintf "lint skipped (verdict cached): %d"
             eng.Llee.stats.Llee.lint_skipped;
           Printf.sprintf "lint rejected: %d" eng.Llee.stats.Llee.lint_rejected;
+          Printf.sprintf "lint blocked functions: %d"
+            eng.Llee.stats.Llee.lint_blocked_funcs;
           Printf.sprintf "lint time: %.3f ms"
             (eng.Llee.stats.Llee.lint_time *. 1000.0);
           Printf.sprintf "peephole rewrites: %d"
@@ -135,9 +166,34 @@ let peephole =
           "apply the superoptimized peephole table in llee engines (learned \
            once and cached as a #peep# entry when --cache is given)")
 
+let doctor =
+  Arg.(
+    value & flag
+    & info [ "cache-doctor" ]
+        ~doc:
+          "inspect the quarantined entries of the --cache directory (name, \
+           size, age) and exit without executing")
+
+let purge =
+  Arg.(
+    value & flag
+    & info [ "purge" ]
+        ~doc:"with --cache-doctor: delete every quarantined entry")
+
+let diff =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "diff" ] ~docv:"FUNC"
+        ~doc:
+          "with --cache-doctor: compare FUNC's quarantined entry against a \
+           fresh translation")
+
 let cmd =
   Cmd.v
     (Cmd.info "llva-run" ~doc:"execute LLVA programs")
-    Term.(const run $ input $ engine $ stats $ opt $ fuel $ cache_dir $ peephole)
+    Term.(
+      const run $ input $ engine $ stats $ opt $ fuel $ cache_dir $ peephole
+      $ doctor $ purge $ diff)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,83 @@
+; Seeded fixture for the interprocedural value-range analysis.
+;
+; Exactly three findings are expected (see lint_ranges.expected):
+;   - %range_oob: the index flows out of %pick_index as the range [6],
+;     so the gep draws a Warning and the load through it an Error —
+;     neither is a literal constant offset, only the range analysis
+;     proves them out of bounds.
+;   - %shifty: the shift amount is provably in [30..45], straddling the
+;     32-bit width of int — a Warning.
+; Two would-be false positives must stay silent:
+;   - %safe_div divides by an argument whose range [0..7] includes
+;     zero, but the guard edge excludes it (refined to [1..7]).
+;   - %guarded indexes %table with an argument spanning all of int,
+;     but the two dominating guard edges refine it to [0..3].
+; %main never calls %range_oob, so an LLEE launch must still execute
+; the clean remainder from cached native code (exit 0, the bug merely
+; blocks that one function from the cache).
+
+%table = global [4 x int] [ int 10, int 20, int 30, int 40 ]
+%seed = global int 5
+
+long %pick_index() {
+entry:
+  %a = add long 2, 4
+  ret long %a
+}
+
+int %range_oob() {
+entry:
+  %i = call long %pick_index()
+  %slot = getelementptr [4 x int]* %table, long 0, long %i
+  %v = load int* %slot
+  ret int %v
+}
+
+int %safe_div(int %n, int %d) {
+entry:
+  %z = seteq int %d, 0
+  br bool %z, label %zero, label %go
+go:
+  %q = div int %n, %d
+  ret int %q
+zero:
+  ret int 0
+}
+
+int %guarded(long %i) {
+entry:
+  %hi = setlt long %i, 4
+  br bool %hi, label %upper, label %out
+upper:
+  %lo = setgt long %i, -1
+  br bool %lo, label %ok, label %out
+ok:
+  %slot = getelementptr [4 x int]* %table, long 0, long %i
+  %v = load int* %slot
+  ret int %v
+out:
+  ret int 0
+}
+
+int %shifty(int %n) {
+entry:
+  %v = load int* %seed
+  %a0 = and int %v, 15
+  %a1 = add int %a0, 30
+  %amt = cast int %a1 to ubyte
+  %s = shl int %n, ubyte %amt
+  ret int %s
+}
+
+int %main() {
+entry:
+  %v = load int* %seed
+  %k = and int %v, 7
+  %q = call int %safe_div(int 100, int %k)
+  %w = cast int %v to long
+  %g = call int %guarded(long %w)
+  %s = call int %shifty(int %q)
+  %r0 = add int %g, %s
+  %r = sub int %r0, %r0
+  ret int %r
+}

@@ -15,8 +15,22 @@ type ctx = {
   env : Types.env;
   lt : Vmem.Layout.t;
   summaries : Summaries.t;
+  ranges : Ranges.t;
+  sccs : (string, string list) Hashtbl.t;
+      (* function name -> names of every function in its call-graph SCC
+         (singleton for non-recursive functions); interprocedural findings
+         blame the whole offending SCC via [Diag.related] *)
   emit : Diag.t -> unit;
 }
+
+(* Every SCC member of [f] and [g] other than the reporting function
+   itself — the [related] list for an interprocedural diagnostic. *)
+let related_sccs ctx (f : Ir.func) (g : Ir.func) =
+  let members name =
+    match Hashtbl.find_opt ctx.sccs name with Some l -> l | None -> [ name ]
+  in
+  List.sort_uniq compare (members f.Ir.fname @ members g.Ir.fname)
+  |> List.filter (fun n -> n <> f.Ir.fname)
 
 let is_pointer ctx ty =
   match Types.resolve ctx.env ty with
@@ -295,22 +309,149 @@ let base_name (b : Analysis.Alias.base) =
   | Analysis.Alias.Bglobal g -> "%" ^ g.Ir.gname
   | _ -> "object"
 
+(* Is [r] better than knowing nothing about a value of (unresolved) [ty]?
+   Straddle warnings are gated on this so a completely unknown index or
+   divisor never produces noise. *)
+let informative ctx ty (r : Ranges.itv) =
+  match Types.resolve ctx.env ty with
+  | rty -> not (Ranges.is_top rty r)
+  | exception Types.Unresolved _ -> false
+
+(* Interval of byte offsets [v] may address within its base object —
+   [Alias.const_offset] generalized to ranges: every gep in the chain
+   contributes [index range × element size]. Also returns a precision
+   bit, [true] only when every variable index had an informative range
+   (the gate for straddle warnings; a provably-bad range is reported
+   regardless). *)
+let offset_range ctx (f : Ir.func) (v : Ir.value) : Ranges.itv * bool =
+  let rec walk (v : Ir.value) : Ranges.itv * bool =
+    match v with
+    | Ir.Vreg ({ Ir.op = Ir.Getelementptr; _ } as i) -> (
+        let base_itv, base_prec = walk i.Ir.operands.(0) in
+        try
+          let idx_range k =
+            match i.Ir.operands.(k) with
+            | Ir.Const { ckind = Ir.Cint n; _ } -> (Ranges.Itv (n, n), true)
+            | Ir.Const { ckind = Ir.Czero; _ } -> (Ranges.Itv (0L, 0L), true)
+            | idx ->
+                let r = Ranges.range_at ctx.ranges f i idx in
+                (r, informative ctx (Ir.type_of_value idx) r)
+          in
+          let elem =
+            Types.pointee ctx.env (Ir.type_of_value i.Ir.operands.(0))
+          in
+          let acc = ref base_itv
+          and prec = ref base_prec
+          and ty = ref elem in
+          let nops = Array.length i.Ir.operands in
+          if nops >= 2 then begin
+            let r, p = idx_range 1 in
+            prec := !prec && p;
+            acc :=
+              Ranges.itv_add !acc
+                (Ranges.itv_scale
+                   (Int64.of_int (Vmem.Layout.size_of ctx.lt elem))
+                   r)
+          end;
+          for k = 2 to nops - 1 do
+            match Types.resolve ctx.env !ty with
+            | Types.Array (_, e) ->
+                let r, p = idx_range k in
+                prec := !prec && p;
+                acc :=
+                  Ranges.itv_add !acc
+                    (Ranges.itv_scale
+                       (Int64.of_int (Vmem.Layout.size_of ctx.lt e))
+                       r);
+                ty := e
+            | Types.Struct fields -> (
+                match i.Ir.operands.(k) with
+                | Ir.Const { ckind = Ir.Cint n; _ } ->
+                    let fk = Int64.to_int n in
+                    let fty =
+                      match List.nth_opt fields fk with
+                      | Some fty -> fty
+                      | None -> raise Exit
+                    in
+                    acc :=
+                      Ranges.itv_add !acc
+                        (Ranges.Itv
+                           ( Int64.of_int
+                               (Vmem.Layout.field_offset ctx.lt fields fk),
+                             Int64.of_int
+                               (Vmem.Layout.field_offset ctx.lt fields fk) ));
+                    ty := fty
+                | _ -> raise Exit (* verifier rules this out *))
+            | _ -> raise Exit
+          done;
+          (!acc, !prec)
+        with Invalid_argument _ | Types.Unresolved _ | Exit ->
+          (Ranges.Top, false))
+    | Ir.Vreg ({ Ir.op = Ir.Cast; _ } as i) -> (
+        match Ir.type_of_value i.Ir.operands.(0) with
+        | Types.Pointer _ -> walk i.Ir.operands.(0)
+        | _ -> (Ranges.Top, false))
+    | Ir.Vreg { Ir.op = Ir.Alloca; _ } | Ir.Vglobal _ ->
+        (Ranges.Itv (0L, 0L), true)
+    | _ -> (Ranges.Top, false)
+  in
+  walk v
+
 let check_oob ctx ~k_func (f : Ir.func) =
   let check_access (i : Ir.instr) (ptr : Ir.value) what =
     let base = Analysis.Alias.base_object ptr in
-    match
-      (object_size ctx base, Analysis.Alias.const_offset ctx.lt ptr,
-       Analysis.Alias.access_size ctx.lt ptr)
-    with
-    | Some size, Some off, Some access ->
-        if off < 0 || off + access > size then
-          ctx.emit
-            (Diag.at_instr ~check:"oob-access" ~sev:Diag.Error ~k_func f i
-               (Printf.sprintf
-                  "%s of %d byte%s at offset %d is outside %s (%d bytes)"
-                  what access
-                  (if access = 1 then "" else "s")
-                  off (base_name base) size))
+    match (object_size ctx base, Analysis.Alias.access_size ctx.lt ptr) with
+    | Some size, Some access -> (
+        match Analysis.Alias.const_offset ctx.lt ptr with
+        | Some off ->
+            if off < 0 || off + access > size then
+              ctx.emit
+                (Diag.at_instr ~check:"oob-access" ~sev:Diag.Error ~k_func f i
+                   (Printf.sprintf
+                      "%s of %d byte%s at offset %d is outside %s (%d bytes)"
+                      what access
+                      (if access = 1 then "" else "s")
+                      off (base_name base) size))
+        | None -> (
+            (* variable offset: consult the range analysis *)
+            match offset_range ctx f ptr with
+            | Ranges.Itv (lo, hi), precise ->
+                let size64 = Int64.of_int size
+                and acc64 = Int64.of_int access in
+                if hi < 0L || lo > Int64.sub size64 acc64 then
+                  ctx.emit
+                    (Diag.at_instr ~check:"oob-access" ~sev:Diag.Error ~k_func
+                       f i
+                       (Printf.sprintf
+                          "%s of %d byte%s at offset %s is provably outside \
+                           %s (%d bytes)"
+                          what access
+                          (if access = 1 then "" else "s")
+                          (Ranges.to_string (Ranges.Itv (lo, hi)))
+                          (base_name base) size))
+                else if
+                  (* straddle: only worth a warning when every index was
+                     informative AND the offset range is commensurate with
+                     the object — a widened loop counter spans billions of
+                     bytes and proves nothing about real accesses *)
+                  precise
+                  && (lo < 0L || Int64.add hi acc64 > size64)
+                  &&
+                  match Ranges.sub64 hi lo with
+                  | Some w -> w <= Int64.mul 2L size64
+                  | None -> false
+                then
+                  ctx.emit
+                    (Diag.at_instr ~check:"oob-access" ~sev:Diag.Warning
+                       ~k_func f i
+                       (Printf.sprintf
+                          "%s of %d byte%s at offset %s may be outside %s \
+                           (%d bytes)"
+                          what access
+                          (if access = 1 then "" else "s")
+                          (Ranges.to_string (Ranges.Itv (lo, hi)))
+                          (base_name base) size))
+            | _ -> ()))
     | _ -> ()
   in
   Ir.iter_instrs
@@ -323,17 +464,33 @@ let check_oob ctx ~k_func (f : Ir.func) =
              and stores through them are caught above *)
           let v = Ir.Vreg i in
           let base = Analysis.Alias.base_object v in
-          match (object_size ctx base, Analysis.Alias.const_offset ctx.lt v)
-          with
-          | Some size, Some off ->
-              if off < 0 || off > size then
-                ctx.emit
-                  (Diag.at_instr ~check:"oob-access" ~sev:Diag.Warning ~k_func
-                     f i
-                     (Printf.sprintf
-                        "getelementptr to offset %d is outside %s (%d bytes)"
-                        off (base_name base) size))
-          | _ -> ())
+          match object_size ctx base with
+          | Some size -> (
+              match Analysis.Alias.const_offset ctx.lt v with
+              | Some off ->
+                  if off < 0 || off > size then
+                    ctx.emit
+                      (Diag.at_instr ~check:"oob-access" ~sev:Diag.Warning
+                         ~k_func f i
+                         (Printf.sprintf
+                            "getelementptr to offset %d is outside %s (%d \
+                             bytes)"
+                            off (base_name base) size))
+              | None -> (
+                  (* only report geps whose entire range is outside *)
+                  match offset_range ctx f v with
+                  | Ranges.Itv (lo, hi), _
+                    when hi < 0L || lo > Int64.of_int size ->
+                      ctx.emit
+                        (Diag.at_instr ~check:"oob-access" ~sev:Diag.Warning
+                           ~k_func f i
+                           (Printf.sprintf
+                              "getelementptr to offset %s is provably \
+                               outside %s (%d bytes)"
+                              (Ranges.to_string (Ranges.Itv (lo, hi)))
+                              (base_name base) size))
+                  | _ -> ()))
+          | None -> ())
       | _ -> ())
     f
 
@@ -360,17 +517,27 @@ let check_null ctx ~k_func (f : Ir.func) =
               let s = Summaries.func_summary ctx.summaries g in
               List.iteri
                 (fun j arg ->
-                  if
-                    points_to_null ctx arg
-                    && (Summaries.arg_summary s j).Summaries.derefs
-                  then
-                    ctx.emit
-                      (Diag.at_instr ~check:"null-arg" ~sev:Diag.Warning
-                         ~k_func f i
-                         (Printf.sprintf
-                            "null passed as argument %d of %%%s, which \
-                             dereferences it"
-                            j g.Ir.fname)))
+                  if points_to_null ctx arg then
+                    let aj = Summaries.arg_summary s j in
+                    if aj.Summaries.must_derefs then
+                      (* the callee dereferences the argument on every
+                         path: the call provably faults, and the whole
+                         callee SCC is implicated *)
+                      ctx.emit
+                        (Diag.at_instr ~check:"null-arg" ~sev:Diag.Error
+                           ~related:(related_sccs ctx f g) ~k_func f i
+                           (Printf.sprintf
+                              "null passed as argument %d of %%%s, which \
+                               dereferences it on every path"
+                              j g.Ir.fname))
+                    else if aj.Summaries.derefs then
+                      ctx.emit
+                        (Diag.at_instr ~check:"null-arg" ~sev:Diag.Warning
+                           ~k_func f i
+                           (Printf.sprintf
+                              "null passed as argument %d of %%%s, which \
+                               dereferences it"
+                              j g.Ir.fname)))
                 (Ir.call_args i)
           | _ -> ())
       | _ -> ())
@@ -409,26 +576,155 @@ let check_dangling ctx ~k_func (f : Ir.func) =
       | _ -> ())
     f
 
-(* ---------- constant division by zero ---------- *)
+(* ---------- division by (provably or possibly) zero ---------- *)
 
 let check_div_zero ctx ~k_func (f : Ir.func) =
   Ir.iter_instrs
     (fun i ->
       match i.Ir.op with
       | Ir.Binop ((Ir.Div | Ir.Rem) as op) -> (
+          let divisor = i.Ir.operands.(1) in
           let is_int_zero =
-            match i.Ir.operands.(1) with
+            match divisor with
             | Ir.Const { ckind = Ir.Cint 0L; cty } -> Types.is_integer cty
             | Ir.Const { ckind = Ir.Czero; cty } -> Types.is_integer cty
             | _ -> false
           in
-          match is_int_zero with
-          | true ->
-              ctx.emit
-                (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Error ~k_func f
-                   i
-                   (Printf.sprintf "%s by constant zero" (Ir.binop_name op)))
-          | false -> ())
+          if is_int_zero then
+            ctx.emit
+              (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Error ~k_func f i
+                 (Printf.sprintf "%s by constant zero" (Ir.binop_name op)))
+          else if
+            match Types.resolve ctx.env (Ir.type_of_value divisor) with
+            | rty -> Types.is_integer rty
+            | exception Types.Unresolved _ -> false
+          then
+            match Ranges.range_at ctx.ranges f i divisor with
+            | Ranges.Itv (0L, 0L) ->
+                ctx.emit
+                  (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Error ~k_func
+                     f i
+                     (Printf.sprintf "%s by divisor that is provably zero"
+                        (Ir.binop_name op)))
+            | Ranges.Itv (lo, hi) as r
+              when lo <= 0L && 0L <= hi
+                   && informative ctx (Ir.type_of_value divisor) r ->
+                ctx.emit
+                  (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Warning
+                     ~k_func f i
+                     (Printf.sprintf
+                        "%s by divisor whose range %s includes zero"
+                        (Ir.binop_name op) (Ranges.to_string r)))
+            | _ -> ())
+      | _ -> ())
+    f
+
+(* ---------- shift amounts beyond the bit width ---------- *)
+
+(* The evaluator masks shift amounts modulo 64, so a shift by [>= width]
+   is well-defined but almost certainly not what the program meant (the
+   C-source analog is undefined). Error when the amount provably always
+   exceeds the width; warning when an informative range says it might. *)
+let check_shift ctx ~k_func (f : Ir.func) =
+  Ir.iter_instrs
+    (fun i ->
+      match i.Ir.op with
+      | Ir.Binop ((Ir.Shl | Ir.Shr) as op) -> (
+          match Types.resolve ctx.env i.Ir.ity with
+          | rty when Types.is_integer rty -> (
+              let w = Int64.of_int (Types.bitwidth rty) in
+              let amount = i.Ir.operands.(1) in
+              match Ranges.range_at ctx.ranges f i amount with
+              | Ranges.Itv (lo, hi) as r ->
+                  if lo >= w then
+                    ctx.emit
+                      (Diag.at_instr ~check:"shift-range" ~sev:Diag.Error
+                         ~k_func f i
+                         (Printf.sprintf
+                            "%s amount %s is >= the %Ld-bit width of %s"
+                            (Ir.binop_name op) (Ranges.to_string r) w
+                            (Types.to_string rty)))
+                  else if
+                    hi >= w
+                    && informative ctx (Ir.type_of_value amount) r
+                    && (* only tight amount ranges whose out-of-width part
+                          is the strict majority are worth a warning (a
+                          mask like [0..63] on a 32-bit shift is half
+                          in-range and almost always intentional) *)
+                    (match Ranges.sub64 hi lo with
+                    | Some wd ->
+                        wd <= Int64.mul 2L w
+                        && Int64.mul 2L (Int64.succ (Int64.sub hi w))
+                           > Int64.succ wd
+                    | None -> false)
+                  then
+                    ctx.emit
+                      (Diag.at_instr ~check:"shift-range" ~sev:Diag.Warning
+                         ~k_func f i
+                         (Printf.sprintf
+                            "%s amount %s may reach the %Ld-bit width of %s"
+                            (Ir.binop_name op) (Ranges.to_string r) w
+                            (Types.to_string rty)))
+              | _ -> ())
+          | _ -> ()
+          | exception Types.Unresolved _ -> ())
+      | _ -> ())
+    f
+
+(* ---------- provably value-losing truncations ---------- *)
+
+let check_trunc ctx ~k_func (f : Ir.func) =
+  Ir.iter_instrs
+    (fun i ->
+      match i.Ir.op with
+      | Ir.Cast -> (
+          let src = i.Ir.operands.(0) in
+          match
+            ( Types.resolve ctx.env (Ir.type_of_value src),
+              Types.resolve ctx.env i.Ir.ity )
+          with
+          | sty, dty
+            when Types.is_integer sty && Types.is_integer dty
+                 && Types.bitwidth dty < Types.bitwidth sty -> (
+              match
+                (Ranges.range_at ctx.ranges f i src, Ranges.bounds dty)
+              with
+              | Ranges.Itv (lo, hi), Some (bl, bh) ->
+                  if hi < bl || lo > bh then
+                    ctx.emit
+                      (Diag.at_instr ~check:"trunc-range" ~sev:Diag.Error
+                         ~k_func f i
+                         (Printf.sprintf
+                            "truncation to %s provably loses the value: \
+                             source range %s has no representable value"
+                            (Types.to_string dty)
+                            (Ranges.to_string (Ranges.Itv (lo, hi)))))
+                  else if
+                    (* straddle warnings fire only for upper-bound
+                       overflow (a negative value into an unsigned type is
+                       idiomatic wraparound) and only when the source
+                       range is commensurate with the destination span — a
+                       widened range covering the whole source type says
+                       nothing about the values actually flowing here *)
+                    hi > bh
+                    && informative ctx (Ir.type_of_value src)
+                         (Ranges.Itv (lo, hi))
+                    && (match Ranges.sub64 hi lo with
+                       | Some w ->
+                           w <= Int64.mul 2L (Int64.succ (Int64.sub bh bl))
+                       | None -> false)
+                  then
+                    ctx.emit
+                      (Diag.at_instr ~check:"trunc-range" ~sev:Diag.Warning
+                         ~k_func f i
+                         (Printf.sprintf
+                            "truncation to %s may lose the value: source \
+                             range %s exceeds its bounds"
+                            (Types.to_string dty)
+                            (Ranges.to_string (Ranges.Itv (lo, hi)))))
+              | _ -> ())
+          | _ -> ()
+          | exception Types.Unresolved _ -> ())
       | _ -> ())
     f
 
@@ -486,6 +782,8 @@ let run_function ctx ~k_func (f : Ir.func) =
     check_null ctx ~k_func f;
     check_dangling ctx ~k_func f;
     check_div_zero ctx ~k_func f;
+    check_shift ctx ~k_func f;
+    check_trunc ctx ~k_func f;
     check_unreachable ctx ~k_func f cfg;
     check_unused_result ctx ~k_func f
   end

@@ -33,6 +33,10 @@ type t = {
   instr : int; (* instruction index within the block; -1 when none *)
   site : string; (* short printed form of the site, e.g. "load %p" *)
   msg : string;
+  related : string list;
+      (* other functions implicated by an interprocedural finding (the
+         callee of a bad call, every member of an offending SCC); the
+         per-function cache gate blames them alongside [func] *)
   (* ordering keys (function / block position in the module); not part of
      the rendered record *)
   k_func : int;
@@ -40,8 +44,8 @@ type t = {
 }
 
 let mk ~check ~sev ?(func = "") ?(block = "") ?(instr = -1) ?(site = "")
-    ?(k_func = -1) ?(k_block = -1) msg =
-  { check; sev; func; block; instr; site; msg; k_func; k_block }
+    ?(related = []) ?(k_func = -1) ?(k_block = -1) msg =
+  { check; sev; func; block; instr; site; msg; related; k_func; k_block }
 
 (* Describe an instruction site compactly: "%name = opcode" or just the
    opcode for unnamed/void instructions. *)
@@ -52,7 +56,8 @@ let describe_instr (i : Ir.instr) =
 (* Location of [i] inside function [f] (which sits at [k_func] in the
    module): block position and instruction index are recovered from the
    function body, so every checker reports positions the same way. *)
-let at_instr ~check ~sev ~k_func (f : Ir.func) (i : Ir.instr) msg =
+let at_instr ~check ~sev ?(related = []) ~k_func (f : Ir.func) (i : Ir.instr)
+    msg =
   let k_block = ref (-1) and instr_idx = ref (-1) and block_name = ref "" in
   List.iteri
     (fun bk (b : Ir.block) ->
@@ -73,11 +78,13 @@ let at_instr ~check ~sev ~k_func (f : Ir.func) (i : Ir.instr) msg =
     instr = !instr_idx;
     site = describe_instr i;
     msg;
+    related;
     k_func;
     k_block = !k_block;
   }
 
-let at_block ~check ~sev ~k_func (f : Ir.func) (b : Ir.block) msg =
+let at_block ~check ~sev ?(related = []) ~k_func (f : Ir.func) (b : Ir.block)
+    msg =
   let k_block = ref (-1) in
   List.iteri (fun bk b' -> if b' == b then k_block := bk) f.Ir.fblocks;
   {
@@ -88,6 +95,7 @@ let at_block ~check ~sev ~k_func (f : Ir.func) (b : Ir.block) msg =
     instr = -1;
     site = Printf.sprintf "block %%%s" b.Ir.bname;
     msg;
+    related;
     k_func;
     k_block = !k_block;
   }
@@ -103,7 +111,10 @@ let compare_diag (a : t) (b : t) =
       if c <> 0 then c
       else
         let c = compare a.check b.check in
-        if c <> 0 then c else compare a.msg b.msg
+        if c <> 0 then c
+        else
+          let c = compare a.msg b.msg in
+          if c <> 0 then c else compare a.related b.related
 
 let sort diags = List.stable_sort compare_diag diags
 
@@ -126,7 +137,9 @@ let render_text diags = String.concat "\n" (List.map to_text diags)
 
 (* ---------- JSON renderer / reader ---------- *)
 
-let schema_version = 1
+(* v2: every diagnostic carries a "related" function list so per-function
+   verdicts can blame interprocedural findings on all involved parties. *)
+let schema_version = 2
 
 let diag_to_json (d : t) =
   Json.Obj
@@ -138,6 +151,7 @@ let diag_to_json (d : t) =
       ("instr", Json.Int d.instr);
       ("site", Json.Str d.site);
       ("message", Json.Str d.msg);
+      ("related", Json.List (List.map (fun f -> Json.Str f) d.related));
     ]
 
 let to_json diags =
@@ -162,6 +176,11 @@ let diag_of_json (j : Json.t) : t =
     | Some sev -> sev
     | None -> raise (Json.Parse_error ("bad severity: " ^ s "severity"))
   in
+  let related =
+    List.map
+      (Json.get_string "related")
+      (Json.get_list "related" (Json.get_member "diagnostic" "related" j))
+  in
   {
     check = s "check";
     sev;
@@ -170,6 +189,7 @@ let diag_of_json (j : Json.t) : t =
     instr = n "instr";
     site = s "site";
     msg = s "message";
+    related;
     k_func = -1;
     k_block = -1;
   }

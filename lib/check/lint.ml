@@ -32,8 +32,8 @@ let catalogue : check_info list =
       id = "oob-access";
       default_on = true;
       descr =
-        "constant out-of-bounds getelementptr/load/store, computed against \
-         the target data layout";
+        "out-of-bounds getelementptr/load/store, computed against the \
+         target data layout from constant or range-analyzed offsets";
     };
     {
       id = "null-deref";
@@ -56,7 +56,23 @@ let catalogue : check_info list =
     {
       id = "div-by-zero";
       default_on = true;
-      descr = "integer division or remainder by constant zero";
+      descr =
+        "integer division or remainder by a constant or provably-zero \
+         divisor (warning when its range merely includes zero)";
+    };
+    {
+      id = "shift-range";
+      default_on = true;
+      descr =
+        "shift whose amount provably reaches (error) or may reach \
+         (warning) the bit width of the shifted type";
+    };
+    {
+      id = "trunc-range";
+      default_on = true;
+      descr =
+        "integer truncation whose source range provably cannot (error) or \
+         may not (warning) fit the destination type";
     };
     {
       id = "unreachable-block";
@@ -98,12 +114,20 @@ let run ?checks (m : Ir.modl) : Diag.t list =
         names
   in
   let acc = ref [] in
+  let sccs : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun scc ->
+      let names = List.map (fun (f : Ir.func) -> f.Ir.fname) scc in
+      List.iter (fun n -> Hashtbl.replace sccs n names) names)
+    (Analysis.Callgraph.sccs (Analysis.Callgraph.compute m));
   let ctx =
     {
       Checks.m;
       env = Ir.type_env m;
       lt = Vmem.Layout.for_module m;
       summaries = Summaries.compute m;
+      ranges = Ranges.compute m;
+      sccs;
       emit = (fun d -> acc := d :: !acc);
     }
   in
@@ -126,7 +150,10 @@ let run ?checks (m : Ir.modl) : Diag.t list =
    false negatives, changed severities): recorded verdicts with another
    stamp are rejected by [verdict_of_json] and force a re-lint. *)
 
-let version = 1
+(* v2: range-upgraded oob-access/div-by-zero, shift-range and trunc-range
+   checks, Error-severity null-arg, and per-diagnostic related-function
+   lists (diag schema 2) for per-function verdict granularity. *)
+let version = 2
 
 type verdict = {
   v_version : int; (* analysis version that produced this verdict *)
@@ -151,6 +178,18 @@ let verdict_warnings v = Diag.count_severity Diag.Warning v.v_diags
 (* Clean means no error-severity findings: warnings never gate caching,
    matching the CLI's exit-code policy (without --werror). *)
 let verdict_clean v = verdict_errors v = 0
+
+(* Functions implicated by at least one error-severity finding: the
+   reporting function plus every function it names as related (callee
+   SCCs of interprocedural findings). Sorted, unique, no "" entries —
+   the execution manager blocks exactly these from the native cache. *)
+let verdict_tainted v : string list =
+  List.concat_map
+    (fun (d : Diag.t) ->
+      if d.Diag.sev = Diag.Error then d.Diag.func :: d.Diag.related else [])
+    v.v_diags
+  |> List.filter (fun n -> n <> "")
+  |> List.sort_uniq compare
 
 let verdict_to_json (v : verdict) : Json.t =
   Json.Obj

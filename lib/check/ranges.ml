@@ -1,0 +1,973 @@
+(* Interprocedural integer value-range analysis: abstract interpretation
+   over intervals of the *mathematical* value each SSA register holds
+   (paper §3.3: the typed SSA V-ISA is what makes an analysis of this
+   shape tractable on shipped object code).
+
+   The domain is [Bot | Itv (lo, hi) | Top] where [Itv] bounds the
+   canonical representative of [Ir.normalize_int] — which equals the
+   mathematical value for every integer type except [ulong], whose values
+   at or above 2^63 have no int64 representative. Ulong therefore gets an
+   unbounded top ([Top]) and only its sub-2^63 values are ever tracked;
+   every other type's top is its full representable range, so stored
+   intervals stay canonical (always inside the type bounds).
+
+   Structure, mirroring [Summaries]:
+   - per function: reverse-postorder join-ascent sweeps over the [Cfg],
+     with bounded widening at phis inside natural loops (from [Loops])
+     after [widen_delay] sweeps, a hard [max_sweeps] budget whose
+     exhaustion falls back to all-top (and clears [fixpoint_reached]),
+     and a two-sweep narrowing pass to claw back widening losses;
+   - flow sensitivity: branch conditions ([Setcc]-guarded [Br] edges and
+     single-target [Mbr] cases) become edge constraints; a value read in
+     block B is refined by every constraint on a dominating
+     single-predecessor edge, and phi arms by their incoming edge;
+   - interprocedurally: return ranges computed bottom-up over
+     [Callgraph.sccs] with a bounded per-SCC fixpoint, then descending
+     rounds that join call-site argument ranges into per-argument
+     summaries (only for functions whose callers are all visible: not
+     [main], not address-taken). Stopping the descent at any round is
+     sound, so the round budget needs no fallback.
+
+   Everything here is deterministic: iteration follows module, block and
+   instruction order; hash tables are only used for keyed lookup. *)
+
+open Llva
+
+type itv = Bot | Itv of int64 * int64 | Top
+
+let to_string = function
+  | Bot -> "bot"
+  | Top -> "top"
+  | Itv (l, h) ->
+      if l = h then Printf.sprintf "[%Ld]" l else Printf.sprintf "[%Ld..%Ld]" l h
+
+(* ---------- lattice ---------- *)
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Itv (l1, h1), Itv (l2, h2) -> Itv (min l1 l2, max h1 h2)
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, x | x, Top -> x
+  | Itv (l1, h1), Itv (l2, h2) ->
+      let l = max l1 l2 and h = min h1 h2 in
+      if l > h then Bot else Itv (l, h)
+
+(* ---------- overflow-checked int64 helpers ---------- *)
+
+let add64 a b =
+  let r = Int64.add a b in
+  if a >= 0L = (b >= 0L) && r >= 0L <> (a >= 0L) then None else Some r
+
+let sub64 a b =
+  if b = Int64.min_int then if a < 0L then Some (Int64.sub a b) else None
+  else add64 a (Int64.neg b)
+
+let mul64 a b =
+  if a = 0L || b = 0L then Some 0L
+  else if (a = -1L && b = Int64.min_int) || (b = -1L && a = Int64.min_int) then
+    None
+  else
+    let r = Int64.mul a b in
+    if Int64.div r b = a && Int64.rem r b = 0L then Some r else None
+
+(* a * 2^s, for 0 <= s <= 63 *)
+let shl64 a s =
+  if a = 0L then Some 0L
+  else if s >= 63 then None
+  else mul64 a (Int64.shift_left 1L s)
+
+(* ---------- the type-bounds view of the domain ---------- *)
+
+(* Representable range of the canonical representative; [None] for ulong,
+   whose top is unbounded. Callers pass resolved int-like types. *)
+let bounds = function
+  | Types.Bool -> Some (0L, 1L)
+  | Types.Ubyte -> Some (0L, 255L)
+  | Types.Sbyte -> Some (-128L, 127L)
+  | Types.Ushort -> Some (0L, 65535L)
+  | Types.Short -> Some (-32768L, 32767L)
+  | Types.Uint -> Some (0L, 4294967295L)
+  | Types.Int -> Some (-2147483648L, 2147483647L)
+  | Types.Long -> Some (Int64.min_int, Int64.max_int)
+  | _ -> None (* Ulong, or a type we never track *)
+
+let top_of ty = match bounds ty with Some (l, h) -> Itv (l, h) | None -> Top
+
+(* Is this range as good as knowing nothing about a value of [ty]? *)
+let is_top ty itv = itv = Top || itv = top_of ty
+
+let int_like env ty =
+  match Types.resolve env ty with
+  | Types.Bool -> true
+  | t -> Types.is_integer t
+  | exception Types.Unresolved _ -> false
+
+(* A computed mathematical interval becomes a sound range for a value of
+   [ty]: kept when it fits entirely inside the representable range, and
+   degraded to the type's top when it does not (the runtime wraps, which
+   an interval cannot describe). *)
+let fit ty = function
+  | Bot -> Bot
+  | Top -> top_of ty
+  | Itv (l, h) as itv -> (
+      match bounds ty with
+      | Some (bl, bh) -> if l >= bl && h <= bh then itv else top_of ty
+      | None -> if l >= 0L then itv else Top)
+
+let clamp ty itv = meet itv (top_of ty)
+
+(* ---------- pure interval arithmetic (for gep offset walks) ---------- *)
+
+let itv_add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, _ | _, Top -> Top
+  | Itv (l1, h1), Itv (l2, h2) -> (
+      match (add64 l1 l2, add64 h1 h2) with
+      | Some l, Some h -> Itv (l, h)
+      | _ -> Top)
+
+let itv_scale k a =
+  match a with
+  | Bot -> Bot
+  | Top -> if k = 0L then Itv (0L, 0L) else Top
+  | Itv (l, h) -> (
+      match (mul64 k l, mul64 k h) with
+      | Some a, Some b -> Itv (min a b, max a b)
+      | _ -> Top)
+
+(* ---------- constants ---------- *)
+
+let const_itv env (v : Ir.value) : itv =
+  match v with
+  | Ir.Const { cty; ckind } -> (
+      match Types.resolve env cty with
+      | exception Types.Unresolved _ -> Top
+      | rty -> (
+          if not (int_like env rty) then Top
+          else
+            match ckind with
+            | Ir.Cbool b -> if b then Itv (1L, 1L) else Itv (0L, 0L)
+            | Ir.Cint n ->
+                (* for ulong a negative representative is a value >= 2^63,
+                   outside what the math domain can carry *)
+                if rty = Types.Ulong && n < 0L then Top else Itv (n, n)
+            | Ir.Czero -> Itv (0L, 0L)
+            | _ -> top_of rty))
+  | Ir.Vundef ty -> (
+      match Types.resolve env ty with
+      | rty -> top_of rty
+      | exception Types.Unresolved _ -> Top)
+  | _ -> Top
+
+(* ---------- analysis state ---------- *)
+
+type constr = {
+  ccmp : Ir.cmp;
+  ctaken : bool; (* the branch direction this edge represents *)
+  ca : Ir.value;
+  cb : Ir.value;
+}
+
+type fn_info = {
+  fi_f : Ir.func;
+  fi_cfg : Analysis.Cfg.t;
+  fi_dom : Analysis.Dominance.t;
+  fi_loopdepth : int array; (* per block index; 0 = not in a loop *)
+  fi_edge_cs : (int * int, constr list) Hashtbl.t; (* (pred, succ) edge *)
+  fi_ivals : (int, itv) Hashtbl.t; (* instr id -> range *)
+  fi_args : (int, itv) Hashtbl.t; (* arg id -> range *)
+  mutable fi_ret : itv;
+  mutable fi_fp : bool; (* per-function fixpoint inside the budget *)
+  mutable fi_sweeps : int;
+}
+
+type t = {
+  rm : Ir.modl;
+  renv : Types.env;
+  fns : (int, fn_info) Hashtbl.t; (* func id -> info; defined funcs only *)
+  mutable rounds : int; (* interprocedural descending rounds run *)
+}
+
+let add_edge_constr fi key c =
+  let cur =
+    match Hashtbl.find_opt fi.fi_edge_cs key with Some l -> l | None -> []
+  in
+  Hashtbl.replace fi.fi_edge_cs key (cur @ [ c ])
+
+let collect_constraints env fi =
+  let cfg = fi.fi_cfg in
+  let idx b = Analysis.Cfg.index_of cfg b in
+  Analysis.Cfg.iter_rpo
+    (fun (b : Ir.block) ->
+      match Ir.terminator b with
+      | Some
+          ({
+             Ir.op = Ir.Br;
+             operands = [| cond; Ir.Vblock tb; Ir.Vblock fb |];
+             _;
+           } as _br)
+        when not (tb == fb) -> (
+          match cond with
+          | Ir.Vreg ({ Ir.op = Ir.Setcc cmp; _ } as s)
+            when int_like env (Ir.type_of_value s.Ir.operands.(0)) ->
+              let kb = idx b in
+              let c taken =
+                {
+                  ccmp = cmp;
+                  ctaken = taken;
+                  ca = s.Ir.operands.(0);
+                  cb = s.Ir.operands.(1);
+                }
+              in
+              add_edge_constr fi (kb, idx tb) (c true);
+              add_edge_constr fi (kb, idx fb) (c false)
+          | _ -> ())
+      | Some ({ Ir.op = Ir.Mbr; _ } as mbr)
+        when int_like env (Ir.type_of_value mbr.Ir.operands.(0)) -> (
+          (* a case edge carries [v = n], but only when the target is hit
+             by exactly that one case and is not also the default *)
+          let v = mbr.Ir.operands.(0) in
+          let vty = Ir.type_of_value v in
+          let cases = Ir.mbr_cases mbr in
+          let default =
+            match mbr.Ir.operands.(1) with
+            | Ir.Vblock d -> Some d
+            | _ -> None
+          in
+          let kb = idx b in
+          List.iter
+            (fun (n, (target : Ir.block)) ->
+              let hits =
+                List.length
+                  (List.filter (fun (_, t2) -> t2 == target) cases)
+              in
+              let is_default =
+                match default with Some d -> d == target | None -> true
+              in
+              if hits = 1 && not is_default then
+                add_edge_constr fi
+                  (kb, idx target)
+                  {
+                    ccmp = Ir.Eq;
+                    ctaken = true;
+                    ca = v;
+                    cb = Ir.const_int vty n;
+                  })
+            cases)
+      | _ -> ())
+    cfg
+
+let mk_fn_info env (f : Ir.func) : fn_info =
+  let cfg = Analysis.Cfg.build f in
+  let dom = Analysis.Dominance.compute cfg in
+  let loops = Analysis.Loops.compute cfg dom in
+  let loopdepth =
+    Array.init (Analysis.Cfg.n_blocks cfg) (fun k ->
+        Analysis.Loops.loop_depth loops (Analysis.Cfg.block cfg k))
+  in
+  let fi =
+    {
+      fi_f = f;
+      fi_cfg = cfg;
+      fi_dom = dom;
+      fi_loopdepth = loopdepth;
+      fi_edge_cs = Hashtbl.create 8;
+      fi_ivals = Hashtbl.create 64;
+      fi_args = Hashtbl.create 8;
+      fi_ret = Top;
+      fi_fp = true;
+      fi_sweeps = 0;
+    }
+  in
+  collect_constraints env fi;
+  (* arguments start at the type's top; interprocedural rounds tighten *)
+  List.iter
+    (fun (a : Ir.arg) ->
+      let top =
+        match Types.resolve env a.Ir.aty with
+        | rty -> top_of rty
+        | exception Types.Unresolved _ -> Top
+      in
+      Hashtbl.replace fi.fi_args a.Ir.aid top)
+    f.Ir.fargs;
+  fi
+
+(* ---------- reading values, with branch refinement ---------- *)
+
+let lookup_base t fi (v : Ir.value) : itv =
+  match v with
+  | Ir.Const _ | Ir.Vundef _ -> const_itv t.renv v
+  | Ir.Vreg i -> (
+      match Hashtbl.find_opt fi.fi_ivals i.Ir.iid with
+      | Some x -> x
+      | None -> Bot)
+  | Ir.Varg a -> (
+      match Hashtbl.find_opt fi.fi_args a.Ir.aid with
+      | Some x -> x
+      | None -> Top)
+  | _ -> Top
+
+let negate_cmp = function
+  | Ir.Eq -> Ir.Ne
+  | Ir.Ne -> Ir.Eq
+  | Ir.Lt -> Ir.Ge
+  | Ir.Ge -> Ir.Lt
+  | Ir.Gt -> Ir.Le
+  | Ir.Le -> Ir.Gt
+
+let swap_cmp = function
+  | Ir.Lt -> Ir.Gt
+  | Ir.Gt -> Ir.Lt
+  | Ir.Le -> Ir.Ge
+  | Ir.Ge -> Ir.Le
+  | (Ir.Eq | Ir.Ne) as c -> c
+
+(* [cur] further constrained by [v CMP other]. Comparisons on canonical
+   representatives agree with the run-time comparison for every tracked
+   range: signed representatives are the value, and unsigned ones
+   (including tracked ulong) are non-negative, where signed and unsigned
+   orders coincide. *)
+let refine_lhs cmp cur (other : itv) =
+  let at_most k = function
+    | Bot -> Bot
+    | Itv (l, h) -> if l > k then Bot else Itv (l, min h k)
+    | Top -> if k < 0L then Bot else Itv (0L, k)
+    (* Top is ulong-only: values are >= 0 *)
+  in
+  let at_least k = function
+    | Bot -> Bot
+    | Itv (l, h) -> if h < k then Bot else Itv (max l k, h)
+    | Top -> Top (* no representable upper bound for ulong *)
+  in
+  match cmp with
+  | Ir.Eq -> meet cur other
+  | Ir.Ne -> (
+      match (cur, other) with
+      | Itv (l, h), Itv (bl, bh) when bl = bh ->
+          if l = h && l = bl then Bot
+          else if bl = l then Itv (Int64.add l 1L, h)
+          else if bl = h then Itv (l, Int64.sub h 1L)
+          else cur
+      | _ -> cur)
+  | Ir.Lt -> (
+      match other with
+      | Itv (_, bh) ->
+          if bh = Int64.min_int then Bot else at_most (Int64.sub bh 1L) cur
+      | _ -> cur)
+  | Ir.Le -> ( match other with Itv (_, bh) -> at_most bh cur | _ -> cur)
+  | Ir.Gt -> (
+      match other with
+      | Itv (bl, _) ->
+          if bl = Int64.max_int then Bot else at_least (Int64.add bl 1L) cur
+      | _ -> cur)
+  | Ir.Ge -> ( match other with Itv (bl, _) -> at_least bl cur | _ -> cur)
+
+let apply_constr t fi (c : constr) (v : Ir.value) (cur : itv) : itv =
+  let cmp = if c.ctaken then c.ccmp else negate_cmp c.ccmp in
+  if Ir.value_equal c.ca v then refine_lhs cmp cur (lookup_base t fi c.cb)
+  else if Ir.value_equal c.cb v then
+    refine_lhs (swap_cmp cmp) cur (lookup_base t fi c.ca)
+  else cur
+
+let edge_refine t fi (pk, sk) v cur =
+  match Hashtbl.find_opt fi.fi_edge_cs (pk, sk) with
+  | Some cs -> List.fold_left (fun r c -> apply_constr t fi c v r) cur cs
+  | None -> cur
+
+(* Value of [v] as observed inside block [bk]: the flow-insensitive range,
+   sharpened by every constraint guarding a dominating single-predecessor
+   edge (the only way into that dominator, hence into [bk]). *)
+let eval_at t fi bk (v : Ir.value) : itv =
+  let base = lookup_base t fi v in
+  match v with
+  | Ir.Vreg _ | Ir.Varg _ ->
+      let r = ref base in
+      let k = ref bk in
+      let continue_ = ref true in
+      while !continue_ do
+        let s = !k in
+        (if s <> 0 then
+           match fi.fi_cfg.Analysis.Cfg.preds.(s) with
+           | [ p ] -> r := edge_refine t fi (p, s) v !r
+           | _ -> ());
+        if s = 0 then continue_ := false
+        else k := fi.fi_dom.Analysis.Dominance.idom.(s)
+      done;
+      !r
+  | _ -> base
+
+(* ---------- transfer functions ---------- *)
+
+(* Generic interval transfer for one integer binop; operand ranges are
+   mathematical intervals of canonical representatives. *)
+let binop_ranges ty op (a : itv) (b : itv) : itv =
+  let top = top_of ty in
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (al, ah), Itv (bl, bh) -> (
+      match op with
+      | Ir.Add -> (
+          match (add64 al bl, add64 ah bh) with
+          | Some l, Some h -> Itv (l, h)
+          | _ -> top)
+      | Ir.Sub -> (
+          match (sub64 al bh, sub64 ah bl) with
+          | Some l, Some h -> Itv (l, h)
+          | _ -> top)
+      | Ir.Mul -> (
+          match (mul64 al bl, mul64 al bh, mul64 ah bl, mul64 ah bh) with
+          | Some a1, Some a2, Some a3, Some a4 ->
+              Itv (min (min a1 a2) (min a3 a4), max (max a1 a2) (max a3 a4))
+          | _ -> top)
+      | Ir.Div ->
+          (* a zero divisor traps and produces nothing, so it can be cut
+             from the divisor range; provably-zero means the result is
+             unreachable *)
+          let bl = if bl = 0L && bh > 0L then 1L else bl in
+          let bh = if bh = 0L && bl < 0L then -1L else bh in
+          if bl = 0L && bh = 0L then Bot
+          else if bl > bh then Bot
+          else if bl < 0L && bh > 0L then top
+          else if al = Int64.min_int && bh = -1L && bl <= -1L then top
+          else
+            let c1 = Int64.div al bl
+            and c2 = Int64.div al bh
+            and c3 = Int64.div ah bl
+            and c4 = Int64.div ah bh in
+            Itv (min (min c1 c2) (min c3 c4), max (max c1 c2) (max c3 c4))
+      | Ir.Rem ->
+          let bl = if bl = 0L && bh > 0L then 1L else bl in
+          if bl = 0L && bh = 0L then Bot
+          else if bl > bh then Bot
+          else if bl >= 1L then
+            if al >= 0L && ah < bl then Itv (al, ah) (* a < divisor: a mod b = a *)
+            else
+              let hi = Int64.sub bh 1L in
+              let lo = if al >= 0L then 0L else Int64.neg hi in
+              Itv (lo, hi)
+          else top
+      | Ir.And ->
+          (* x land y <= x when x >= 0, and the result stays >= 0 *)
+          let r = top in
+          let r = if al >= 0L then meet r (Itv (0L, ah)) else r in
+          let r = if bl >= 0L then meet r (Itv (0L, bh)) else r in
+          r
+      | Ir.Or | Ir.Xor ->
+          if al >= 0L && bl >= 0L then begin
+            (* bounded by the smallest all-ones mask covering both *)
+            let m = max ah bh in
+            let bits = ref 1 in
+            while
+              !bits < 63 && Int64.sub (Int64.shift_left 1L !bits) 1L < m
+            do
+              incr bits
+            done;
+            let cover =
+              if !bits >= 63 then Int64.max_int
+              else Int64.sub (Int64.shift_left 1L !bits) 1L
+            in
+            Itv (0L, cover)
+          end
+          else top
+      | Ir.Shl ->
+          if bl >= 0L && bh <= 63L && al >= 0L then
+            match
+              (shl64 al (Int64.to_int bl), shl64 ah (Int64.to_int bh))
+            with
+            | Some l, Some h -> Itv (l, h)
+            | _ -> top
+          else top
+      | Ir.Shr ->
+          (* arithmetic shift on canonical representatives matches the
+             logical shift the unsigned types use, because their
+             representatives are non-negative *)
+          if bl >= 0L && bh <= 63L then begin
+            let s1 = Int64.to_int bl and s2 = Int64.to_int bh in
+            let c1 = Int64.shift_right al s1
+            and c2 = Int64.shift_right al s2
+            and c3 = Int64.shift_right ah s1
+            and c4 = Int64.shift_right ah s2 in
+            Itv (min (min c1 c2) (min c3 c4), max (max c1 c2) (max c3 c4))
+          end
+          else top
+      | exception _ -> top)
+  | _ -> (
+      (* one side is top; only [And] can still say something *)
+      match op with
+      | Ir.And ->
+          let r = top in
+          let r =
+            match a with
+            | Itv (al, ah) when al >= 0L -> meet r (Itv (0L, ah))
+            | _ -> r
+          in
+          let r =
+            match b with
+            | Itv (bl, bh) when bl >= 0L -> meet r (Itv (0L, bh))
+            | _ -> r
+          in
+          r
+      | Ir.Rem -> (
+          match b with
+          | Itv (bl, bh) when bl >= 1L -> Itv (Int64.neg (Int64.sub bh 1L), Int64.sub bh 1L)
+          | _ -> top)
+      | _ -> top)
+
+let binop_itv ty op (a : itv) (b : itv) : itv =
+  match (a, b) with
+  | Itv (al, ah), Itv (bl, bh)
+    when al = ah && bl = bh && ty <> Types.Bool -> (
+      (* both singletons: run the exact scalar semantics, bit-for-bit the
+         same as the interpreter and the simulators *)
+      match Eval.int_binop op ty al bl with
+      | Eval.I (_, r) ->
+          if ty = Types.Ulong && r < 0L then Top else Itv (r, r)
+      | _ -> top_of ty
+      | exception Eval.Division_by_zero -> Bot)
+  | _ -> binop_ranges ty op a b
+
+let setcc_itv t fi bk cmp (a : Ir.value) (b : Ir.value) : itv =
+  let aty = Ir.type_of_value a in
+  if not (int_like t.renv aty) then Itv (0L, 1L)
+  else
+    let ra = eval_at t fi bk a and rb = eval_at t fi bk b in
+    match (ra, rb) with
+    | Bot, _ | _, Bot -> Bot
+    | Itv (al, ah), Itv (bl, bh) -> (
+        let yes = Itv (1L, 1L) and no = Itv (0L, 0L) and maybe = Itv (0L, 1L) in
+        match cmp with
+        | Ir.Eq ->
+            if al = ah && bl = bh && al = bl then yes
+            else if ah < bl || bh < al then no
+            else maybe
+        | Ir.Ne ->
+            if al = ah && bl = bh && al = bl then no
+            else if ah < bl || bh < al then yes
+            else maybe
+        | Ir.Lt -> if ah < bl then yes else if al >= bh then no else maybe
+        | Ir.Le -> if ah <= bl then yes else if al > bh then no else maybe
+        | Ir.Gt -> if al > bh then yes else if ah <= bl then no else maybe
+        | Ir.Ge -> if al >= bh then yes else if ah < bl then no else maybe)
+    | _ -> Itv (0L, 1L)
+
+let cast_itv dst_ty (a : itv) : itv =
+  match dst_ty with
+  | Types.Bool -> (
+      match a with
+      | Bot -> Bot
+      | Itv (l, h) ->
+          if l > 0L || h < 0L then Itv (1L, 1L)
+          else if l = 0L && h = 0L then Itv (0L, 0L)
+          else Itv (0L, 1L)
+      | Top -> Itv (0L, 1L))
+  | _ -> (
+      match a with
+      | Bot -> Bot
+      | Itv (l, h) as itv -> (
+          match bounds dst_ty with
+          | Some (bl, bh) ->
+              if l >= bl && h <= bh then itv else top_of dst_ty
+          | None -> if l >= 0L then itv else Top)
+      | Top -> top_of dst_ty)
+
+let transfer t fi bk (i : Ir.instr) : itv option =
+  if not (int_like t.renv i.Ir.ity) then None
+  else
+    let ty = Types.resolve t.renv i.Ir.ity in
+    let result =
+      match i.Ir.op with
+      | Ir.Binop op ->
+          binop_itv ty op
+            (eval_at t fi bk i.Ir.operands.(0))
+            (eval_at t fi bk i.Ir.operands.(1))
+      | Ir.Setcc cmp -> setcc_itv t fi bk cmp i.Ir.operands.(0) i.Ir.operands.(1)
+      | Ir.Cast ->
+          let src = i.Ir.operands.(0) in
+          let src_range =
+            if int_like t.renv (Ir.type_of_value src) then eval_at t fi bk src
+            else Top
+          in
+          cast_itv ty src_range
+      | Ir.Phi ->
+          List.fold_left
+            (fun acc (av, (pred : Ir.block)) ->
+              if not (Analysis.Cfg.is_reachable fi.fi_cfg pred) then acc
+              else
+                let pk = Analysis.Cfg.index_of fi.fi_cfg pred in
+                let arm = eval_at t fi pk av in
+                let arm = edge_refine t fi (pk, bk) av arm in
+                join acc arm)
+            Bot (Ir.phi_incoming i)
+      | Ir.Call | Ir.Invoke -> (
+          match Ir.call_callee i with
+          | Ir.Vfunc g when not (Ir.is_declaration g) -> (
+              match Hashtbl.find_opt t.fns g.Ir.fid with
+              | Some gi -> gi.fi_ret
+              | None -> top_of ty)
+          | _ -> top_of ty)
+      | _ -> top_of ty (* loads and anything else we do not model *)
+    in
+    Some (clamp ty result)
+
+(* ---------- widening ---------- *)
+
+(* Jump to the nearest of a tiny threshold set {0, type bound}: a lower
+   bound that keeps sinking but stays non-negative lands on 0 (the
+   ubiquitous counting-loop base) before giving up to the type minimum. *)
+let widen ty old cand =
+  match (old, cand) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Itv (ol, oh), Itv (nl, nh) -> (
+      let lo =
+        if nl >= ol then min ol nl
+        else if nl >= 0L then 0L
+        else match bounds ty with Some (bl, _) -> bl | None -> 0L
+      in
+      match () with
+      | () when nh <= oh -> Itv (lo, oh)
+      | () -> (
+          match bounds ty with
+          | Some (_, bh) -> Itv (lo, bh)
+          | None -> Top))
+
+(* ---------- per-function fixpoint ---------- *)
+
+let analyze_fn t fi ~widen_delay ~max_sweeps =
+  Hashtbl.reset fi.fi_ivals;
+  let cfg = fi.fi_cfg in
+  let nb = Analysis.Cfg.n_blocks cfg in
+  let sweep = ref 0 and changed = ref true in
+  while !changed && !sweep < max_sweeps do
+    incr sweep;
+    changed := false;
+    for bk = 0 to nb - 1 do
+      let b = Analysis.Cfg.block cfg bk in
+      List.iter
+        (fun (i : Ir.instr) ->
+          match transfer t fi bk i with
+          | None -> ()
+          | Some nv ->
+              let old =
+                match Hashtbl.find_opt fi.fi_ivals i.Ir.iid with
+                | Some x -> x
+                | None -> Bot
+              in
+              let cand = join old nv in
+              let cand =
+                if
+                  i.Ir.op = Ir.Phi
+                  && fi.fi_loopdepth.(bk) > 0
+                  && !sweep > widen_delay
+                  && cand <> old
+                then widen (Types.resolve t.renv i.Ir.ity) old cand
+                else cand
+              in
+              if cand <> old then begin
+                Hashtbl.replace fi.fi_ivals i.Ir.iid cand;
+                changed := true
+              end)
+        b.Ir.instrs
+    done
+  done;
+  fi.fi_sweeps <- !sweep;
+  if !changed then begin
+    (* budget exhausted: give up soundly, every tracked value to top *)
+    fi.fi_fp <- false;
+    Ir.iter_instrs
+      (fun i ->
+        if int_like t.renv i.Ir.ity then
+          Hashtbl.replace fi.fi_ivals i.Ir.iid
+            (top_of (Types.resolve t.renv i.Ir.ity)))
+      fi.fi_f
+  end
+  else begin
+    fi.fi_fp <- true;
+    (* narrowing: two descending sweeps recover what widening overshot;
+       accepting [meet old new] keeps every step sound *)
+    for _ = 1 to 2 do
+      for bk = 0 to nb - 1 do
+        let b = Analysis.Cfg.block cfg bk in
+        List.iter
+          (fun (i : Ir.instr) ->
+            match transfer t fi bk i with
+            | None -> ()
+            | Some nv ->
+                let old =
+                  match Hashtbl.find_opt fi.fi_ivals i.Ir.iid with
+                  | Some x -> x
+                  | None -> Bot
+                in
+                let nv = meet old nv in
+                if nv <> old then Hashtbl.replace fi.fi_ivals i.Ir.iid nv)
+          b.Ir.instrs
+      done
+    done
+  end;
+  (* return range over the reachable return sites *)
+  let fr = fi.fi_f.Ir.freturn in
+  if not (int_like t.renv fr) then fi.fi_ret <- Top
+  else begin
+    let ret = ref Bot in
+    for bk = 0 to nb - 1 do
+      let b = Analysis.Cfg.block cfg bk in
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.Ir.op with
+          | Ir.Ret when Array.length i.Ir.operands = 1 ->
+              ret := join !ret (eval_at t fi bk i.Ir.operands.(0))
+          | _ -> ())
+        b.Ir.instrs
+    done;
+    fi.fi_ret <- clamp (Types.resolve t.renv fr) !ret
+  end
+
+(* ---------- interprocedural driver ---------- *)
+
+let default_widen_delay = 3
+let default_max_sweeps = 40
+let default_max_rounds = 3
+let scc_iter_budget = 5
+
+let compute ?(widen_delay = default_widen_delay)
+    ?(max_sweeps = default_max_sweeps) ?(max_rounds = default_max_rounds)
+    (m : Ir.modl) : t =
+  let renv = Ir.type_env m in
+  let t = { rm = m; renv; fns = Hashtbl.create 16; rounds = 1 } in
+  List.iter
+    (fun (f : Ir.func) ->
+      if not (Ir.is_declaration f) then
+        Hashtbl.replace t.fns f.Ir.fid (mk_fn_info renv f))
+    m.Ir.funcs;
+  let cg = Analysis.Callgraph.compute m in
+  let sccs =
+    Analysis.Callgraph.sccs cg
+    |> List.map (List.filter (fun f -> not (Ir.is_declaration f)))
+    |> List.filter (fun l -> l <> [])
+  in
+  (* one bottom-up pass: per-SCC return-range fixpoints, callees final *)
+  let run_bottom_up () =
+    List.iter
+      (fun scc ->
+        let cyclic =
+          match scc with
+          | [ f ] ->
+              List.exists (fun g -> g == f) (Analysis.Callgraph.callees cg f)
+          | _ -> true
+        in
+        let fis = List.map (fun f -> Hashtbl.find t.fns f.Ir.fid) scc in
+        if not cyclic then
+          List.iter (fun fi -> analyze_fn t fi ~widen_delay ~max_sweeps) fis
+        else begin
+          List.iter (fun fi -> fi.fi_ret <- Bot) fis;
+          let stable = ref false and iter = ref 0 in
+          while (not !stable) && !iter < scc_iter_budget do
+            incr iter;
+            stable := true;
+            List.iter
+              (fun fi ->
+                let old = fi.fi_ret in
+                analyze_fn t fi ~widen_delay ~max_sweeps;
+                if fi.fi_ret <> old then stable := false)
+              fis
+          done;
+          if not !stable then begin
+            (* recursion would not settle: returns to top, then one more
+               pass so every member's internal ranges are computed under
+               those sound assumptions *)
+            List.iter
+              (fun fi ->
+                fi.fi_fp <- false;
+                fi.fi_ret <-
+                  (if int_like renv fi.fi_f.Ir.freturn then
+                     top_of (Types.resolve renv fi.fi_f.Ir.freturn)
+                   else Top))
+              fis;
+            List.iter
+              (fun fi ->
+                let keep = fi.fi_ret in
+                analyze_fn t fi ~widen_delay ~max_sweeps;
+                fi.fi_ret <- keep;
+                fi.fi_fp <- false)
+              fis
+          end
+        end)
+      sccs
+  in
+  run_bottom_up ();
+  (* descending argument rounds: join the ranges flowing into every
+     visible call site; only functions whose call sites are all visible
+     (not main, not address-taken) may be tightened. Each round's input
+     is sound, so its output is too — stopping anywhere is sound. *)
+  let refinable (f : Ir.func) =
+    (not (Ir.is_declaration f))
+    && f.Ir.fname <> "main"
+    && not (Analysis.Callgraph.is_address_taken cg f)
+  in
+  let continue_ = ref true in
+  while !continue_ && t.rounds < max_rounds do
+    let joins : (int, itv array) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (f : Ir.func) ->
+        if refinable f then
+          Hashtbl.replace joins f.Ir.fid
+            (Array.make (List.length f.Ir.fargs) Bot))
+      m.Ir.funcs;
+    List.iter
+      (fun (caller : Ir.func) ->
+        match Hashtbl.find_opt t.fns caller.Ir.fid with
+        | None -> ()
+        | Some cfi ->
+            Ir.iter_instrs
+              (fun i ->
+                match i.Ir.op with
+                | Ir.Call | Ir.Invoke -> (
+                    match Ir.call_callee i with
+                    | Ir.Vfunc g when Hashtbl.mem joins g.Ir.fid -> (
+                        match i.Ir.iparent with
+                        | Some b
+                          when Analysis.Cfg.is_reachable cfi.fi_cfg b ->
+                            let bk = Analysis.Cfg.index_of cfi.fi_cfg b in
+                            let arr = Hashtbl.find joins g.Ir.fid in
+                            List.iteri
+                              (fun j av ->
+                                if j < Array.length arr then
+                                  arr.(j) <-
+                                    join arr.(j) (eval_at t cfi bk av))
+                              (Ir.call_args i)
+                        | _ -> () (* unreachable call site: never runs *))
+                    | _ -> ())
+                | _ -> ())
+              caller)
+      m.Ir.funcs;
+    let changed = ref false in
+    List.iter
+      (fun (f : Ir.func) ->
+        match Hashtbl.find_opt joins f.Ir.fid with
+        | None -> ()
+        | Some arr ->
+            let fi = Hashtbl.find t.fns f.Ir.fid in
+            List.iteri
+              (fun j (a : Ir.arg) ->
+                if int_like renv a.Ir.aty then
+                  match arr.(j) with
+                  | Bot -> () (* never called: keep the conservative top *)
+                  | jv ->
+                      let old =
+                        match Hashtbl.find_opt fi.fi_args a.Ir.aid with
+                        | Some x -> x
+                        | None -> Top
+                      in
+                      let nv =
+                        meet old (clamp (Types.resolve renv a.Ir.aty) jv)
+                      in
+                      if nv <> old then begin
+                        Hashtbl.replace fi.fi_args a.Ir.aid nv;
+                        changed := true
+                      end)
+              f.Ir.fargs)
+      m.Ir.funcs;
+    if !changed then begin
+      t.rounds <- t.rounds + 1;
+      run_bottom_up ()
+    end
+    else continue_ := false
+  done;
+  t
+
+(* ---------- queries ---------- *)
+
+let fn_of t (f : Ir.func) = Hashtbl.find_opt t.fns f.Ir.fid
+
+(* Range of operand [v] as observed at instruction [i] of [f], including
+   every branch-condition refinement that dominates the site. [Bot] for a
+   site that can never execute. *)
+let range_at t (f : Ir.func) (i : Ir.instr) (v : Ir.value) : itv =
+  match fn_of t f with
+  | None -> Top
+  | Some fi -> (
+      match i.Ir.iparent with
+      | Some b when Analysis.Cfg.is_reachable fi.fi_cfg b ->
+          eval_at t fi (Analysis.Cfg.index_of fi.fi_cfg b) v
+      | Some _ -> Bot (* unreachable block: the access never happens *)
+      | None -> lookup_base t fi v)
+
+let instr_range t (f : Ir.func) (i : Ir.instr) : itv =
+  match fn_of t f with
+  | None -> Top
+  | Some fi -> (
+      match Hashtbl.find_opt fi.fi_ivals i.Ir.iid with
+      | Some x -> x
+      | None -> if int_like t.renv i.Ir.ity then Bot else Top)
+
+let arg_range t (f : Ir.func) (a : Ir.arg) : itv =
+  match fn_of t f with
+  | None -> Top
+  | Some fi -> (
+      match Hashtbl.find_opt fi.fi_args a.Ir.aid with
+      | Some x -> x
+      | None -> Top)
+
+let ret_range t (f : Ir.func) : itv =
+  match fn_of t f with None -> Top | Some fi -> fi.fi_ret
+
+let fixpoint_reached t =
+  Hashtbl.fold (fun _ fi acc -> acc && fi.fi_fp) t.fns true
+
+let func_fixpoint t (f : Ir.func) =
+  match fn_of t f with None -> true | Some fi -> fi.fi_fp
+
+let total_sweeps t = Hashtbl.fold (fun _ fi acc -> acc + fi.fi_sweeps) t.fns 0
+let rounds t = t.rounds
+let env t = t.renv
+let modl t = t.rm
+
+(* ---------- rendering (llva_lint --ranges) ---------- *)
+
+let render_func t (f : Ir.func) : string list =
+  match fn_of t f with
+  | None -> []
+  | Some fi ->
+      let lines = ref [] in
+      let push s = lines := s :: !lines in
+      let args =
+        String.concat ", "
+          (List.map
+             (fun (a : Ir.arg) ->
+               let n = if a.Ir.aname = "" then "<arg>" else "%" ^ a.Ir.aname in
+               if int_like t.renv a.Ir.aty then
+                 Printf.sprintf "%s %s" n (to_string (arg_range t f a))
+               else n)
+             f.Ir.fargs)
+      in
+      let ret =
+        if int_like t.renv f.Ir.freturn then
+          " -> " ^ to_string fi.fi_ret
+        else ""
+      in
+      push (Printf.sprintf "%%%s(%s)%s%s" f.Ir.fname args ret
+              (if fi.fi_fp then "" else "   ; widening budget exhausted"));
+      Analysis.Cfg.iter_rpo
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              if i.Ir.iname <> "" && int_like t.renv i.Ir.ity then
+                push
+                  (Printf.sprintf "  %%%s:%%%s = %s %s" b.Ir.bname i.Ir.iname
+                     (Ir.opcode_name i.Ir.op)
+                     (to_string (instr_range t f i))))
+            b.Ir.instrs)
+        fi.fi_cfg;
+      List.rev !lines
+
+let render t : string list =
+  List.concat_map
+    (fun (f : Ir.func) ->
+      if Ir.is_declaration f then [] else render_func t f)
+    t.rm.Ir.funcs

@@ -7,6 +7,10 @@
    - [derefs]  — the function provably loads or stores through the
      argument (an existence proof: [false] means "not proven", so unknown
      callees report [false] and never trigger null-argument warnings);
+   - [must_derefs] — the function dereferences the argument on EVERY
+     finite execution path from entry to exit (a backward all-paths
+     dataflow over the CFG); [true] upgrades a null argument from a
+     warning to an error, so recursion and unknown callees stay [false];
    - [escapes] — the argument's address MAY outlive the call (stored to
      memory, returned, merged through a phi, or passed on to an escaping
      position); [false] is a guarantee;
@@ -24,13 +28,19 @@
 
 open Llva
 
-type arg_summary = { derefs : bool; escapes : bool; writes : bool }
+type arg_summary = {
+  derefs : bool;
+  must_derefs : bool;
+  escapes : bool;
+  writes : bool;
+}
 
 type func_summary = { args : arg_summary array; pure : bool }
 
 type t = { table : (int, func_summary) Hashtbl.t; env : Types.env }
 
-let unknown_arg = { derefs = false; escapes = true; writes = true }
+let unknown_arg =
+  { derefs = false; must_derefs = false; escapes = true; writes = true }
 
 let unknown_summary (f : Ir.func) =
   { args = Array.make (List.length f.Ir.fargs) unknown_arg; pure = false }
@@ -59,21 +69,65 @@ let call_arg_index (i : Ir.instr) uidx =
   | Ir.Invoke when uidx >= 3 -> Some (uidx - 3)
   | _ -> None
 
+(* Does every finite path from the entry to an exit pass through one of
+   the [events] (deref sites, as instruction ids)? Least fixpoint of
+     md(b) = event-in(b) \/ (succs(b) <> [] /\ forall s. md(s))
+   starting from false, so a loop that can spin without dereferencing
+   never proves the property — [true] really is "unavoidable". *)
+let must_reach_events (cfg : Analysis.Cfg.t) (events : (int, unit) Hashtbl.t)
+    : bool =
+  Hashtbl.length events > 0
+  && Analysis.Cfg.n_blocks cfg > 0
+  &&
+  let nb = Analysis.Cfg.n_blocks cfg in
+  let has_event =
+    Array.init nb (fun bk ->
+        List.exists
+          (fun (i : Ir.instr) -> Hashtbl.mem events i.Ir.iid)
+          (Analysis.Cfg.block cfg bk).Ir.instrs)
+  in
+  let md = Array.make nb false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for bk = nb - 1 downto 0 do
+      if not md.(bk) then
+        let v =
+          has_event.(bk)
+          ||
+          match cfg.Analysis.Cfg.succs.(bk) with
+          | [] -> false
+          | ss -> List.for_all (fun s -> md.(s)) ss
+        in
+        if v then begin
+          md.(bk) <- true;
+          changed := true
+        end
+    done
+  done;
+  md.(0)
+
 (* Facts about one argument of [f], reading callee facts from [lookup]
    (in-progress for same-SCC callees). *)
-let analyze_arg env lookup (a : Ir.arg) : arg_summary =
+let analyze_arg env lookup (cfg : Analysis.Cfg.t) (a : Ir.arg) : arg_summary =
   let derefs = ref false and escapes = ref false and writes = ref false in
+  (* instruction ids that certainly dereference the argument when they
+     execute, feeding the all-paths [must_derefs] dataflow *)
+  let deref_sites = Hashtbl.create 8 in
   let seen = Hashtbl.create 8 in
   let rec walk_uses uses =
     List.iter
       (fun (u : Ir.use) ->
         let user = u.Ir.user in
         match user.Ir.op with
-        | Ir.Load -> derefs := true
+        | Ir.Load ->
+            derefs := true;
+            Hashtbl.replace deref_sites user.Ir.iid ()
         | Ir.Store ->
             if u.Ir.uidx = 1 then begin
               derefs := true;
-              writes := true
+              writes := true;
+              Hashtbl.replace deref_sites user.Ir.iid ()
             end
             else escapes := true (* the pointer itself is stored away *)
         | Ir.Getelementptr when u.Ir.uidx = 0 -> follow user
@@ -86,6 +140,8 @@ let analyze_arg env lookup (a : Ir.arg) : arg_summary =
                 | Ir.Vfunc g ->
                     let s = arg_summary (lookup g) j in
                     if s.derefs then derefs := true;
+                    if s.must_derefs then
+                      Hashtbl.replace deref_sites user.Ir.iid ();
                     if s.escapes then escapes := true;
                     if s.writes then writes := true
                 | _ ->
@@ -96,6 +152,7 @@ let analyze_arg env lookup (a : Ir.arg) : arg_summary =
                 (* the pointer is the callee: executing through it
                    dereferences it; anything may happen to it *)
                 derefs := true;
+                Hashtbl.replace deref_sites user.Ir.iid ();
                 escapes := true;
                 writes := true)
         | Ir.Ret -> escapes := true
@@ -114,7 +171,12 @@ let analyze_arg env lookup (a : Ir.arg) : arg_summary =
     end
   in
   walk_uses a.Ir.auses;
-  { derefs = !derefs; escapes = !escapes; writes = !writes }
+  {
+    derefs = !derefs;
+    must_derefs = must_reach_events cfg deref_sites;
+    escapes = !escapes;
+    writes = !writes;
+  }
 
 let analyze_pure lookup (f : Ir.func) : bool =
   let pure = ref true in
@@ -137,9 +199,11 @@ let analyze_pure lookup (f : Ir.func) : bool =
 let analyze_function env lookup (f : Ir.func) : func_summary =
   if Ir.is_declaration f then unknown_summary f
   else
+    let cfg = Analysis.Cfg.build f in
     {
       args =
-        Array.of_list (List.map (fun a -> analyze_arg env lookup a) f.Ir.fargs);
+        Array.of_list
+          (List.map (fun a -> analyze_arg env lookup cfg a) f.Ir.fargs);
       pure = analyze_pure lookup f;
     }
 
@@ -159,7 +223,12 @@ let compute (m : Ir.modl) : t =
           {
             args =
               Array.make (List.length f.Ir.fargs)
-                { derefs = false; escapes = false; writes = false };
+                {
+                  derefs = false;
+                  must_derefs = false;
+                  escapes = false;
+                  writes = false;
+                };
             pure = true;
           }
       in

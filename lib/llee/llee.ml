@@ -44,6 +44,9 @@ type stats = {
   mutable lint_runs : int; (* llva-lint analyses actually computed *)
   mutable lint_skipped : int; (* recorded verdicts reused instead *)
   mutable lint_rejected : int; (* cache installs refused by an Error verdict *)
+  mutable lint_blocked_funcs : int;
+      (* functions barred from the native cache by a per-function verdict
+         while the rest of the module kept its cached code *)
   mutable lint_time : float; (* seconds spent in the analyzer *)
   mutable peep_rewrites : int; (* peephole rewrites applied while translating *)
   mutable peep_cycles_saved : int; (* static cycles removed by those rewrites *)
@@ -67,6 +70,7 @@ let fresh_stats () =
     lint_runs = 0;
     lint_skipped = 0;
     lint_rejected = 0;
+    lint_blocked_funcs = 0;
     lint_time = 0.0;
     peep_rewrites = 0;
     peep_cycles_saved = 0;
@@ -377,17 +381,57 @@ let verdict t : Check.Lint.verdict =
 
 (* The gate itself: with no storage there is nothing to protect (nothing
    is ever cached), so no lint runs — the pure-JIT path is unchanged.
-   With storage, an Error verdict refuses to install or write cached
-   native code ([lint_rejected]). *)
-let lint_gate t : Check.Lint.verdict option =
-  if not t.storage.Storage.available then None
+   With storage the verdict is read per function:
+
+   - [Gate_clean] — no error-severity findings; caching is unrestricted;
+   - [Gate_partial] — errors exist, but none in a function call-reachable
+     from [main]: execution proceeds, clean functions still install and
+     serve cached native code, and only the tainted set (the reporting
+     function plus every [related] SCC member) is barred from the cache
+     ([lint_blocked_funcs]);
+   - [Gate_refused] — an error taints [main]'s call-reachable set (or the
+     module has no defined [main], or carries a module-level error), so
+     the launch is refused outright ([lint_rejected], exit 125). *)
+type gate =
+  | Gate_clean
+  | Gate_partial of Check.Lint.verdict * (string, unit) Hashtbl.t
+  | Gate_refused of Check.Lint.verdict
+
+let lint_gate t : gate =
+  if not t.storage.Storage.available then Gate_clean
   else
     let v = verdict t in
-    if Check.Lint.verdict_clean v then None
-    else begin
-      t.stats.lint_rejected <- t.stats.lint_rejected + 1;
-      Some v
-    end
+    if Check.Lint.verdict_clean v then Gate_clean
+    else
+      let refuse () =
+        t.stats.lint_rejected <- t.stats.lint_rejected + 1;
+        Gate_refused v
+      in
+      let module_level_error =
+        List.exists
+          (fun (d : Check.Diag.t) ->
+            d.Check.Diag.sev = Check.Diag.Error && d.Check.Diag.func = "")
+          (Check.Lint.verdict_diags v)
+      in
+      match Hashtbl.find_opt t.funcs_by_name "main" with
+      | None -> refuse () (* nothing executable to salvage *)
+      | Some _ when module_level_error -> refuse ()
+      | Some main_f ->
+          let cg = Analysis.Callgraph.compute t.m in
+          let reach = Analysis.Callgraph.reachable_from cg [ main_f ] in
+          let tainted = Check.Lint.verdict_tainted v in
+          let reachable name =
+            match Hashtbl.find_opt t.funcs_by_name name with
+            | Some f -> Hashtbl.mem reach f.Ir.fid
+            | None -> false (* a declaration: it has no cache entry *)
+          in
+          if List.exists reachable tainted then refuse ()
+          else begin
+            let blocked = Hashtbl.create 8 in
+            List.iter (fun n -> Hashtbl.replace blocked n ()) tainted;
+            t.stats.lint_blocked_funcs <- Hashtbl.length blocked;
+            Gate_partial (v, blocked)
+          end
 
 (* Exit code reported when the gate refuses a poisoned module. *)
 let lint_rejected_code = 125
@@ -409,9 +453,15 @@ let find_function t name = Hashtbl.find_opt t.funcs_by_name name
    JIT-compiles one IR function (timed and counted); [installed] is the
    back-end's compiled-function table. Resolution order: already
    installed, then the whole-module cache entry (read once, up front),
-   then the per-function cache entry, then JIT + write-back. *)
-let make_resolver (type cf) t ~(compile : Ir.func -> cf)
-    ~(installed : (string, cf) Hashtbl.t) : string -> cf option =
+   then the per-function cache entry, then JIT + write-back. Functions in
+   [blocked] (tainted by a per-function lint verdict) bypass the cache in
+   both directions: they are JIT-compiled on demand and never written
+   back, so a poisoned translation can neither be served nor recorded. *)
+let no_blocked : (string, unit) Hashtbl.t = Hashtbl.create 0
+
+let make_resolver (type cf) ?(blocked = no_blocked) t
+    ~(compile : Ir.func -> cf) ~(installed : (string, cf) Hashtbl.t) :
+    string -> cf option =
   let preloaded : (string, cf) Hashtbl.t = Hashtbl.create 16 in
   (let mname = module_entry_name t in
    match Option.bind (read_cached t mname) (unmarshal_entry t mname) with
@@ -426,11 +476,14 @@ let make_resolver (type cf) t ~(compile : Ir.func -> cf)
         | None -> None (* external: the simulator dispatches by name *)
         | Some f -> (
             let cached =
-              match Hashtbl.find_opt preloaded name with
-              | Some cf -> Some cf
-              | None ->
-                  let cname = cache_name t name in
-                  Option.bind (read_cached t cname) (unmarshal_entry t cname)
+              if Hashtbl.mem blocked name then None
+              else
+                match Hashtbl.find_opt preloaded name with
+                | Some cf -> Some cf
+                | None ->
+                    let cname = cache_name t name in
+                    Option.bind (read_cached t cname)
+                      (unmarshal_entry t cname)
             in
             match cached with
             | Some cf ->
@@ -443,12 +496,13 @@ let make_resolver (type cf) t ~(compile : Ir.func -> cf)
                    checksum just quarantined *)
                 let cf = timed t (fun () -> compile f) in
                 t.stats.translations <- t.stats.translations + 1;
-                storage_write t (cache_name t name)
-                  (frame_entry (Marshal.to_string cf []));
+                if not (Hashtbl.mem blocked name) then
+                  storage_write t (cache_name t name)
+                    (frame_entry (Marshal.to_string cf []));
                 Hashtbl.replace installed name cf;
                 Some cf))
 
-let run_x86 t ?fuel () =
+let run_x86 ?blocked t ?fuel () =
   (* table first: cache identities include its fingerprint *)
   let peep =
     match ensure_peep_table t with
@@ -461,7 +515,7 @@ let run_x86 t ?fuel () =
     { X86lite.Compile.cm = t.m; image; funcs = Hashtbl.create 32 }
   in
   let resolve =
-    make_resolver t
+    make_resolver ?blocked t
       ~compile:(fun f ->
         X86lite.Compile.compile_function t.m image ~peep ~peep_stats:ps f)
       ~installed:cmod.X86lite.Compile.funcs
@@ -486,7 +540,7 @@ let run_x86 t ?fuel () =
     t.stats.peep_cycles_saved + ps.X86lite.Compile.cycles_saved;
   (outcome, X86lite.Sim.output st)
 
-let run_sparc t ?fuel () =
+let run_sparc ?blocked t ?fuel () =
   let peep =
     match ensure_peep_table t with
     | Some tb -> Superopt.Table.sparc_pairs tb
@@ -498,7 +552,7 @@ let run_sparc t ?fuel () =
     { Sparclite.Compile.cm = t.m; image; funcs = Hashtbl.create 32 }
   in
   let resolve =
-    make_resolver t
+    make_resolver ?blocked t
       ~compile:(fun f ->
         Sparclite.Compile.compile_function t.m image ~peep ~peep_stats:ps f)
       ~installed:cmod.Sparclite.Compile.funcs
@@ -527,13 +581,16 @@ let run_sparc t ?fuel () =
 
 (* Launch the program: JIT with transparent offline caching. When a
    storage cache is attached, the module is linted first (once — warm
-   launches reuse the recorded verdict): an Error verdict degrades the
-   launch to a reported failure instead of installing cached native
-   code. Returns a structured [Outcome.t] — traps, fuel exhaustion and
-   lint refusals come back as data, never as escaping exceptions. *)
+   launches reuse the recorded verdict) and the verdict applies per
+   function: an error in [main]'s call-reachable set degrades the launch
+   to a reported failure, while errors confined to unreachable functions
+   merely bar those functions from the cache — the rest of the module
+   still executes from (and populates) cached native code. Returns a
+   structured [Outcome.t] — traps, fuel exhaustion and lint refusals
+   come back as data, never as escaping exceptions. *)
 let run ?fuel t : Outcome.t * string =
   match lint_gate t with
-  | Some v ->
+  | Gate_refused v ->
       ( Outcome.Cache_degraded
           { reason =
               Printf.sprintf "llva-lint recorded %d error(s) for module %s"
@@ -541,10 +598,13 @@ let run ?fuel t : Outcome.t * string =
                 t.key
           },
         lint_rejected_report t v )
-  | None -> (
+  | (Gate_clean | Gate_partial _) as g -> (
+      let blocked =
+        match g with Gate_partial (_, b) -> Some b | _ -> None
+      in
       match t.target with
-      | X86 -> run_x86 t ?fuel ()
-      | Sparc -> run_sparc t ?fuel ())
+      | X86 -> run_x86 ?blocked t ?fuel ()
+      | Sparc -> run_sparc ?blocked t ?fuel ())
 
 (* Idle-time offline translation: translate every function and populate
    the cache without executing (paper: "flagging it for translation and
@@ -555,10 +615,13 @@ let run ?fuel t : Outcome.t * string =
    launches need a single storage read. SMC invalidation still operates
    per function: the redirect mechanism resolves the replacement function
    by name, whichever entry it was loaded from. *)
-let translate_offline_unchecked ?domains t =
+let translate_offline_unchecked ?domains ?(blocked = no_blocked) t =
   let tb = ensure_peep_table t in
   let fns =
-    List.filter (fun (f : Ir.func) -> not (Ir.is_declaration f)) t.m.Ir.funcs
+    List.filter
+      (fun (f : Ir.func) ->
+        (not (Ir.is_declaration f)) && not (Hashtbl.mem blocked f.Ir.fname))
+      t.m.Ir.funcs
   in
   (* workers return peephole counts as plain data: the shared stats
      record must only be mutated on the calling domain *)
@@ -614,12 +677,126 @@ let translate_offline ?domains t =
   if not t.storage.Storage.available then
     invalid_arg "Llee.translate_offline: no storage API registered";
   match lint_gate t with
-  | Some _ ->
+  | Gate_refused _ ->
       (* poisoned module: the verdict entry is recorded (so the refusal
          itself is amortized across launches) but no native translations
          ever enter the cache *)
       ()
-  | None -> translate_offline_unchecked ?domains t
+  | Gate_clean -> translate_offline_unchecked ?domains t
+  | Gate_partial (_, blocked) ->
+      (* the clean remainder of the module is still translated and
+         cached; tainted functions are left out of both the per-function
+         entries and the whole-module entry *)
+      translate_offline_unchecked ?domains ~blocked t
+
+(* ---------- cache forensics (llva-run --cache-doctor) ---------- *)
+
+(* The self-healing path never re-reads a quarantined entry; these
+   functions exist for the human operating the cache. They inspect and
+   dispose of the moved-aside files without touching live entries. *)
+
+let classify_frame data =
+  match unframe_entry data with
+  | Bad_magic -> "bad magic: foreign file or header truncated"
+  | Bad_checksum -> "checksum mismatch: payload damaged at rest"
+  | Payload _ -> "frame intact (entry was readable when quarantined)"
+
+(* One line per quarantined file: name as stored, size, age relative to
+   [now] (a parameter so reports are reproducible in tests). *)
+let cache_doctor ?now t : string list =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  match t.storage.Storage.list_quarantined () with
+  | [] -> [ "cache doctor: no quarantined entries" ]
+  | exception _ ->
+      t.stats.storage_errors <- t.stats.storage_errors + 1;
+      [ "cache doctor: storage unavailable" ]
+  | qs ->
+      Printf.sprintf "cache doctor: %d quarantined entr%s" (List.length qs)
+        (if List.length qs = 1 then "y" else "ies")
+      :: List.map
+           (fun (name, ts, size) ->
+             Printf.sprintf "  %-40s %6d bytes  age %.0fs" name size
+               (Float.max 0.0 (now -. ts)))
+           qs
+
+let purge_quarantined t : int =
+  try t.storage.Storage.purge_quarantined ()
+  with _ ->
+    t.stats.storage_errors <- t.stats.storage_errors + 1;
+    0
+
+let first_difference a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i =
+    if i >= n then if String.length a = String.length b then None else Some n
+    else if a.[i] <> b.[i] then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Autopsy of one quarantined per-function entry: classify the frame
+   damage, then retranslate the function exactly as the JIT would and
+   report where the quarantined bytes diverge from a fresh entry. *)
+let diff_quarantined t fname : string list =
+  let cname = cache_name t fname in
+  let entry =
+    try t.storage.Storage.read_quarantined cname
+    with _ ->
+      t.stats.storage_errors <- t.stats.storage_errors + 1;
+      None
+  in
+  match entry with
+  | None ->
+      [
+        Printf.sprintf "no quarantined entry for function %%%s (cache name %s)"
+          fname cname;
+      ]
+  | Some e -> (
+      let header =
+        Printf.sprintf "quarantined %s: %d bytes — %s" cname
+          (String.length e.Storage.data)
+          (classify_frame e.Storage.data)
+      in
+      match find_function t fname with
+      | None -> [ header; "function is not defined in this module" ]
+      | Some f ->
+          let image = Vmem.Image.load t.m in
+          let payload =
+            match t.target with
+            | X86 ->
+                let peep =
+                  match ensure_peep_table t with
+                  | Some tb -> Superopt.Table.x86_pairs tb
+                  | None -> []
+                in
+                let ps = X86lite.Compile.fresh_peep_stats () in
+                Marshal.to_string
+                  (X86lite.Compile.compile_function t.m image ~peep
+                     ~peep_stats:ps f)
+                  []
+            | Sparc ->
+                let peep =
+                  match ensure_peep_table t with
+                  | Some tb -> Superopt.Table.sparc_pairs tb
+                  | None -> []
+                in
+                let ps = Sparclite.Compile.fresh_peep_stats () in
+                Marshal.to_string
+                  (Sparclite.Compile.compile_function t.m image ~peep
+                     ~peep_stats:ps f)
+                  []
+          in
+          let fresh = frame_entry payload in
+          let diff_line =
+            match first_difference e.Storage.data fresh with
+            | None -> "byte-identical to a fresh translation"
+            | Some i ->
+                Printf.sprintf "first difference at byte %d of %d (fresh: %d)"
+                  i
+                  (String.length e.Storage.data)
+                  (String.length fresh)
+          in
+          [ header; Printf.sprintf "fresh translation: %d bytes" (String.length fresh); diff_line ])
 
 (* Collect a profile with the instrumented reference engine, then apply
    the software trace cache: hot-trace relayout + retranslation. Returns

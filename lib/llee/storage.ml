@@ -36,6 +36,13 @@ type t = {
   delete : string -> unit;
   quarantine : string -> unit; (* move a damaged entry aside, never re-read *)
   size : unit -> int; (* total live bytes cached (quarantined excluded) *)
+  (* quarantine forensics: the execution manager never re-reads a
+     quarantined entry, but a human (llva-run --cache-doctor) may *)
+  list_quarantined : unit -> (string * float * int) list;
+      (* (name as stored, timestamp, size in bytes), deterministic order *)
+  read_quarantined : string -> entry option;
+      (* by the ORIGINAL cache name the entry was quarantined under *)
+  purge_quarantined : unit -> int; (* delete all; returns how many *)
   available : bool;
   counters : counters;
 }
@@ -48,6 +55,9 @@ let none =
     delete = (fun _ -> ());
     quarantine = (fun _ -> ());
     size = (fun () -> 0);
+    list_quarantined = (fun () -> []);
+    read_quarantined = (fun _ -> None);
+    purge_quarantined = (fun () -> 0);
     available = false;
     counters = fresh_counters ();
   }
@@ -83,6 +93,31 @@ let in_memory () =
             if Filename.check_suffix n quarantine_suffix then acc
             else acc + String.length e.data)
           table 0);
+    list_quarantined =
+      (fun () ->
+        Hashtbl.fold
+          (fun n e acc ->
+            if Filename.check_suffix n quarantine_suffix then
+              ( Filename.chop_suffix n quarantine_suffix,
+                e.timestamp,
+                String.length e.data )
+              :: acc
+            else acc)
+          table []
+        |> List.sort compare);
+    read_quarantined =
+      (fun name -> Hashtbl.find_opt table (name ^ quarantine_suffix));
+    purge_quarantined =
+      (fun () ->
+        let victims =
+          Hashtbl.fold
+            (fun n _ acc ->
+              if Filename.check_suffix n quarantine_suffix then n :: acc
+              else acc)
+            table []
+        in
+        List.iter (Hashtbl.remove table) victims;
+        List.length victims);
     available = true;
     counters = fresh_counters ();
   }
@@ -181,6 +216,55 @@ let on_disk ~dir =
                   | _ -> acc
                   | exception (Unix.Unix_error _ | Sys_error _) -> acc)
               0 files);
+    list_quarantined =
+      (fun () ->
+        match Sys.readdir dir with
+        | exception Sys_error _ -> []
+        | files ->
+            Array.to_list files
+            |> List.filter (fun f -> Filename.check_suffix f ".quarantined")
+            |> List.filter_map (fun f ->
+                   match Unix.stat (Filename.concat dir f) with
+                   | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                       (* the sanitized file name, quarantine suffix
+                          stripped — the readable prefix identifies the
+                          module/function/target *)
+                       Some
+                         (Filename.chop_suffix f ".quarantined", st_mtime,
+                          st_size)
+                   | _ -> None
+                   | exception (Unix.Unix_error _ | Sys_error _) -> None)
+            |> List.sort compare);
+    read_quarantined =
+      (fun name ->
+        let p = path name ^ ".quarantined" in
+        match open_in_bin p with
+        | exception Sys_error _ -> None
+        | ic -> (
+            match
+              let len = in_channel_length ic in
+              let data = really_input_string ic len in
+              { data; timestamp = (Unix.stat p).Unix.st_mtime }
+            with
+            | entry ->
+                close_in_noerr ic;
+                Some entry
+            | exception (Sys_error _ | End_of_file | Unix.Unix_error _) ->
+                close_in_noerr ic;
+                None));
+    purge_quarantined =
+      (fun () ->
+        match Sys.readdir dir with
+        | exception Sys_error _ -> 0
+        | files ->
+            Array.fold_left
+              (fun acc f ->
+                if Filename.check_suffix f ".quarantined" then
+                  match Sys.remove (Filename.concat dir f) with
+                  | () -> acc + 1
+                  | exception Sys_error _ -> acc
+                else acc)
+              0 files);
     available = true;
     counters;
   }
@@ -201,6 +285,9 @@ let locked s =
     delete = (fun name -> guard (fun () -> s.delete name));
     quarantine = (fun name -> guard (fun () -> s.quarantine name));
     size = (fun () -> guard (fun () -> s.size ()));
+    list_quarantined = (fun () -> guard (fun () -> s.list_quarantined ()));
+    read_quarantined = (fun name -> guard (fun () -> s.read_quarantined name));
+    purge_quarantined = (fun () -> guard (fun () -> s.purge_quarantined ()));
   }
 
 (* ---------- fault injection ---------- *)

@@ -235,11 +235,64 @@ let run_peep_chaos () =
     chaos.Llee.stats.Llee.cache_quarantined
     chaos.Llee.stats.Llee.cache_repaired peep_damage
 
+(* ---- scenario 4: a damaged per-module [#lint#] verdict entry ----
+   The recorded verdict rides the same checksummed frame as native code.
+   Flip one payload byte and the next launch must quarantine the entry,
+   re-run llva-lint exactly once, and write the repaired verdict back —
+   while every native entry is still served from cache (zero
+   retranslations). The launch after that reuses the repaired verdict. *)
+let run_lint_chaos () =
+  Printf.printf "%-17s %!" "lint-chaos";
+  let w = Option.get (Workloads.find "ptrdist-anagram") in
+  let m = Workloads.compile_optimized ~level:1 w in
+  let bytes = Llva.Encode.encode m in
+  let s = Storage.in_memory () in
+  let eng = Llee.load ~storage:s ~target:Llee.X86 bytes in
+  Llee.translate_offline ~domains:1 eng;
+  let expected = Llee.run (with_storage eng s) in
+  check "lint chaos: baseline exits normally"
+    (match expected with Llee.Outcome.Exit _, _ -> true | _ -> false);
+  let lname = Llee.lint_entry_name eng in
+  (match s.Storage.read lname with
+  | None -> check "lint chaos: verdict entry recorded offline" false
+  | Some e ->
+      let d = Bytes.of_string e.Storage.data in
+      let k = Bytes.length d - 1 in
+      Bytes.set d k (Char.chr (Char.code (Bytes.get d k) lxor 0xff));
+      s.Storage.write lname (Bytes.to_string d));
+  let warm = with_storage eng s in
+  let r = Llee.run warm in
+  check_eq "lint chaos: launch correct over damaged verdict" outcome_pp r
+    expected;
+  check "lint chaos: damaged verdict quarantined, re-linted exactly once"
+    (warm.Llee.stats.Llee.cache_quarantined = 1
+    && warm.Llee.stats.Llee.cache_repaired = 1
+    && warm.Llee.stats.Llee.lint_runs = 1
+    && warm.Llee.stats.Llee.lint_skipped = 0);
+  check "lint chaos: native entries still served from cache"
+    (warm.Llee.stats.Llee.translations = 0
+    && warm.Llee.stats.Llee.cache_hits > 0);
+  t_quarantined := !t_quarantined + warm.Llee.stats.Llee.cache_quarantined;
+  t_repaired := !t_repaired + warm.Llee.stats.Llee.cache_repaired;
+  t_damaged := !t_damaged + 1;
+  let healed = with_storage eng s in
+  let h = Llee.run healed in
+  check_eq "lint chaos: healed launch correct" outcome_pp h expected;
+  check "lint chaos: healed launch reuses the repaired verdict"
+    (healed.Llee.stats.Llee.lint_runs = 0
+    && healed.Llee.stats.Llee.lint_skipped = 1
+    && healed.Llee.stats.Llee.cache_quarantined = 0
+    && healed.Llee.stats.Llee.translations = 0);
+  Printf.printf "ok (re-lints %d, quar %d, rep %d)\n%!"
+    warm.Llee.stats.Llee.lint_runs warm.Llee.stats.Llee.cache_quarantined
+    warm.Llee.stats.Llee.cache_repaired
+
 let () =
   Printf.printf "chaos campaign: %d workloads, fault seed %#x\n%!"
     (List.length Workloads.all) seed;
   List.iter run_workload Workloads.all;
   run_peep_chaos ();
+  run_lint_chaos ();
   Printf.printf
     "campaign totals: %d damaged serves, %d quarantined, %d repaired, %d torn \
      writes, %d failed writes, %d transient faults (%d retried)\n"

@@ -147,6 +147,8 @@ entry:
   expect_check ~check:"null-deref" ~sev:Check.Diag.Error ~func:"f" diags
 
 let test_null_arg () =
+  (* unconditional deref in the callee: the call provably faults, so the
+     finding is an Error and blames the callee via [related] *)
   let diags =
     lint_all
       {|
@@ -158,6 +160,32 @@ entry:
 int %main() {
 entry:
   %r = call int %deref(int* null)
+  ret int %r
+}
+|}
+  in
+  expect_check ~check:"null-arg" ~sev:Check.Diag.Error ~func:"main" diags;
+  (match diags_for "null-arg" diags with
+  | d :: _ ->
+      check_bool "null-arg blames callee" true
+        (List.mem "deref" d.Check.Diag.related)
+  | [] -> ());
+  (* a callee that only dereferences on one branch stays a Warning *)
+  let diags =
+    lint_all
+      {|
+int %deref_if(int* %p, bool %c) {
+entry:
+  br bool %c, label %yes, label %no
+yes:
+  %v = load int* %p
+  ret int %v
+no:
+  ret int 0
+}
+int %main() {
+entry:
+  %r = call int %deref_if(int* null, bool true)
   ret int %r
 }
 |}
@@ -489,7 +517,8 @@ let test_json_roundtrip () =
     (Check.Diag.count_severity Check.Diag.Error diags > 0
     && Check.Diag.count_severity Check.Diag.Warning diags > 0);
   let j = Check.Json.parse (Check.Diag.render_json diags) in
-  check_int "version" 1 (Check.Json.get_int "version" (Check.Json.get_member "report" "version" j));
+  check_int "version" Check.Diag.schema_version
+    (Check.Json.get_int "version" (Check.Json.get_member "report" "version" j));
   check_int "errors field" (Check.Diag.count_severity Check.Diag.Error diags)
     (Check.Json.get_int "errors" (Check.Json.get_member "report" "errors" j));
   let back = Check.Diag.of_json j in
@@ -502,7 +531,9 @@ let test_json_roundtrip () =
       check_string "block" a.Check.Diag.block b.Check.Diag.block;
       check_int "instr" a.Check.Diag.instr b.Check.Diag.instr;
       check_string "site" a.Check.Diag.site b.Check.Diag.site;
-      check_string "message" a.Check.Diag.msg b.Check.Diag.msg)
+      check_string "message" a.Check.Diag.msg b.Check.Diag.msg;
+      check_bool "related" true
+        (a.Check.Diag.related = b.Check.Diag.related))
     diags back;
   (* compact and pretty forms parse to the same value *)
   check_bool "pretty/compact agree" true
@@ -580,9 +611,9 @@ let test_verdict_strict_reader () =
   in
   let payload ?(version = Check.Lint.version) ?(checks = "") () =
     Printf.sprintf
-      "{\"lint_version\": %d, \"checks\": [%s], \"report\": {\"version\": 1, \
-       \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}}"
-      version checks
+      "{\"lint_version\": %d, \"checks\": [%s], \"report\": {\"version\": \
+       %d, \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}}"
+      version checks Check.Diag.schema_version
   in
   check_bool "current version accepted" true
     (Check.Lint.verdict_clean
@@ -592,11 +623,14 @@ let test_verdict_strict_reader () =
   check_bool "ancient version stamp rejected" true (rejects (payload ~version:0 ()));
   check_bool "unknown check id rejected" true
     (rejects (payload ~checks:"\"no-such-check\"" ()));
-  check_bool "missing fields rejected" true (rejects "{\"lint_version\": 1}");
+  check_bool "missing fields rejected" true
+    (rejects (Printf.sprintf "{\"lint_version\": %d}" Check.Lint.version));
   check_bool "mistyped checks rejected" true
     (rejects
-       "{\"lint_version\": 1, \"checks\": 3, \"report\": {\"version\": 1, \
-        \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}}")
+       (Printf.sprintf
+          "{\"lint_version\": %d, \"checks\": 3, \"report\": {\"version\": \
+           %d, \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}}"
+          Check.Lint.version Check.Diag.schema_version))
 
 (* ---------- the acceptance bar: optimized workloads are clean ---------- *)
 

@@ -614,6 +614,158 @@ let test_lint_verdict_corrupt_or_stale () =
   ignore (Llee.run w4);
   check_int "missing verdict: exactly one re-lint" 1 w4.Llee.stats.Llee.lint_runs
 
+(* ---------- per-function verdicts: partial install ---------- *)
+
+(* An error-severity finding confined to a function [main] never calls:
+   the launch must proceed, clean functions must install and serve
+   cached native code, and only the tainted function is barred. *)
+let partial_program =
+  {|
+int %broken() {
+entry:
+  %x = alloca int
+  %v = load int* %x
+  ret int %v
+}
+
+int %helper(int %x) {
+entry:
+  %r = mul int %x, 2
+  ret int %r
+}
+
+int %main() {
+entry:
+  %a = call int %helper(int 21)
+  ret int %a
+}
+|}
+
+let test_lint_partial_install () =
+  let storage = Llee.Storage.in_memory () in
+  let m = Gen.parse partial_program in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 m in
+  let code, _ = run_ok eng in
+  check_int "unreachable bug: program still runs" 42 code;
+  check_int "not rejected" 0 eng.Llee.stats.Llee.lint_rejected;
+  check_int "exactly the buggy function blocked" 1
+    eng.Llee.stats.Llee.lint_blocked_funcs;
+  check_bool "clean functions were translated" true
+    (eng.Llee.stats.Llee.translations > 0);
+  check_bool "clean native entry cached" true
+    (storage.Llee.Storage.read (Llee.cache_name eng "helper") <> None);
+  check_bool "blocked function never cached" true
+    (storage.Llee.Storage.read (Llee.cache_name eng "broken") = None);
+  (* warm launch: everything executed comes from cache, and the verdict
+     itself is reused *)
+  let warm = Llee.fresh_run eng in
+  let code2, _ = run_ok warm in
+  check_int "warm result identical" 42 code2;
+  check_int "warm: zero translations" 0 warm.Llee.stats.Llee.translations;
+  check_bool "warm: served from cache" true
+    (warm.Llee.stats.Llee.cache_hits > 0);
+  check_int "warm: verdict reused" 1 warm.Llee.stats.Llee.lint_skipped;
+  check_int "warm: still blocked" 1 warm.Llee.stats.Llee.lint_blocked_funcs;
+  check_bool "warm: blocked entry still absent" true
+    (storage.Llee.Storage.read (Llee.cache_name eng "broken") = None);
+  (* offline translation skips the blocked function too: neither a
+     per-function entry nor a slot in the whole-module entry *)
+  let s2 = Llee.Storage.in_memory () in
+  let off = Llee.of_module ~storage:s2 ~target:Llee.X86 m in
+  Llee.translate_offline off;
+  check_bool "offline: clean entries written" true
+    (s2.Llee.Storage.read (Llee.cache_name off "helper") <> None
+    && s2.Llee.Storage.read (Llee.cache_name off "main") <> None);
+  check_bool "offline: blocked entry not written" true
+    (s2.Llee.Storage.read (Llee.cache_name off "broken") = None);
+  check_bool "offline: module entry exists" true
+    (s2.Llee.Storage.read (Llee.module_entry_name off) <> None)
+
+(* the same finding, but now call-reachable from [main] through an
+   intermediate hop: the whole launch must be refused (exit 125) *)
+let test_lint_reachable_bug_refused () =
+  let src =
+    {|
+int %broken() {
+entry:
+  %x = alloca int
+  %v = load int* %x
+  ret int %v
+}
+
+int %mid() {
+entry:
+  %r = call int %broken()
+  ret int %r
+}
+
+int %main() {
+entry:
+  %a = call int %mid()
+  ret int %a
+}
+|}
+  in
+  let storage = Llee.Storage.in_memory () in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 (Gen.parse src) in
+  let outcome, _ = Llee.run eng in
+  check_bool "reachable bug refuses the launch" true
+    (match outcome with Llee.Outcome.Cache_degraded _ -> true | _ -> false);
+  check_int "exit 125" Llee.lint_rejected_code (Llee.Outcome.exit_code outcome);
+  check_int "rejected counted" 1 eng.Llee.stats.Llee.lint_rejected;
+  check_int "nothing translated" 0 eng.Llee.stats.Llee.translations;
+  check_bool "nothing cached" true
+    (storage.Llee.Storage.read (Llee.cache_name eng "main") = None)
+
+(* ---------- quarantine forensics (the cache doctor) ---------- *)
+
+let test_cache_doctor () =
+  let storage = Llee.Storage.in_memory () in
+  let m = Gen.parse program in
+  let eng = Llee.of_module ~storage ~target:Llee.X86 m in
+  ignore (run_ok eng);
+  check_bool "healthy cache: nothing to report" true
+    (Llee.cache_doctor ~now:10.0 eng
+    = [ "cache doctor: no quarantined entries" ]);
+  (* damage one native entry; the next launch quarantines and repairs *)
+  let cname = Llee.cache_name eng "hot" in
+  (match storage.Llee.Storage.read cname with
+  | None -> Alcotest.fail "expected a cached entry for %hot"
+  | Some e ->
+      let d = Bytes.of_string e.Llee.Storage.data in
+      let k = Bytes.length d - 1 in
+      Bytes.set d k (Char.chr (Char.code (Bytes.get d k) lxor 0xff));
+      storage.Llee.Storage.write cname (Bytes.to_string d));
+  let warm = Llee.fresh_run eng in
+  ignore (run_ok warm);
+  check_int "damaged entry quarantined" 1 warm.Llee.stats.Llee.cache_quarantined;
+  (* the doctor sees it, the diff localizes the flipped byte *)
+  let report = Llee.cache_doctor ~now:10.0 warm in
+  check_bool "doctor counts one entry" true
+    (List.exists (fun l -> contains l "1 quarantined entry") report);
+  check_bool "doctor lists the name" true
+    (List.exists (fun l -> contains l cname) report);
+  let diff = Llee.diff_quarantined warm "hot" in
+  check_bool "diff classifies the damage" true
+    (List.exists (fun l -> contains l "checksum mismatch") diff);
+  check_bool "diff finds the flipped byte" true
+    (List.exists (fun l -> contains l "first difference at byte") diff);
+  check_bool "no quarantined entry for a clean function" true
+    (contains
+       (String.concat "\n" (Llee.diff_quarantined warm "cold_helper"))
+       "no quarantined entry");
+  (* purge disposes of it; the live repaired entry survives *)
+  check_int "purge removes one" 1 (Llee.purge_quarantined warm);
+  check_bool "purged: doctor clean again" true
+    (Llee.cache_doctor ~now:10.0 warm
+    = [ "cache doctor: no quarantined entries" ]);
+  check_bool "live entry untouched by purge" true
+    (storage.Llee.Storage.read cname <> None);
+  let healed = Llee.fresh_run warm in
+  ignore (run_ok healed);
+  check_int "healed launch translates nothing" 0
+    healed.Llee.stats.Llee.translations
+
 (* ---------- superoptimized peephole tables ---------- *)
 
 let test_peep_cold_search_warm_load () =
@@ -759,6 +911,11 @@ let suite =
         test_lint_warm_zero_recompute;
       Alcotest.test_case "lint verdict corrupt or stale" `Quick
         test_lint_verdict_corrupt_or_stale;
+      Alcotest.test_case "lint partial install" `Quick
+        test_lint_partial_install;
+      Alcotest.test_case "lint reachable bug refused" `Quick
+        test_lint_reachable_bug_refused;
+      Alcotest.test_case "cache doctor" `Quick test_cache_doctor;
       Alcotest.test_case "corrupted cache" `Quick test_corrupted_cache;
       Alcotest.test_case "truncated marshal" `Quick test_truncated_marshal;
       Alcotest.test_case "module entry fast path" `Quick

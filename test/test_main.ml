@@ -17,4 +17,5 @@ let () =
       ("vmem", Test_vmem.suite);
       ("codegen", Test_codegen.suite);
       ("lint", Test_lint.suite);
+      ("ranges", Test_ranges.suite);
     ]

@@ -1,0 +1,283 @@
+(* Tests for the interprocedural value-range analysis: interval algebra,
+   binop transfer functions, branch-condition refinement along dominating
+   edges, interprocedural argument/return summaries, must-deref argument
+   summaries, bounded-widening termination over the whole workload suite,
+   and the byte-for-byte determinism of the JSON lint report. *)
+
+open Llva
+module R = Check.Ranges
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let parse src =
+  let m = Resolve.parse_module src in
+  (match Verify.verify_module m with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "fixture does not verify: %s" (String.concat "; " errs));
+  m
+
+let func m name =
+  match
+    List.find_opt (fun (f : Ir.func) -> f.Ir.fname = name) m.Ir.funcs
+  with
+  | Some f -> f
+  | None -> Alcotest.failf "no function %%%s in fixture" name
+
+(* The defining instruction of virtual register %name in %f. *)
+let instr (f : Ir.func) name =
+  let found = ref None in
+  Ir.iter_instrs
+    (fun (i : Ir.instr) -> if i.Ir.iname = name then found := Some i)
+    f;
+  match !found with
+  | Some i -> i
+  | None -> Alcotest.failf "no instruction %%%s in %%%s" name f.Ir.fname
+
+let itv = Alcotest.testable (fun fmt r -> Format.fprintf fmt "%s" (R.to_string r)) ( = )
+let check_itv = Alcotest.check itv
+
+(* ---------- interval algebra ---------- *)
+
+let test_algebra () =
+  check_itv "join" (R.Itv (1L, 9L)) (R.join (R.Itv (1L, 4L)) (R.Itv (3L, 9L)));
+  check_itv "join bot" (R.Itv (2L, 3L)) (R.join R.Bot (R.Itv (2L, 3L)));
+  check_itv "meet" (R.Itv (3L, 4L)) (R.meet (R.Itv (1L, 4L)) (R.Itv (3L, 9L)));
+  check_itv "meet disjoint" R.Bot (R.meet (R.Itv (1L, 2L)) (R.Itv (5L, 9L)));
+  check_string "to_string singleton" "[7]" (R.to_string (R.Itv (7L, 7L)));
+  check_string "to_string range" "[-1..8]" (R.to_string (R.Itv (-1L, 8L)));
+  check_string "to_string bot" "bot" (R.to_string R.Bot);
+  (* fit wraps an out-of-bounds interval to the type's full range *)
+  check_itv "fit in-bounds"
+    (R.Itv (0L, 200L))
+    (R.fit Types.Int (R.Itv (0L, 200L)));
+  check_itv "fit overflow"
+    (R.top_of Types.Ubyte)
+    (R.fit Types.Ubyte (R.Itv (200L, 300L)));
+  check_bool "is_top full int" true
+    (R.is_top Types.Int (R.Itv (-2147483648L, 2147483647L)));
+  check_bool "is_top proper subrange" false (R.is_top Types.Int (R.Itv (0L, 5L)))
+
+let test_binop_transfer () =
+  let i l h = R.Itv (l, h) in
+  check_itv "add" (i 5L 14L) (R.binop_ranges Types.Int Ir.Add (i 1L 4L) (i 4L 10L));
+  check_itv "sub" (i (-9L) (-0L))
+    (R.binop_ranges Types.Int Ir.Sub (i 1L 4L) (i 4L 10L));
+  check_itv "mul" (i 4L 40L) (R.binop_ranges Types.Int Ir.Mul (i 1L 4L) (i 4L 10L));
+  (* a zero divisor traps: it is cut from the divisor range, and a
+     provably-zero divisor means the result is unreachable *)
+  check_itv "div cuts zero divisor" (i 5L 100L)
+    (R.binop_ranges Types.Int Ir.Div (i 100L 100L) (i 0L 20L));
+  check_itv "div by provably zero" R.Bot
+    (R.binop_ranges Types.Int Ir.Div (i 1L 4L) (i 0L 0L));
+  check_itv "rem by provably zero" R.Bot
+    (R.binop_ranges Types.Int Ir.Rem (i 1L 4L) (i 0L 0L));
+  check_itv "rem bound" (i 0L 6L)
+    (R.binop_ranges Types.Int Ir.Rem (i 0L 100L) (i 7L 7L));
+  check_itv "and mask vs top" (i 0L 15L)
+    (R.binop_ranges Types.Int Ir.And R.Top (i 15L 15L));
+  check_itv "shl" (i 4L 32L)
+    (R.binop_ranges Types.Int Ir.Shl (i 1L 2L) (i 2L 4L));
+  check_itv "shr" (i 1L 8L)
+    (R.binop_ranges Types.Int Ir.Shr (i 8L 16L) (i 1L 3L))
+
+(* ---------- branch refinement along dominating edges ---------- *)
+
+let refine_src =
+  {|
+int %f(int %x) {
+entry:
+  %small = setlt int %x, 10
+  br bool %small, label %mid, label %big
+mid:
+  %pos = setgt int %x, 0
+  br bool %pos, label %both, label %nonpos
+both:
+  %a = add int %x, 0
+  ret int %a
+nonpos:
+  %b = sub int 0, %x
+  ret int %b
+big:
+  %c = add int %x, 1
+  ret int %c
+}
+
+int %main() {
+entry:
+  %r = call int %f(int 7)
+  %r2 = call int %f(int -3)
+  %r3 = call int %f(int 40)
+  %s = add int %r, %r2
+  %t = add int %s, %r3
+  ret int %t
+}
+|}
+
+let test_refinement () =
+  let m = parse refine_src in
+  let t = R.compute m in
+  let f = func m "f" in
+  let x = Ir.Varg (List.hd f.Ir.fargs) in
+  (* flow-insensitive: the join of the three call sites *)
+  check_itv "arg = join of call sites"
+    (R.Itv (-3L, 40L))
+    (R.arg_range t f (List.hd f.Ir.fargs));
+  (* both guards dominate %both: -3 <= x, x < 10, x > 0 *)
+  check_itv "doubly guarded" (R.Itv (1L, 9L)) (R.range_at t f (instr f "a") x);
+  (* only the first guard (negated on the false edge) reaches %big *)
+  check_itv "negated guard" (R.Itv (10L, 40L)) (R.range_at t f (instr f "c") x);
+  check_itv "lower guard negated"
+    (R.Itv (-3L, 0L))
+    (R.range_at t f (instr f "b") x);
+  check_bool "fixpoint" true (R.fixpoint_reached t)
+
+(* ---------- interprocedural summaries ---------- *)
+
+let interproc_src =
+  {|
+long %pick() {
+entry:
+  %a = add long 2, 4
+  ret long %a
+}
+
+long %scale(long %k) {
+entry:
+  %r = mul long %k, 3
+  ret long %r
+}
+
+long %main() {
+entry:
+  %i = call long %pick()
+  %s = call long %scale(long %i)
+  ret long %s
+}
+|}
+
+let test_interprocedural () =
+  let m = parse interproc_src in
+  let t = R.compute m in
+  let mainf = func m "main" in
+  let scale = func m "scale" in
+  check_itv "call reads callee return range"
+    (R.Itv (6L, 6L))
+    (R.instr_range t mainf (instr mainf "i"));
+  check_itv "callee arg from call site"
+    (R.Itv (6L, 6L))
+    (R.arg_range t scale (List.hd scale.Ir.fargs));
+  check_itv "return propagates through two levels"
+    (R.Itv (18L, 18L))
+    (R.ret_range t mainf);
+  check_bool "fixpoint" true (R.fixpoint_reached t)
+
+(* ---------- must-deref argument summaries ---------- *)
+
+let test_must_derefs () =
+  let m =
+    parse
+      {|
+int %always(int* %p) {
+entry:
+  %v = load int* %p
+  ret int %v
+}
+
+int %sometimes(int* %p, bool %c) {
+entry:
+  br bool %c, label %yes, label %no
+yes:
+  %v = load int* %p
+  ret int %v
+no:
+  ret int 0
+}
+
+int %main() {
+entry:
+  %s = alloca int
+  store int 1, int* %s
+  %a = call int %always(int* %s)
+  %b = call int %sometimes(int* %s, bool true)
+  %r = add int %a, %b
+  ret int %r
+}
+|}
+  in
+  let s = Check.Summaries.compute m in
+  let arg0 f =
+    Check.Summaries.arg_summary (Check.Summaries.func_summary s (func m f)) 0
+  in
+  check_bool "all-paths deref" true (arg0 "always").Check.Summaries.must_derefs;
+  check_bool "all-paths deref also derefs" true
+    (arg0 "always").Check.Summaries.derefs;
+  check_bool "one-path deref is not must" false
+    (arg0 "sometimes").Check.Summaries.must_derefs;
+  check_bool "one-path deref still derefs" true
+    (arg0 "sometimes").Check.Summaries.derefs
+
+(* ---------- termination and determinism over the suite ---------- *)
+
+(* Every workload must analyze to fixpoint inside the hard iteration
+   budget — bounded widening has to terminate the loops, and the SCC
+   round budget has to bound the interprocedural feedback. *)
+let test_workloads_fixpoint () =
+  List.iter
+    (fun (w : Workloads.workload) ->
+      let m = Workloads.compile_optimized ~level:2 w in
+      let t = R.compute m in
+      check_bool (w.Workloads.name ^ " reaches fixpoint") true
+        (R.fixpoint_reached t);
+      let budget =
+        R.default_max_sweeps * List.length m.Ir.funcs * R.default_max_rounds
+      in
+      check_bool (w.Workloads.name ^ " within sweep budget") true
+        (R.total_sweeps t <= budget);
+      check_bool
+        (w.Workloads.name ^ " bounded rounds")
+        true
+        (R.rounds t <= R.default_max_rounds))
+    Workloads.all
+
+(* Two independent analyses of the same program must render the same
+   report, byte for byte — ranges, diagnostics, ordering, JSON. *)
+let test_json_deterministic () =
+  let w = Option.get (Workloads.find "ptrdist-anagram") in
+  let report () =
+    let m = Workloads.compile_optimized ~level:2 w in
+    Check.Diag.render_json (Check.Lint.run ~checks:Check.Lint.check_ids m)
+  in
+  check_string "identical JSON across runs" (report ()) (report ());
+  let table () =
+    let m = Workloads.compile_optimized ~level:2 w in
+    String.concat "\n" (R.render (R.compute m))
+  in
+  check_string "identical range table across runs" (table ()) (table ())
+
+let test_render () =
+  let m = parse interproc_src in
+  let t = R.compute m in
+  let all = String.concat "\n" (R.render t) in
+  let has needle =
+    let n = String.length needle and l = String.length all in
+    let rec go i = i + n <= l && (String.sub all i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "render names the function" true (has "%scale");
+  check_bool "render shows the arg range" true (has "[6]");
+  check_bool "render shows the scaled return" true (has "[18]")
+
+let suite =
+  [
+    Alcotest.test_case "interval algebra" `Quick test_algebra;
+    Alcotest.test_case "binop transfer" `Quick test_binop_transfer;
+    Alcotest.test_case "branch refinement" `Quick test_refinement;
+    Alcotest.test_case "interprocedural ranges" `Quick test_interprocedural;
+    Alcotest.test_case "must-deref summaries" `Quick test_must_derefs;
+    Alcotest.test_case "workloads reach fixpoint" `Slow test_workloads_fixpoint;
+    Alcotest.test_case "deterministic reports" `Quick test_json_deterministic;
+    Alcotest.test_case "range table rendering" `Quick test_render;
+  ]

@@ -103,6 +103,58 @@ let test_quarantine_in_memory () =
   | Some e -> check_string "repair landed" "repaired bytes" e.Storage.data
   | None -> Alcotest.fail "repair write lost"
 
+(* The forensics API: list, read-back and purge of the moved-aside
+   entries, on both concrete backends and through [locked]. *)
+let forensics_exercise (s : Storage.t) =
+  check_bool "empty cache lists nothing" true (s.Storage.list_quarantined () = []);
+  s.Storage.write "alpha" "alpha bytes";
+  s.Storage.write "beta" "beta bytes!";
+  s.Storage.quarantine "alpha";
+  s.Storage.quarantine "beta";
+  let qs = s.Storage.list_quarantined () in
+  check_int "both quarantined entries listed" 2 (List.length qs);
+  check_bool "sizes reported" true
+    (List.for_all (fun (_, _, size) -> size = 11) qs);
+  check_bool "listing is sorted" true (qs = List.sort compare qs);
+  (* read-back by the original name, raw bytes intact *)
+  (match s.Storage.read_quarantined "alpha" with
+  | Some e -> check_string "raw bytes preserved" "alpha bytes" e.Storage.data
+  | None -> Alcotest.fail "quarantined entry unreadable");
+  check_bool "absent name reads as None" true
+    (s.Storage.read_quarantined "gamma" = None);
+  (* a live entry must not shadow or be confused with the aside copy *)
+  s.Storage.write "alpha" "repaired!!!";
+  (match s.Storage.read_quarantined "alpha" with
+  | Some e ->
+      check_string "repair does not disturb the aside copy" "alpha bytes"
+        e.Storage.data
+  | None -> Alcotest.fail "aside copy lost after repair");
+  check_int "purge removes them all" 2 (s.Storage.purge_quarantined ());
+  check_bool "purged: nothing listed" true (s.Storage.list_quarantined () = []);
+  check_bool "purged: nothing readable" true
+    (s.Storage.read_quarantined "alpha" = None);
+  check_int "second purge is a no-op" 0 (s.Storage.purge_quarantined ());
+  (* the live, repaired entry survives the purge *)
+  match s.Storage.read "alpha" with
+  | Some e -> check_string "live entry survives purge" "repaired!!!" e.Storage.data
+  | None -> Alcotest.fail "purge destroyed a live entry"
+
+let test_forensics_in_memory () = forensics_exercise (Storage.in_memory ())
+
+let test_forensics_on_disk () =
+  let dir = fresh_tmp_dir "llee_forensics_test" in
+  forensics_exercise (Storage.on_disk ~dir);
+  rm_rf_dir dir
+
+let test_forensics_locked () =
+  forensics_exercise (Storage.locked (Storage.in_memory ()))
+
+let test_forensics_none () =
+  let s = Storage.none in
+  check_bool "none lists nothing" true (s.Storage.list_quarantined () = []);
+  check_bool "none reads nothing" true (s.Storage.read_quarantined "x" = None);
+  check_int "none purges nothing" 0 (s.Storage.purge_quarantined ())
+
 let test_locked_concurrent_writers () =
   (* several Domains hammering one [locked] in-memory storage: every
      entry must come back whole (no torn interleavings), no write may be
@@ -289,6 +341,10 @@ let suite =
     Alcotest.test_case "missing vs unreadable" `Quick test_missing_vs_unreadable;
     Alcotest.test_case "quarantine on disk" `Quick test_quarantine_on_disk;
     Alcotest.test_case "quarantine in memory" `Quick test_quarantine_in_memory;
+    Alcotest.test_case "forensics in memory" `Quick test_forensics_in_memory;
+    Alcotest.test_case "forensics on disk" `Quick test_forensics_on_disk;
+    Alcotest.test_case "forensics through locked" `Quick test_forensics_locked;
+    Alcotest.test_case "forensics on none" `Quick test_forensics_none;
     Alcotest.test_case "locked concurrent writers" `Quick
       test_locked_concurrent_writers;
     Alcotest.test_case "locked concurrent disk writers" `Quick
