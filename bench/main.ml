@@ -218,6 +218,8 @@ type llee_row = {
   l_peep_table_load_ms : float; (* warm launch: loading the cached table *)
   l_range_ms : float; (* interprocedural value-range analysis, alone *)
   l_range_sweeps : int; (* abstract-interpretation sweeps to fixpoint *)
+  l_rel_ms : float; (* relational (DBM) layer on top of a fresh analysis *)
+  l_rel_facts : int; (* proven relational facts over the module *)
 }
 
 let llee_workloads = [ "255.vortex"; "164.gzip"; "181.mcf"; "ptrdist-anagram" ]
@@ -311,6 +313,20 @@ let llee_row name : llee_row =
      reported separately so regressions in the fixpoint loop are visible *)
   let ranges, range_dt = time_best (fun () -> Check.Ranges.compute m) in
   assert (Check.Ranges.fixpoint_reached ranges);
+  (* relational layer alone: build + close the per-block DBMs the oob
+     checker would consult, on a fresh analysis so nothing is cached *)
+  let rel_ms, rel_facts =
+    let best = ref infinity and facts = ref 0 in
+    for _ = 1 to 3 do
+      let t = Check.Ranges.compute m in
+      let t0 = Unix.gettimeofday () in
+      Check.Ranges.force_relations t;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      facts := Check.Ranges.rel_fact_count t
+    done;
+    (!best *. 1000.0, !facts)
+  in
   {
     l_name = name;
     l_cold_n = cold.Llee.stats.Llee.translations;
@@ -335,27 +351,30 @@ let llee_row name : llee_row =
     l_peep_table_load_ms = pwarm.Llee.stats.Llee.peep_time *. 1000.0;
     l_range_ms = range_dt *. 1000.0;
     l_range_sweeps = Check.Ranges.total_sweeps ranges;
+    l_rel_ms = rel_ms;
+    l_rel_facts = rel_facts;
   }
 
 let run_llee () =
   section "LLEE: program launch with and without the OS storage API";
   Printf.printf
-    "%-17s %10s %12s %12s %10s %10s %11s %11s %8s %7s %9s %9s %9s %6s %5s \
-     %4s %12s %6s %7s %7s\n"
+    "%-17s %10s %12s %12s %10s %10s %11s %11s %8s %7s %9s %9s %9s %6s %7s \
+     %6s %5s %4s %12s %6s %7s %7s\n"
     "Program" "cold trans" "cold ms" "warm ms" "hits" "warm reads"
     "offline(s)" "parallel(s)" "speedup" "same" "lint cold" "lint warm"
-    "range ms" "sweeps" "quar" "rep" "peep cycles" "rewr" "gain" "tbl ms";
+    "range ms" "sweeps" "rel ms" "facts" "quar" "rep" "peep cycles" "rewr"
+    "gain" "tbl ms";
   let rows = List.map llee_row llee_workloads in
   List.iter
     (fun r ->
       Printf.printf
         "%-17s %10d %12.3f %12.3f %10d %10d %11.4f %11.4f %7.2fx %7b %7.2fms \
-         %7.2fms %7.2fms %6d %5d %4d %12Ld %6d %6.2f%% %7.3f\n"
+         %7.2fms %7.2fms %6d %5.2fms %6d %5d %4d %12Ld %6d %6.2f%% %7.3f\n"
         r.l_name r.l_cold_n r.l_cold_ms r.l_warm_ms r.l_warm_hits r.l_warm_reads
         r.l_off_seq r.l_off_par
         (r.l_off_seq /. r.l_off_par)
         r.l_off_same r.l_lint_cold_ms r.l_lint_warm_ms r.l_range_ms
-        r.l_range_sweeps r.l_quarantined
+        r.l_range_sweeps r.l_rel_ms r.l_rel_facts r.l_quarantined
         r.l_repaired r.l_cycles_peep r.l_peep_rewrites
         (100.0
         *. (Int64.to_float r.l_cycles -. Int64.to_float r.l_cycles_peep)
@@ -374,7 +393,9 @@ let run_llee () =
     \ pays once; 'lint warm' is reading the recorded verdict instead.\n\
     \ 'range ms' is the interprocedural value-range analysis alone (the\n\
     \ dominant cost inside lint cold) and 'sweeps' its abstract-\n\
-    \ interpretation sweep count to fixpoint.\n\
+    \ interpretation sweep count to fixpoint. 'rel ms' is the relational\n\
+    \ (difference-bound) layer alone: building and closing the per-block\n\
+    \ DBMs the oob checker consults, over 'facts' proven relations.\n\
     \ 'quar'/'rep' exercise the self-healing cache: with one byte flipped\n\
     \ in the whole-module entry and in main's entry, the checksummed\n\
     \ frame quarantines both and the launch retranslates what it needs.\n\
@@ -493,13 +514,14 @@ let write_bench_json ~path ~domains (rows : llee_row list) (mt : mem_row) =
          \"lint_cold_ms\": %.3f, \"lint_warm_ms\": %.3f, \
          \"lint_runs\": %d, \"lint_skipped\": %d, \
          \"range_ms\": %.3f, \"range_sweeps\": %d, \
+         \"rel_ms\": %.3f, \"rel_facts\": %d, \
          \"quarantined\": %d, \"repaired\": %d, \
          \"cycles_peep\": %Ld, \"peep_rewrites\": %d, \
          \"peep_table_load_ms\": %.3f}%s\n"
         (json_escape r.l_name) r.l_cold_n r.l_cold_ms r.l_warm_ms r.l_warm_hits
         r.l_warm_reads r.l_off_seq r.l_off_par r.l_off_same r.l_cycles
         r.l_lint_cold_ms r.l_lint_warm_ms r.l_lint_runs r.l_lint_skipped
-        r.l_range_ms r.l_range_sweeps
+        r.l_range_ms r.l_range_sweeps r.l_rel_ms r.l_rel_facts
         r.l_quarantined r.l_repaired r.l_cycles_peep r.l_peep_rewrites
         r.l_peep_table_load_ms
         (if k = List.length rows - 1 then "" else ","))

@@ -112,7 +112,38 @@ let show_ranges m =
     (if Check.Ranges.rounds t = 1 then "" else "s")
     (if Check.Ranges.fixpoint_reached t then "" else " (budget exhausted)")
 
-let run input json checks list_checks werror workloads cache_dir ranges =
+(* --relations: print the relational fact table — per-function summary
+   bounds (arg <= arg + c, arg <= len(ptr arg) + c), guard difference
+   facts per constrained edge, and no-wrap flow equations. *)
+let show_relations m =
+  let t = Check.Ranges.compute m in
+  List.iter print_endline (Check.Ranges.render_relations t);
+  Printf.eprintf "relational analysis: %d fact%s%s\n"
+    (Check.Ranges.rel_fact_count t)
+    (if Check.Ranges.rel_fact_count t = 1 then "" else "s")
+    (if Check.Ranges.rel_within_budget t then "" else " (node budget hit)")
+
+(* --workloads --relations: one summary line per workload — proven fact
+   count and the cost of building + closing every DBM the oob checker
+   would consult, on a fresh analysis (the EXPERIMENTS.md table). *)
+let workloads_relations () =
+  List.iter
+    (fun w ->
+      let m = Workloads.compile_optimized ~level:2 w in
+      let t = Check.Ranges.compute m in
+      let t0 = Unix.gettimeofday () in
+      Check.Ranges.force_relations t;
+      let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      Printf.printf "%-18s %4d fact%s %6.2f ms%s\n" w.Workloads.name
+        (Check.Ranges.rel_fact_count t)
+        (if Check.Ranges.rel_fact_count t = 1 then " " else "s")
+        dt
+        (if Check.Ranges.rel_within_budget t then ""
+         else "  (node budget hit)"))
+    Workloads.all
+
+let run input json checks list_checks werror workloads cache_dir ranges
+    relations =
   if list_checks then begin
     List.iter
       (fun (c : Check.Lint.check_info) ->
@@ -131,7 +162,11 @@ let run input json checks list_checks werror workloads cache_dir ranges =
       exit 2
   | _ -> ());
   let failed =
-    if workloads then lint_workloads ?checks ~json ~werror ()
+    if workloads && relations then begin
+      workloads_relations ();
+      false
+    end
+    else if workloads then lint_workloads ?checks ~json ~werror ()
     else
       match input with
       | None ->
@@ -147,6 +182,10 @@ let run input json checks list_checks werror workloads cache_dir ranges =
               exit 2);
           if ranges then begin
             show_ranges m;
+            false
+          end
+          else if relations then begin
+            show_relations m;
             false
           end
           else
@@ -196,11 +235,20 @@ let ranges =
           "print the interprocedural value-range table for the input \
            module instead of a lint report")
 
+let relations =
+  Arg.(
+    value & flag
+    & info [ "relations" ]
+        ~doc:
+          "print the relational fact table (difference bounds, symbolic \
+           argument/length bounds, flow equations) for the input module \
+           instead of a lint report")
+
 let cmd =
   Cmd.v
     (Cmd.info "llva-lint" ~doc:"static safety analysis over LLVA modules")
     Term.(
       const run $ input $ json $ checks $ list_checks $ werror $ workloads
-      $ cache_dir $ ranges)
+      $ cache_dir $ ranges $ relations)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,112 @@
+; Seeded fixture for the relational (difference-bound) range analysis.
+;
+; Exactly two warnings and one error are expected (lint_relational.expected):
+;   - %last: the classic off-by-one — reading slot %n of an %n-element
+;     buffer. The access is provably AT the end on every execution; only
+;     the relational layer can say so (the buffer length is symbolic),
+;     and the Error carries the fact it rests on: [rel: %n >= len(%buf)].
+;   - %grab: a gep one element past the one-past-the-end pointer. The
+;     one-past pointer itself is the allowed idiom and stays silent; the
+;     +1 on top is provably past the object, a Warning.
+;   - %clipped: a masked index in [0..7] over a 4-element table. The
+;     offset interval [0..28] straddles the 16-byte object and no
+;     relational fact can rescue it — the straddle Warning remains.
+; Two would-be false positives must stay silent:
+;   - %sum walks an %n-element buffer under the guard %i < %n. The callers
+;     always pass the allocation's own element count, so the
+;     interprocedural round proves %n <= len(%buf) and the guard closes
+;     the loop body access: range-proven safe, no finding.
+;   - %scanner runs the same loop over a fixed 4-element table with an
+;     unknown trip count: the widened counter spans billions of bytes, so
+;     the commensurate-width gate keeps suppressing the straddle noise
+;     exactly as it did before the relational layer.
+
+%tbl = global [4 x int] [ int 1, int 2, int 3, int 4 ]
+%seed = global int 9
+%cap = global long 6
+
+long %sum(int* %buf, long %n) {
+entry:
+  br label %head
+head:
+  %i = phi long [ 0, %entry ], [ %inext, %body ]
+  %acc = phi long [ 0, %entry ], [ %accn, %body ]
+  %more = setlt long %i, %n
+  br bool %more, label %body, label %done
+body:
+  %slot = getelementptr int* %buf, long %i
+  %v = load int* %slot
+  %vw = cast int %v to long
+  %accn = add long %acc, %vw
+  %inext = add long %i, 1
+  br label %head
+done:
+  ret long %acc
+}
+
+long %last(long %n) {
+entry:
+  %buf = alloca int, long %n
+  %first = getelementptr int* %buf, long 0
+  store int 7, int* %first
+  %slot = getelementptr int* %buf, long %n
+  %v = load int* %slot
+  %vw = cast int %v to long
+  ret long %vw
+}
+
+long %grab(long %n) {
+entry:
+  %buf = alloca int, long %n
+  %end = getelementptr int* %buf, long %n
+  %past = getelementptr int* %end, long 1
+  %same = seteq int* %past, %end
+  %d = cast bool %same to long
+  ret long %d
+}
+
+int %clipped() {
+entry:
+  %v = load int* %seed
+  %k = and int %v, 7
+  %slot = getelementptr [4 x int]* %tbl, long 0, int %k
+  %x = load int* %slot
+  ret int %x
+}
+
+int %scanner(int %n) {
+entry:
+  br label %head
+head:
+  %i = phi int [ 0, %entry ], [ %inext, %body ]
+  %acc = phi int [ 0, %entry ], [ %accn, %body ]
+  %go = setlt int %i, %n
+  br bool %go, label %body, label %done
+body:
+  %slot = getelementptr [4 x int]* %tbl, long 0, int %i
+  %v = load int* %slot
+  %accn = add int %acc, %v
+  %inext = add int %i, 1
+  br label %head
+done:
+  ret int %acc
+}
+
+long %main() {
+entry:
+  %n = load long* %cap
+  %buf = alloca int, long %n
+  %s = call long %sum(int* %buf, long %n)
+  %l = call long %last(long %n)
+  %g = call long %grab(long %n)
+  %c = call int %clipped()
+  %v = load int* %seed
+  %sc = call int %scanner(int %v)
+  %cw = cast int %c to long
+  %scw = cast int %sc to long
+  %t0 = add long %s, %l
+  %t1 = add long %t0, %g
+  %t2 = add long %t1, %cw
+  %t3 = add long %t2, %scw
+  ret long %t3
+}

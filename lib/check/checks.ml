@@ -397,7 +397,235 @@ let offset_range ctx (f : Ir.func) (v : Ir.value) : Ranges.itv * bool =
   in
   walk v
 
+(* ---------- symbolic object lengths (relational layer) ---------- *)
+
+(* The length symbol of a variable-length object, with the element size it
+   counts and a display form for relation texts: the element count of a
+   variable-count alloca is that count's own symbol; a pointer argument
+   gets its length symbol, but only when the interprocedural summary
+   proved at least one bound mentioning it — an unconstrained length
+   symbol can never prove anything, so we do not even build the DBM. *)
+let symbolic_len ctx (f : Ir.func) (b : Analysis.Alias.base) :
+    (Ranges.sym * int * string) option =
+  let elem_size (ty : Types.t) =
+    match Types.resolve ctx.env ty with
+    | Types.Pointer elem -> (
+        try Some (Vmem.Layout.size_of ctx.lt elem)
+        with Invalid_argument _ | Types.Unresolved _ -> None)
+    | _ -> None
+    | exception Types.Unresolved _ -> None
+  in
+  match b with
+  | Analysis.Alias.Balloca a -> (
+      match (elem_size a.Ir.ity, a.Ir.operands) with
+      | Some es, [| cnt |] -> (
+          match Ranges.value_sym ctx.ranges cnt with
+          | Some s -> Some (s, es, Printf.sprintf "len(%s)" (base_name b))
+          | None -> None)
+      | _ -> None)
+  | Analysis.Alias.Barg a -> (
+      match elem_size a.Ir.aty with
+      | Some es ->
+          let pos = ref (-1) in
+          List.iteri
+            (fun k (fa : Ir.arg) -> if fa.Ir.aid = a.Ir.aid then pos := k)
+            f.Ir.fargs;
+          let mentioned =
+            List.exists
+              (fun (_, bound) ->
+                match bound with
+                | Summaries.Ble_len (p, _) -> p = !pos
+                | Summaries.Ble_arg _ -> false)
+              (Summaries.arg_bounds ctx.summaries f)
+          in
+          if mentioned then
+            let n = if a.Ir.aname = "" then "arg" else "%" ^ a.Ir.aname in
+            Some (Ranges.arg_len_sym a, es, Printf.sprintf "len(%s)" n)
+          else None
+      | None -> None)
+  | _ -> None
+
+(* Decompose a pointer into [base + var*scale + cb]: a gep chain with
+   exactly one variable index (an element index at gep operand 1), every
+   other contribution constant. The symbolic proofs relate that single
+   variable to the object's length symbol. Constant folding is
+   overflow-checked — a wrapped decomposition proves nothing. *)
+let sym_offset ctx (v : Ir.value) : (Ir.value * int64 * int64) option =
+  let bump cb n es =
+    match Ranges.mul64 n es with
+    | Some p -> ( match Ranges.add64 cb p with Some c -> c | None -> raise Exit)
+    | None -> raise Exit
+  in
+  let rec walk (v : Ir.value) : (Ir.value option * int64 * int64) option =
+    match v with
+    | Ir.Vreg ({ Ir.op = Ir.Getelementptr; _ } as i) -> (
+        match walk i.Ir.operands.(0) with
+        | None -> None
+        | Some (var0, scale0, cb0) -> (
+            try
+              let elem =
+                Types.pointee ctx.env (Ir.type_of_value i.Ir.operands.(0))
+              in
+              let es = Int64.of_int (Vmem.Layout.size_of ctx.lt elem) in
+              let var = ref var0 and scale = ref scale0 and cb = ref cb0 in
+              let nops = Array.length i.Ir.operands in
+              if nops >= 2 then begin
+                match i.Ir.operands.(1) with
+                | Ir.Const { ckind = Ir.Cint n; _ } -> cb := bump !cb n es
+                | Ir.Const { ckind = Ir.Czero; _ } -> ()
+                | idx ->
+                    if !var <> None then raise Exit;
+                    var := Some idx;
+                    scale := es
+              end;
+              let ty = ref elem in
+              for k = 2 to nops - 1 do
+                match Types.resolve ctx.env !ty with
+                | Types.Array (_, e) ->
+                    let esk = Int64.of_int (Vmem.Layout.size_of ctx.lt e) in
+                    (match i.Ir.operands.(k) with
+                    | Ir.Const { ckind = Ir.Cint n; _ } -> cb := bump !cb n esk
+                    | Ir.Const { ckind = Ir.Czero; _ } -> ()
+                    | idx ->
+                        (* the single variable may equally be an array
+                           index (gep [N x t]* %g, 0, %i) *)
+                        if !var <> None then raise Exit;
+                        var := Some idx;
+                        scale := esk);
+                    ty := e
+                | Types.Struct fields -> (
+                    match i.Ir.operands.(k) with
+                    | Ir.Const { ckind = Ir.Cint n; _ } ->
+                        let fk = Int64.to_int n in
+                        (match List.nth_opt fields fk with
+                        | Some fty ->
+                            cb :=
+                              bump !cb
+                                (Int64.of_int
+                                   (Vmem.Layout.field_offset ctx.lt fields fk))
+                                1L;
+                            ty := fty
+                        | None -> raise Exit)
+                    | _ -> raise Exit)
+                | _ -> raise Exit
+              done;
+              Some (!var, !scale, !cb)
+            with Invalid_argument _ | Types.Unresolved _ | Exit -> None))
+    | Ir.Vreg ({ Ir.op = Ir.Cast; _ } as i) -> (
+        match Ir.type_of_value i.Ir.operands.(0) with
+        | Types.Pointer _ -> walk i.Ir.operands.(0)
+        | _ -> None)
+    | Ir.Vreg { Ir.op = Ir.Alloca; _ } | Ir.Vglobal _ | Ir.Varg _ ->
+        Some (None, 0L, 0L)
+    | _ -> None
+  in
+  match walk v with
+  | Some (Some var, scale, cb) when scale > 0L -> Some (var, scale, cb)
+  | _ -> None
+
+let value_name (v : Ir.value) =
+  match v with
+  | Ir.Vreg i when i.Ir.iname <> "" -> "%" ^ i.Ir.iname
+  | Ir.Varg a when a.Ir.aname <> "" -> "%" ^ a.Ir.aname
+  | _ -> "index"
+
+(* For a const-size object whose interval straddles: is the access
+   relationally proven inside after all? The DBM can beat the raw
+   interval through closure (flow equations, merge-point guards), so this
+   retires straddle warnings the commensurate-width gate used to be the
+   only defence against. Bounds against the zero node are constants. *)
+let relationally_inside ctx (f : Ir.func) (i : Ir.instr) (ptr : Ir.value)
+    ~size ~access : bool =
+  match sym_offset ctx ptr with
+  | None -> false
+  | Some (var, scale, cb) -> (
+      let fits k =
+        (* cb + k*scale + access <= size *)
+        match Ranges.mul64 k scale with
+        | Some p -> (
+            match Ranges.add64 cb p with
+            | Some o ->
+                Int64.add o (Int64.of_int access) <= Int64.of_int size
+            | None -> false)
+        | None -> false
+      and nonneg k =
+        match Ranges.mul64 k scale with
+        | Some p -> (
+            match Ranges.add64 cb p with Some o -> o >= 0L | None -> false)
+        | None -> false
+      in
+      match
+        ( Ranges.rel_upper_at ctx.ranges f i var Ranges.zero_sym,
+          Ranges.rel_lower_at ctx.ranges f i var Ranges.zero_sym )
+      with
+      | Some hi, Some lo -> fits hi && nonneg lo
+      | _ -> false)
+
 let check_oob ctx ~k_func (f : Ir.func) =
+  (* Variable-length object (no constant size): prove the access against
+     the object's length symbol. Provably past the end — the single
+     variable index sits at or beyond the element count on every
+     execution — is an error carrying the relational fact. A relational
+     safety proof (interval lower bound on the offset, difference bound
+     [var <= len + c] with [c*scale + cb + access <= 0] on the upper side)
+     short-circuits; anything unproven stays silent, exactly as these
+     objects were before the relational layer. *)
+  let check_symbolic (i : Ir.instr) ptr what base access =
+    match (symbolic_len ctx f base, sym_offset ctx ptr) with
+    | Some (lsym, es, lname), Some (var, scale, cb)
+      when scale = Int64.of_int es -> (
+        let acc64 = Int64.of_int access in
+        let proven_inside () =
+          let nonneg =
+            match Ranges.range_at ctx.ranges f i var with
+            | Ranges.Itv (vl, _) -> (
+                match Ranges.mul64 vl scale with
+                | Some p -> (
+                    match Ranges.add64 cb p with
+                    | Some o -> o >= 0L
+                    | None -> false)
+                | None -> false)
+            | _ -> false
+          in
+          nonneg
+          &&
+          match Ranges.rel_upper_at ctx.ranges f i var lsym with
+          | Some c -> (
+              (* var <= len + c: offset + access <= size + c*scale + cb
+                 + access, inside when c*scale + cb + access <= 0 *)
+              match Ranges.mul64 c scale with
+              | Some p -> (
+                  match Ranges.add64 p (Int64.add cb acc64) with
+                  | Some s -> s <= 0L
+                  | None -> false)
+              | None -> false)
+          | None -> false
+        in
+        if proven_inside () then ()
+        else
+          match Ranges.rel_lower_at ctx.ranges f i var lsym with
+          | Some d
+            when (match Ranges.mul64 d scale with
+                 | Some p -> (
+                     match Ranges.add64 cb p with
+                     | Some o -> o >= 0L
+                     | None -> false)
+                 | None -> false) ->
+              (* var >= len + d with d*scale + cb >= 0: the access starts
+                 at or past the object's end on every execution *)
+              ctx.emit
+                (Diag.at_instr ~check:"oob-access" ~sev:Diag.Error ~k_func
+                   ~relation:(Printf.sprintf "%s >= %s" (value_name var) lname)
+                   f i
+                   (Printf.sprintf
+                      "%s of %d byte%s at index %s is provably at or past \
+                       the end of %s"
+                      what access
+                      (if access = 1 then "" else "s")
+                      (value_name var) (base_name base)))
+          | _ -> ())
+    | _ -> ()
+  in
   let check_access (i : Ir.instr) (ptr : Ir.value) what =
     let base = Analysis.Alias.base_object ptr in
     match (object_size ctx base, Analysis.Alias.access_size ctx.lt ptr) with
@@ -433,13 +661,15 @@ let check_oob ctx ~k_func (f : Ir.func) =
                   (* straddle: only worth a warning when every index was
                      informative AND the offset range is commensurate with
                      the object — a widened loop counter spans billions of
-                     bytes and proves nothing about real accesses *)
+                     bytes and proves nothing about real accesses — AND
+                     the relational layer cannot prove the access inside
+                     (its closed bounds can beat the raw interval) *)
                   precise
                   && (lo < 0L || Int64.add hi acc64 > size64)
-                  &&
-                  match Ranges.sub64 hi lo with
-                  | Some w -> w <= Int64.mul 2L size64
-                  | None -> false
+                  && (match Ranges.sub64 hi lo with
+                     | Some w -> w <= Int64.mul 2L size64
+                     | None -> false)
+                  && not (relationally_inside ctx f i ptr ~size ~access)
                 then
                   ctx.emit
                     (Diag.at_instr ~check:"oob-access" ~sev:Diag.Warning
@@ -452,6 +682,7 @@ let check_oob ctx ~k_func (f : Ir.func) =
                           (Ranges.to_string (Ranges.Itv (lo, hi)))
                           (base_name base) size))
             | _ -> ()))
+    | None, Some access -> check_symbolic i ptr what base access
     | _ -> ()
   in
   Ir.iter_instrs
@@ -490,7 +721,33 @@ let check_oob ctx ~k_func (f : Ir.func) =
                               (Ranges.to_string (Ranges.Itv (lo, hi)))
                               (base_name base) size))
                   | _ -> ()))
-          | None -> ())
+          | None -> (
+              (* variable-length object: a gep provably *strictly past*
+                 one-past-the-end (var >= len + d with d*scale + cb >= 1)
+                 is worth the same warning as a constant-size overshoot *)
+              match (symbolic_len ctx f base, sym_offset ctx v) with
+              | Some (lsym, es, lname), Some (var, scale, cb)
+                when scale = Int64.of_int es -> (
+                  match Ranges.rel_lower_at ctx.ranges f i var lsym with
+                  | Some d
+                    when (match Ranges.mul64 d scale with
+                         | Some p -> (
+                             match Ranges.add64 cb p with
+                             | Some o -> o >= 1L
+                             | None -> false)
+                         | None -> false) ->
+                      ctx.emit
+                        (Diag.at_instr ~check:"oob-access" ~sev:Diag.Warning
+                           ~k_func
+                           ~relation:
+                             (Printf.sprintf "%s > %s" (value_name var) lname)
+                           f i
+                           (Printf.sprintf
+                              "getelementptr to index %s is provably past \
+                               the end of %s"
+                              (value_name var) (base_name base)))
+                  | _ -> ())
+              | _ -> ()))
       | _ -> ())
     f
 

@@ -37,6 +37,9 @@ type t = {
       (* other functions implicated by an interprocedural finding (the
          callee of a bad call, every member of an offending SCC); the
          per-function cache gate blames them alongside [func] *)
+  relation : string;
+      (* v3: the relational fact a range-proven finding rests on, e.g.
+         "%n >= len(%buf)"; "" when the finding is interval-only *)
   (* ordering keys (function / block position in the module); not part of
      the rendered record *)
   k_func : int;
@@ -44,8 +47,8 @@ type t = {
 }
 
 let mk ~check ~sev ?(func = "") ?(block = "") ?(instr = -1) ?(site = "")
-    ?(related = []) ?(k_func = -1) ?(k_block = -1) msg =
-  { check; sev; func; block; instr; site; msg; related; k_func; k_block }
+    ?(related = []) ?(relation = "") ?(k_func = -1) ?(k_block = -1) msg =
+  { check; sev; func; block; instr; site; msg; related; relation; k_func; k_block }
 
 (* Describe an instruction site compactly: "%name = opcode" or just the
    opcode for unnamed/void instructions. *)
@@ -56,8 +59,8 @@ let describe_instr (i : Ir.instr) =
 (* Location of [i] inside function [f] (which sits at [k_func] in the
    module): block position and instruction index are recovered from the
    function body, so every checker reports positions the same way. *)
-let at_instr ~check ~sev ?(related = []) ~k_func (f : Ir.func) (i : Ir.instr)
-    msg =
+let at_instr ~check ~sev ?(related = []) ?(relation = "") ~k_func (f : Ir.func)
+    (i : Ir.instr) msg =
   let k_block = ref (-1) and instr_idx = ref (-1) and block_name = ref "" in
   List.iteri
     (fun bk (b : Ir.block) ->
@@ -79,6 +82,7 @@ let at_instr ~check ~sev ?(related = []) ~k_func (f : Ir.func) (i : Ir.instr)
     site = describe_instr i;
     msg;
     related;
+    relation;
     k_func;
     k_block = !k_block;
   }
@@ -96,6 +100,7 @@ let at_block ~check ~sev ?(related = []) ~k_func (f : Ir.func) (b : Ir.block)
     site = Printf.sprintf "block %%%s" b.Ir.bname;
     msg;
     related;
+    relation = "";
     k_func;
     k_block = !k_block;
   }
@@ -114,7 +119,10 @@ let compare_diag (a : t) (b : t) =
         if c <> 0 then c
         else
           let c = compare a.msg b.msg in
-          if c <> 0 then c else compare a.related b.related
+          if c <> 0 then c
+          else
+            let c = compare a.related b.related in
+            if c <> 0 then c else compare a.relation b.relation
 
 let sort diags = List.stable_sort compare_diag diags
 
@@ -130,16 +138,21 @@ let to_text (d : t) =
     else Printf.sprintf "%%%s:%%%s:#%d" d.func d.block d.instr
   in
   let site = if d.site = "" then "" else Printf.sprintf " (%s)" d.site in
-  Printf.sprintf "%s: %s[%s]%s: %s" where (severity_name d.sev) d.check site
-    d.msg
+  let rel =
+    if d.relation = "" then "" else Printf.sprintf " [rel: %s]" d.relation
+  in
+  Printf.sprintf "%s: %s[%s]%s: %s%s" where (severity_name d.sev) d.check site
+    d.msg rel
 
 let render_text diags = String.concat "\n" (List.map to_text diags)
 
 (* ---------- JSON renderer / reader ---------- *)
 
 (* v2: every diagnostic carries a "related" function list so per-function
-   verdicts can blame interprocedural findings on all involved parties. *)
-let schema_version = 2
+   verdicts can blame interprocedural findings on all involved parties.
+   v3: a "relation" field records the relational (difference-bound) fact a
+   range-proven finding rests on; "" for interval-only findings. *)
+let schema_version = 3
 
 let diag_to_json (d : t) =
   Json.Obj
@@ -152,6 +165,7 @@ let diag_to_json (d : t) =
       ("site", Json.Str d.site);
       ("message", Json.Str d.msg);
       ("related", Json.List (List.map (fun f -> Json.Str f) d.related));
+      ("relation", Json.Str d.relation);
     ]
 
 let to_json diags =
@@ -190,6 +204,7 @@ let diag_of_json (j : Json.t) : t =
     site = s "site";
     msg = s "message";
     related;
+    relation = s "relation";
     k_func = -1;
     k_block = -1;
   }

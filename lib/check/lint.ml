@@ -33,7 +33,8 @@ let catalogue : check_info list =
       default_on = true;
       descr =
         "out-of-bounds getelementptr/load/store, computed against the \
-         target data layout from constant or range-analyzed offsets";
+         target data layout from constant, range-analyzed or relational \
+         (symbolic-length) offsets";
     };
     {
       id = "null-deref";
@@ -120,13 +121,18 @@ let run ?checks (m : Ir.modl) : Diag.t list =
       let names = List.map (fun (f : Ir.func) -> f.Ir.fname) scc in
       List.iter (fun n -> Hashtbl.replace sccs n names) names)
     (Analysis.Callgraph.sccs (Analysis.Callgraph.compute m));
+  let summaries = Summaries.compute m in
+  let ranges = Ranges.compute m in
+  (* publish the relational argument facts: the oob checker keys its
+     symbolic-length reasoning off their presence *)
+  Summaries.set_relations summaries (Ranges.export_relations ranges);
   let ctx =
     {
       Checks.m;
       env = Ir.type_env m;
       lt = Vmem.Layout.for_module m;
-      summaries = Summaries.compute m;
-      ranges = Ranges.compute m;
+      summaries;
+      ranges;
       sccs;
       emit = (fun d -> acc := d :: !acc);
     }
@@ -152,8 +158,13 @@ let run ?checks (m : Ir.modl) : Diag.t list =
 
 (* v2: range-upgraded oob-access/div-by-zero, shift-range and trunc-range
    checks, Error-severity null-arg, and per-diagnostic related-function
-   lists (diag schema 2) for per-function verdict granularity. *)
-let version = 2
+   lists (diag schema 2) for per-function verdict granularity.
+   v3: relational range analysis — difference-bound and symbolic-length
+   facts upgrade oob-access over variable-length objects, merge-point
+   guard refinement sharpens intervals, and diagnostics carry a
+   "relation" field (diag schema 3). Recorded v2 verdicts are orphaned
+   and re-linted. *)
+let version = 3
 
 type verdict = {
   v_version : int; (* analysis version that produced this verdict *)

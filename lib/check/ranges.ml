@@ -174,6 +174,26 @@ type constr = {
   cb : Ir.value;
 }
 
+(* ---------- relational layer: symbols and difference bounds ---------- *)
+
+(* A node of the difference-bound domain: the distinguished zero node (so
+   unary interval bounds embed as differences against 0), an SSA register,
+   a function argument, or the *element count* of the object a pointer
+   argument points to — the "length" of a variable-length allocation,
+   linked to concrete call-site objects by the interprocedural rounds.
+   Only types whose canonical representative is the mathematical value
+   participate; ulong would need the modular reasoning a DBM cannot do. *)
+type sym = Szero | Sreg of int (* instr id *) | Sarg of int | Slen of int
+
+(* A closed difference-bound matrix over a small symbol set:
+   [dmat.(i).(j) = Some c] means sym_i - sym_j <= c (on every execution
+   reaching the block the matrix was built for). *)
+type dbm = {
+  dsyms : sym array;
+  dix : (sym, int) Hashtbl.t;
+  dmat : int64 option array array;
+}
+
 type fn_info = {
   fi_f : Ir.func;
   fi_cfg : Analysis.Cfg.t;
@@ -185,11 +205,20 @@ type fn_info = {
   mutable fi_ret : itv;
   mutable fi_fp : bool; (* per-function fixpoint inside the budget *)
   mutable fi_sweeps : int;
+  fi_instr_of : (int, Ir.instr) Hashtbl.t; (* instr id -> instr *)
+  fi_arg_of : (int, Ir.arg) Hashtbl.t; (* arg id -> arg *)
+  (* no-wrap dataflow equations, tagged with the defining block index *)
+  mutable fi_flow : (int * sym * sym * int64) list;
+  fi_rel_args : (int * int, int64) Hashtbl.t; (* (a, b): arg a - arg b <= c *)
+  fi_rel_len : (int * int, int64) Hashtbl.t; (* (a, p): arg a - len(p) <= c *)
+  fi_dbms : (int, dbm) Hashtbl.t; (* block index -> closed DBM (cache) *)
+  mutable fi_rel_dropped : int; (* facts lost to the DBM node cap *)
 }
 
 type t = {
   rm : Ir.modl;
   renv : Types.env;
+  rlt : Vmem.Layout.t; (* data layout, for element sizes of length syms *)
   fns : (int, fn_info) Hashtbl.t; (* func id -> info; defined funcs only *)
   mutable rounds : int; (* interprocedural descending rounds run *)
 }
@@ -283,8 +312,19 @@ let mk_fn_info env (f : Ir.func) : fn_info =
       fi_ret = Top;
       fi_fp = true;
       fi_sweeps = 0;
+      fi_instr_of = Hashtbl.create 64;
+      fi_arg_of = Hashtbl.create 8;
+      fi_flow = [];
+      fi_rel_args = Hashtbl.create 8;
+      fi_rel_len = Hashtbl.create 8;
+      fi_dbms = Hashtbl.create 8;
+      fi_rel_dropped = 0;
     }
   in
+  Ir.iter_instrs (fun i -> Hashtbl.replace fi.fi_instr_of i.Ir.iid i) f;
+  List.iter
+    (fun (a : Ir.arg) -> Hashtbl.replace fi.fi_arg_of a.Ir.aid a)
+    f.Ir.fargs;
   collect_constraints env fi;
   (* arguments start at the type's top; interprocedural rounds tighten *)
   List.iter
@@ -380,9 +420,22 @@ let edge_refine t fi (pk, sk) v cur =
   | Some cs -> List.fold_left (fun r c -> apply_constr t fi c v r) cur cs
   | None -> cur
 
+let reachable_preds fi s =
+  List.filter
+    (fun p ->
+      Analysis.Cfg.is_reachable fi.fi_cfg (Analysis.Cfg.block fi.fi_cfg p))
+    fi.fi_cfg.Analysis.Cfg.preds.(s)
+
 (* Value of [v] as observed inside block [bk]: the flow-insensitive range,
    sharpened by every constraint guarding a dominating single-predecessor
-   edge (the only way into that dominator, hence into [bk]). *)
+   edge (the only way into that dominator, hence into [bk]). At a
+   dominating *merge* point the join of the per-edge refinements is sound
+   too: the last entry into the dominator came along one of its reachable
+   incoming edges, so that edge's constraint held there, and any later
+   redefinition of [v] would force re-entry through the dominator. We pay
+   for the join only when every reachable edge actually carries
+   constraints — an unconstrained edge would contribute the unrefined
+   range and make the join a no-op. *)
 let eval_at t fi bk (v : Ir.value) : itv =
   let base = lookup_base t fi v in
   match v with
@@ -395,7 +448,19 @@ let eval_at t fi bk (v : Ir.value) : itv =
         (if s <> 0 then
            match fi.fi_cfg.Analysis.Cfg.preds.(s) with
            | [ p ] -> r := edge_refine t fi (p, s) v !r
-           | _ -> ());
+           | _ -> (
+               match reachable_preds fi s with
+               | [] -> ()
+               | ps
+                 when List.for_all
+                        (fun p -> Hashtbl.mem fi.fi_edge_cs (p, s))
+                        ps ->
+                   let cur = !r in
+                   r :=
+                     List.fold_left
+                       (fun acc p -> join acc (edge_refine t fi (p, s) v cur))
+                       Bot ps
+               | _ -> ()));
         if s = 0 then continue_ := false
         else k := fi.fi_dom.Analysis.Dominance.idom.(s)
       done;
@@ -728,6 +793,574 @@ let analyze_fn t fi ~widen_delay ~max_sweeps =
     fi.fi_ret <- clamp (Types.resolve t.renv fr) !ret
   end
 
+(* ---------- relational facts: harvesting and closure ---------- *)
+
+(* Budgets. [rel_max_nodes] bounds every DBM (Floyd–Warshall is cubic in
+   it); [rel_max_const] is the widening analogue for relational facts — a
+   difference bound whose constant leaves +-2^32 is discarded rather than
+   iterated; [rel_rounds_budget] bounds the interprocedural summary
+   rounds (stopping anywhere is sound, exactly like the interval rounds). *)
+let rel_max_nodes = 48
+let rel_max_const = 0x1_0000_0000L
+let rel_rounds_budget = 2
+let rel_max_args = 8
+
+let neg64 k = if k = Int64.min_int then None else Some (Int64.neg k)
+
+let sym_ok t ty =
+  match Types.resolve t.renv ty with
+  | Types.Ulong -> false
+  | rty -> rty = Types.Bool || Types.is_integer rty
+  | exception Types.Unresolved _ -> false
+
+(* View a value as [sym + offset]; constants live on the zero node. *)
+let symify t (v : Ir.value) : (sym * int64) option =
+  match v with
+  | Ir.Vreg i when sym_ok t i.Ir.ity -> Some (Sreg i.Ir.iid, 0L)
+  | Ir.Varg a when sym_ok t a.Ir.aty -> Some (Sarg a.Ir.aid, 0L)
+  | Ir.Const { cty; ckind } when sym_ok t cty -> (
+      match ckind with
+      | Ir.Cint n -> Some (Szero, n)
+      | Ir.Cbool b -> Some (Szero, if b then 1L else 0L)
+      | Ir.Czero -> Some (Szero, 0L)
+      | _ -> None)
+  | _ -> None
+
+let in_rel_cap c = c >= Int64.neg rel_max_const && c <= rel_max_const
+
+(* Difference facts [sa - sb <= c] carried by one edge constraint. *)
+let constr_facts t (c : constr) : (sym * sym * int64) list =
+  let cmp = if c.ctaken then c.ccmp else negate_cmp c.ccmp in
+  match (symify t c.ca, symify t c.cb) with
+  | Some (sa, ka), Some (sb, kb) when sa <> sb -> (
+      let keep = function
+        | Some k when in_rel_cap k -> [ k ]
+        | _ -> []
+      in
+      let d1 = sub64 kb ka (* bound on sa - sb *)
+      and d2 = sub64 ka kb (* bound on sb - sa *) in
+      let le_ab k = List.map (fun k -> (sa, sb, k)) (keep k)
+      and le_ba k = List.map (fun k -> (sb, sa, k)) (keep k) in
+      match cmp with
+      | Ir.Lt -> le_ab (Option.bind d1 (fun d -> sub64 d 1L))
+      | Ir.Le -> le_ab d1
+      | Ir.Eq -> le_ab d1 @ le_ba d2
+      | Ir.Ge -> le_ba d2
+      | Ir.Gt -> le_ba (Option.bind d2 (fun d -> sub64 d 1L))
+      | Ir.Ne -> [])
+  | _ -> []
+
+let constr_eq a b =
+  a.ccmp = b.ccmp && a.ctaken = b.ctaken && Ir.value_equal a.ca b.ca
+  && Ir.value_equal a.cb b.cb
+
+(* Edge constraints in force throughout block [bk]: walk the dominator
+   chain; a single-predecessor dominator contributes its incoming edge's
+   constraints, and a dominating merge contributes the constraints present
+   on *every* reachable incoming edge (same argument as [eval_at]). *)
+let guard_constrs_at fi bk : constr list =
+  let acc = ref [] in
+  let k = ref bk in
+  let continue_ = ref true in
+  while !continue_ do
+    let s = !k in
+    (if s <> 0 then
+       match fi.fi_cfg.Analysis.Cfg.preds.(s) with
+       | [ p ] -> (
+           match Hashtbl.find_opt fi.fi_edge_cs (p, s) with
+           | Some cs -> acc := !acc @ cs
+           | None -> ())
+       | _ -> (
+           match reachable_preds fi s with
+           | [] -> ()
+           | p0 :: rest ->
+               let cs0 =
+                 match Hashtbl.find_opt fi.fi_edge_cs (p0, s) with
+                 | Some cs -> cs
+                 | None -> []
+               in
+               let on_every_edge c =
+                 List.for_all
+                   (fun p ->
+                     match Hashtbl.find_opt fi.fi_edge_cs (p, s) with
+                     | Some cs -> List.exists (constr_eq c) cs
+                     | None -> false)
+                   rest
+               in
+               acc := !acc @ List.filter on_every_edge cs0));
+    if s = 0 then continue_ := false
+    else k := fi.fi_dom.Analysis.Dominance.idom.(s)
+  done;
+  !acc
+
+(* Flow-insensitive difference equations from the SSA body. Each needs a
+   no-wrap proof — the mathematical result interval of the operation must
+   fit the result type — so the runtime value equals the mathematical one
+   and the equation holds on every execution of the definition. Facts are
+   tagged with the defining block so queries can restrict themselves to
+   definitions that dominate (hence executed before) the query block. *)
+let harvest_flow t fi =
+  let facts = ref [] in
+  let cfg = fi.fi_cfg in
+  let nb = Analysis.Cfg.n_blocks cfg in
+  for bk = 0 to nb - 1 do
+    let b = Analysis.Cfg.block cfg bk in
+    if Analysis.Cfg.is_reachable cfg b then
+      List.iter
+        (fun (i : Ir.instr) ->
+          if sym_ok t i.Ir.ity then begin
+            let ity = Types.resolve t.renv i.Ir.ity in
+            let si = Sreg i.Ir.iid in
+            let push sa sb c =
+              if sa <> sb && in_rel_cap c then
+                facts := (bk, sa, sb, c) :: !facts
+            in
+            (* si - s lies in [lo, hi] *)
+            let bracket s lo hi =
+              if s <> Szero && s <> si then begin
+                push si s hi;
+                match neg64 lo with Some c -> push s si c | None -> ()
+              end
+            in
+            let equate v =
+              match symify t v with
+              | Some (s, k) -> bracket s k k
+              | None -> ()
+            in
+            match i.Ir.op with
+            | Ir.Binop Ir.Add -> (
+                let x = i.Ir.operands.(0) and y = i.Ir.operands.(1) in
+                match (lookup_base t fi x, lookup_base t fi y, bounds ity) with
+                | Itv (xl, xh), Itv (yl, yh), Some (tl, th) -> (
+                    match (add64 xl yl, add64 xh yh) with
+                    | Some l, Some h when l >= tl && h <= th ->
+                        (* i = x + y exactly: i - x in [yl,yh], i - y in
+                           [xl,xh] *)
+                        (match symify t x with
+                        | Some (sx, 0L) -> bracket sx yl yh
+                        | _ -> ());
+                        (match symify t y with
+                        | Some (sy, 0L) -> bracket sy xl xh
+                        | _ -> ())
+                    | _ -> ())
+                | _ -> ())
+            | Ir.Binop Ir.Sub -> (
+                let x = i.Ir.operands.(0) and y = i.Ir.operands.(1) in
+                match (lookup_base t fi x, lookup_base t fi y, bounds ity) with
+                | Itv (xl, xh), Itv (yl, yh), Some (tl, th) -> (
+                    match (sub64 xl yh, sub64 xh yl) with
+                    | Some l, Some h when l >= tl && h <= th -> (
+                        (* i = x - y exactly: i - x in [-yh,-yl] *)
+                        match symify t x with
+                        | Some (sx, 0L) -> (
+                            match (neg64 yh, neg64 yl) with
+                            | Some nl, Some nh -> bracket sx nl nh
+                            | _ -> ())
+                        | _ -> ())
+                    | _ -> ())
+                | _ -> ())
+            | Ir.Cast -> (
+                let x = i.Ir.operands.(0) in
+                match (lookup_base t fi x, bounds ity) with
+                | Itv (l, h), Some (tl, th) when l >= tl && h <= th ->
+                    (* value-preserving cast: i = x *)
+                    equate x
+                | _ -> ())
+            | Ir.Phi -> (
+                let arms =
+                  List.filter
+                    (fun (_, (p : Ir.block)) ->
+                      Analysis.Cfg.is_reachable cfg p)
+                    (Ir.phi_incoming i)
+                in
+                match arms with
+                | (v0, _) :: rest
+                  when List.for_all
+                         (fun (v, _) -> Ir.value_equal v v0)
+                         rest ->
+                    equate v0
+                | _ -> ())
+            | _ -> ()
+          end)
+        b.Ir.instrs
+  done;
+  fi.fi_flow <- List.rev !facts
+
+(* ---------- DBM construction and closure ---------- *)
+
+let dominates_blk fi a b = Analysis.Dominance.dominates_idx fi.fi_dom a b
+
+(* The closed DBM in force at block [bk]: guard facts from dominating
+   edges, this function's interprocedural argument facts, flow equations
+   whose definition dominates [bk], and unary interval bounds as
+   differences against the zero node — then Floyd–Warshall closure with
+   overflow-saturating path sums. Cached per block; caches are reset
+   whenever the underlying facts change. *)
+let dbm_at t fi bk : dbm =
+  match Hashtbl.find_opt fi.fi_dbms bk with
+  | Some d -> d
+  | None ->
+      let guard_facts =
+        List.concat_map (constr_facts t) (guard_constrs_at fi bk)
+      in
+      let arg_facts =
+        Hashtbl.fold
+          (fun (a, b) c acc -> (Sarg a, Sarg b, c) :: acc)
+          fi.fi_rel_args []
+        |> List.sort compare
+      in
+      let len_facts =
+        Hashtbl.fold
+          (fun (a, p) c acc -> (Sarg a, Slen p, c) :: acc)
+          fi.fi_rel_len []
+        |> List.sort compare
+      in
+      let flow =
+        List.filter_map
+          (fun (dk, sa, sb, c) ->
+            if dominates_blk fi dk bk then Some (sa, sb, c) else None)
+          fi.fi_flow
+      in
+      (* keep only flow equations that can link up with the symbols
+         already in play; three passes let short chains attach *)
+      let seen : (sym, unit) Hashtbl.t = Hashtbl.create 32 in
+      Hashtbl.replace seen Szero ();
+      let note (sa, sb, _) =
+        Hashtbl.replace seen sa ();
+        Hashtbl.replace seen sb ()
+      in
+      List.iter note guard_facts;
+      List.iter note arg_facts;
+      List.iter note len_facts;
+      let relevant = ref [] and rest = ref flow in
+      for _pass = 1 to 3 do
+        let keep, drop =
+          List.partition
+            (fun (sa, sb, _) -> Hashtbl.mem seen sa || Hashtbl.mem seen sb)
+            !rest
+        in
+        List.iter note keep;
+        relevant := !relevant @ keep;
+        rest := drop
+      done;
+      let facts = guard_facts @ arg_facts @ len_facts @ !relevant in
+      (* assign nodes in first-seen order, zero node first, up to the cap *)
+      let dix : (sym, int) Hashtbl.t = Hashtbl.create 16 in
+      Hashtbl.replace dix Szero 0;
+      let order = ref [ Szero ] and n = ref 1 in
+      let node s =
+        match Hashtbl.find_opt dix s with
+        | Some k -> Some k
+        | None ->
+            if !n >= rel_max_nodes then None
+            else begin
+              Hashtbl.replace dix s !n;
+              order := s :: !order;
+              let k = !n in
+              incr n;
+              Some k
+            end
+      in
+      let kept = ref [] in
+      List.iter
+        (fun (sa, sb, c) ->
+          match (node sa, node sb) with
+          | Some i, Some j -> kept := (i, j, c) :: !kept
+          | _ -> fi.fi_rel_dropped <- fi.fi_rel_dropped + 1)
+        facts;
+      let nn = !n in
+      let dsyms = Array.make nn Szero in
+      List.iteri (fun k s -> dsyms.(nn - 1 - k) <- s) !order;
+      let dmat = Array.init nn (fun _ -> Array.make nn None) in
+      for k = 0 to nn - 1 do
+        dmat.(k).(k) <- Some 0L
+      done;
+      let tighten i j c =
+        match dmat.(i).(j) with
+        | Some c0 when c0 <= c -> ()
+        | _ -> dmat.(i).(j) <- Some c
+      in
+      List.iter (fun (i, j, c) -> tighten i j c) (List.rev !kept);
+      (* unary interval seeds, only for values defined above [bk] *)
+      Array.iteri
+        (fun k s ->
+          let seed v =
+            match eval_at t fi bk v with
+            | Itv (l, h) -> (
+                tighten k 0 h;
+                match neg64 l with Some c -> tighten 0 k c | None -> ())
+            | _ -> ()
+          in
+          match s with
+          | Sreg iid -> (
+              match Hashtbl.find_opt fi.fi_instr_of iid with
+              | Some i -> (
+                  match i.Ir.iparent with
+                  | Some b
+                    when Analysis.Cfg.is_reachable fi.fi_cfg b
+                         && dominates_blk fi
+                              (Analysis.Cfg.index_of fi.fi_cfg b)
+                              bk ->
+                      seed (Ir.Vreg i)
+                  | _ -> ())
+              | None -> ())
+          | Sarg aid -> (
+              match Hashtbl.find_opt fi.fi_arg_of aid with
+              | Some a -> seed (Ir.Varg a)
+              | None -> ())
+          | Szero | Slen _ -> ())
+        dsyms;
+      for mid = 0 to nn - 1 do
+        for i = 0 to nn - 1 do
+          match dmat.(i).(mid) with
+          | None -> ()
+          | Some a ->
+              for j = 0 to nn - 1 do
+                match dmat.(mid).(j) with
+                | None -> ()
+                | Some b -> (
+                    match add64 a b with
+                    | Some c -> tighten i j c
+                    | None -> () (* path sum overflows: drop that path *))
+              done
+        done
+      done;
+      let d = { dsyms; dix; dmat } in
+      Hashtbl.replace fi.fi_dbms bk d;
+      d
+
+(* Tightest proven bound on sym_a - sym_b; [Some 0] when they are the
+   same symbol even if the DBM never saw it. *)
+let dbm_dist (d : dbm) sa sb : int64 option =
+  if sa = sb then Some 0L
+  else
+    match (Hashtbl.find_opt d.dix sa, Hashtbl.find_opt d.dix sb) with
+    | Some i, Some j -> d.dmat.(i).(j)
+    | _ -> None
+
+(* ---------- interprocedural relational rounds ---------- *)
+
+(* Length (in callee elements) of the object behind a pointer passed at a
+   call site, as a symbol of the *caller*: a direct alloca contributes its
+   element count, a forwarded pointer argument contributes the caller's
+   own length symbol (linking chains of calls across rounds). Only exact
+   base pointers with a matching element size qualify. *)
+let rec caller_len t (v : Ir.value) (esc : int) : (sym * int64) option =
+  match v with
+  | Ir.Vreg ({ Ir.op = Ir.Cast; _ } as i) -> caller_len t i.Ir.operands.(0) esc
+  | Ir.Vreg ({ Ir.op = Ir.Alloca; _ } as i) -> (
+      match Types.resolve t.renv i.Ir.ity with
+      | Types.Pointer elem -> (
+          match Vmem.Layout.size_of t.rlt elem with
+          | es when es = esc -> (
+              if Array.length i.Ir.operands = 0 then Some (Szero, 1L)
+              else if Array.length i.Ir.operands = 1 then
+                symify t i.Ir.operands.(0)
+              else None)
+          | _ -> None
+          | exception (Invalid_argument _ | Types.Unresolved _) -> None)
+      | _ -> None
+      | exception Types.Unresolved _ -> None)
+  | Ir.Varg a -> (
+      match Types.resolve t.renv a.Ir.aty with
+      | Types.Pointer elem -> (
+          match Vmem.Layout.size_of t.rlt elem with
+          | es when es = esc -> Some (Slen a.Ir.aid, 0L)
+          | _ -> None
+          | exception (Invalid_argument _ | Types.Unresolved _) -> None)
+      | _ -> None
+      | exception Types.Unresolved _ -> None)
+  | _ -> None
+
+type rel_cand = Cargs of int * int | Clen of int * int (* callee arg ids *)
+type rel_state = Unseen | Known of int64 | Dead
+
+(* Element size of a pointer-typed formal, if resolvable. *)
+let formal_elem_size t (a : Ir.arg) : int option =
+  match Types.resolve t.renv a.Ir.aty with
+  | Types.Pointer elem -> (
+      try Some (Vmem.Layout.size_of t.rlt elem)
+      with Invalid_argument _ | Types.Unresolved _ -> None)
+  | _ -> None
+  | exception Types.Unresolved _ -> None
+
+(* Descending relational rounds over the same visibility rule as the
+   interval rounds: a callee that is not [main] and not address-taken has
+   every call site in view, so the max-join of a per-site proven bound is
+   a sound flow-insensitive fact about its formals. Each round proves its
+   facts from the previous round's (sound) facts, so installed facts are
+   permanently sound and are only ever tightened ([min]), never removed —
+   a candidate that goes unprovable at a new call site simply stops
+   improving. DBM caches are reset whenever the fact base changes. *)
+let compute_relations t cg =
+  Hashtbl.iter (fun _ fi -> harvest_flow t fi) t.fns;
+  let refinable (f : Ir.func) =
+    (not (Ir.is_declaration f))
+    && f.Ir.fname <> "main"
+    && (not (Analysis.Callgraph.is_address_taken cg f))
+    && List.length f.Ir.fargs <= rel_max_args
+  in
+  let cands : (int, (rel_cand * rel_state ref) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (g : Ir.func) ->
+      if refinable g && Hashtbl.mem t.fns g.Ir.fid then begin
+        let cl = ref [] in
+        List.iter
+          (fun (a : Ir.arg) ->
+            if sym_ok t a.Ir.aty then
+              List.iter
+                (fun (b : Ir.arg) ->
+                  if b.Ir.aid <> a.Ir.aid then
+                    if sym_ok t b.Ir.aty then
+                      cl := (Cargs (a.Ir.aid, b.Ir.aid), ref Unseen) :: !cl
+                    else if formal_elem_size t b <> None then
+                      cl := (Clen (a.Ir.aid, b.Ir.aid), ref Unseen) :: !cl)
+                g.Ir.fargs)
+          g.Ir.fargs;
+        if !cl <> [] then Hashtbl.replace cands g.Ir.fid (List.rev !cl)
+      end)
+    t.rm.Ir.funcs;
+  let round = ref 0 and changed = ref true in
+  while !changed && !round < rel_rounds_budget do
+    incr round;
+    changed := false;
+    Hashtbl.iter (fun _ fi -> Hashtbl.reset fi.fi_dbms) t.fns;
+    Hashtbl.iter
+      (fun _ cl -> List.iter (fun (_, st) -> st := Unseen) cl)
+      cands;
+    List.iter
+      (fun (caller : Ir.func) ->
+        match Hashtbl.find_opt t.fns caller.Ir.fid with
+        | None -> ()
+        | Some cfi ->
+            Ir.iter_instrs
+              (fun i ->
+                match i.Ir.op with
+                | Ir.Call | Ir.Invoke -> (
+                    match Ir.call_callee i with
+                    | Ir.Vfunc g when Hashtbl.mem cands g.Ir.fid -> (
+                        match i.Ir.iparent with
+                        | Some b when Analysis.Cfg.is_reachable cfi.fi_cfg b
+                          ->
+                            let bk =
+                              Analysis.Cfg.index_of cfi.fi_cfg b
+                            in
+                            let actuals =
+                              Array.of_list (Ir.call_args i)
+                            in
+                            let formals = Array.of_list g.Ir.fargs in
+                            let actual_of aid =
+                              let r = ref None in
+                              Array.iteri
+                                (fun k (a : Ir.arg) ->
+                                  if
+                                    a.Ir.aid = aid
+                                    && k < Array.length actuals
+                                  then r := Some actuals.(k))
+                                formals;
+                              !r
+                            in
+                            let formal_of aid =
+                              List.find_opt
+                                (fun (a : Ir.arg) -> a.Ir.aid = aid)
+                                g.Ir.fargs
+                            in
+                            let d = dbm_at t cfi bk in
+                            List.iter
+                              (fun (c, st) ->
+                                if !st <> Dead then
+                                  let site_bound =
+                                    match c with
+                                    | Cargs (aj, ak) -> (
+                                        match
+                                          (actual_of aj, actual_of ak)
+                                        with
+                                        | Some vj, Some vk -> (
+                                            match
+                                              (symify t vj, symify t vk)
+                                            with
+                                            | Some (sj, kj), Some (sk, kk)
+                                              -> (
+                                                match dbm_dist d sj sk with
+                                                | Some dd ->
+                                                    Option.bind
+                                                      (sub64 kj kk)
+                                                      (add64 dd)
+                                                | None -> None)
+                                            | _ -> None)
+                                        | _ -> None)
+                                    | Clen (ak, ap) -> (
+                                        match
+                                          ( actual_of ak,
+                                            actual_of ap,
+                                            Option.bind (formal_of ap)
+                                              (formal_elem_size t) )
+                                        with
+                                        | Some vk, Some vp, Some esc -> (
+                                            match
+                                              ( symify t vk,
+                                                caller_len t vp esc )
+                                            with
+                                            | ( Some (sk, kk),
+                                                Some (slen, loff) ) -> (
+                                                match
+                                                  dbm_dist d sk slen
+                                                with
+                                                | Some dd ->
+                                                    Option.bind
+                                                      (sub64 kk loff)
+                                                      (add64 dd)
+                                                | None -> None)
+                                            | _ -> None)
+                                        | _ -> None)
+                                  in
+                                  match site_bound with
+                                  | Some c0 when in_rel_cap c0 ->
+                                      st :=
+                                        (match !st with
+                                        | Unseen -> Known c0
+                                        | Known c1 -> Known (max c0 c1)
+                                        | Dead -> Dead)
+                                  | _ -> st := Dead)
+                              (Hashtbl.find cands g.Ir.fid)
+                        | _ -> () (* unreachable call site: never runs *))
+                    | _ -> ())
+                | _ -> ())
+              caller)
+      t.rm.Ir.funcs;
+    List.iter
+      (fun (g : Ir.func) ->
+        match Hashtbl.find_opt cands g.Ir.fid with
+        | None -> ()
+        | Some cl ->
+            let fi = Hashtbl.find t.fns g.Ir.fid in
+            List.iter
+              (fun (c, st) ->
+                match !st with
+                | Known c0 ->
+                    let tbl, key =
+                      match c with
+                      | Cargs (a, b) -> (fi.fi_rel_args, (a, b))
+                      | Clen (a, p) -> (fi.fi_rel_len, (a, p))
+                    in
+                    let nv =
+                      match Hashtbl.find_opt tbl key with
+                      | Some c1 -> min c0 c1
+                      | None -> c0
+                    in
+                    if Hashtbl.find_opt tbl key <> Some nv then begin
+                      Hashtbl.replace tbl key nv;
+                      changed := true
+                    end
+                | Unseen | Dead -> ())
+              cl)
+      t.rm.Ir.funcs
+  done;
+  (* the fact base is final now; drop DBMs built from interim facts *)
+  Hashtbl.iter (fun _ fi -> Hashtbl.reset fi.fi_dbms) t.fns
+
 (* ---------- interprocedural driver ---------- *)
 
 let default_widen_delay = 3
@@ -739,7 +1372,15 @@ let compute ?(widen_delay = default_widen_delay)
     ?(max_sweeps = default_max_sweeps) ?(max_rounds = default_max_rounds)
     (m : Ir.modl) : t =
   let renv = Ir.type_env m in
-  let t = { rm = m; renv; fns = Hashtbl.create 16; rounds = 1 } in
+  let t =
+    {
+      rm = m;
+      renv;
+      rlt = Vmem.Layout.for_module m;
+      fns = Hashtbl.create 16;
+      rounds = 1;
+    }
+  in
   List.iter
     (fun (f : Ir.func) ->
       if not (Ir.is_declaration f) then
@@ -879,6 +1520,9 @@ let compute ?(widen_delay = default_widen_delay)
     end
     else continue_ := false
   done;
+  (* intervals are final: harvest flow equations and run the relational
+     summary rounds on top of them *)
+  compute_relations t cg;
   t
 
 (* ---------- queries ---------- *)
@@ -928,6 +1572,98 @@ let rounds t = t.rounds
 let env t = t.renv
 let modl t = t.rm
 
+(* ---------- relational queries (for the checker and the CLIs) ---------- *)
+
+(* The symbol behind a value, when it has one of its own (constants live
+   on the zero node and are better served by the interval engine). *)
+let value_sym t (v : Ir.value) : sym option =
+  match symify t v with Some (s, _) when s <> Szero -> Some s | _ -> None
+
+let arg_len_sym (a : Ir.arg) : sym = Slen a.Ir.aid
+let zero_sym : sym = Szero
+
+let rel_site t (f : Ir.func) (i : Ir.instr) : (fn_info * int) option =
+  match fn_of t f with
+  | None -> None
+  | Some fi -> (
+      match i.Ir.iparent with
+      | Some b when Analysis.Cfg.is_reachable fi.fi_cfg b ->
+          Some (fi, Analysis.Cfg.index_of fi.fi_cfg b)
+      | _ -> None)
+
+(* Tightest proven c with [v <= target + c] at instruction [i]. *)
+let rel_upper_at t (f : Ir.func) (i : Ir.instr) (v : Ir.value) (target : sym)
+    : int64 option =
+  match rel_site t f i with
+  | None -> None
+  | Some (fi, bk) -> (
+      match symify t v with
+      | Some (s, off) -> (
+          match dbm_dist (dbm_at t fi bk) s target with
+          | Some c -> add64 c off
+          | None -> None)
+      | None -> None)
+
+(* Tightest proven c with [v >= target + c] at instruction [i]. *)
+let rel_lower_at t (f : Ir.func) (i : Ir.instr) (v : Ir.value) (target : sym)
+    : int64 option =
+  match rel_site t f i with
+  | None -> None
+  | Some (fi, bk) -> (
+      match symify t v with
+      | Some (s, off) -> (
+          match dbm_dist (dbm_at t fi bk) target s with
+          | Some d -> sub64 off d
+          | None -> None)
+      | None -> None)
+
+(* Build the DBM at every reachable block containing a memory access —
+   exactly what the oob checker will consult; the bench times this on a
+   fresh analysis to isolate the relational cost. *)
+let force_relations t =
+  List.iter
+    (fun (f : Ir.func) ->
+      match Hashtbl.find_opt t.fns f.Ir.fid with
+      | None -> ()
+      | Some fi ->
+          let nb = Analysis.Cfg.n_blocks fi.fi_cfg in
+          for bk = 0 to nb - 1 do
+            let b = Analysis.Cfg.block fi.fi_cfg bk in
+            if
+              Analysis.Cfg.is_reachable fi.fi_cfg b
+              && List.exists
+                   (fun (i : Ir.instr) ->
+                     match i.Ir.op with
+                     | Ir.Load | Ir.Store | Ir.Getelementptr -> true
+                     | _ -> false)
+                   b.Ir.instrs
+            then ignore (dbm_at t fi bk)
+          done)
+    t.rm.Ir.funcs
+
+(* Harvested and proven relational facts, module-wide: flow equations,
+   interprocedural argument facts, and guard difference facts over every
+   constrained edge. *)
+let rel_fact_count t =
+  List.fold_left
+    (fun acc (f : Ir.func) ->
+      match Hashtbl.find_opt t.fns f.Ir.fid with
+      | None -> acc
+      | Some fi ->
+          let guards =
+            Hashtbl.fold
+              (fun _ cs acc ->
+                acc + List.length (List.concat_map (constr_facts t) cs))
+              fi.fi_edge_cs 0
+          in
+          acc + List.length fi.fi_flow + Hashtbl.length fi.fi_rel_args
+          + Hashtbl.length fi.fi_rel_len + guards)
+    0 t.rm.Ir.funcs
+
+(* No DBM anywhere hit the node cap: every harvested fact was closed. *)
+let rel_within_budget t =
+  Hashtbl.fold (fun _ fi acc -> acc && fi.fi_rel_dropped = 0) t.fns true
+
 (* ---------- rendering (llva_lint --ranges) ---------- *)
 
 let render_func t (f : Ir.func) : string list =
@@ -970,4 +1706,103 @@ let render t : string list =
   List.concat_map
     (fun (f : Ir.func) ->
       if Ir.is_declaration f then [] else render_func t f)
+    t.rm.Ir.funcs
+
+(* ---------- relations table (llva_lint --relations) ---------- *)
+
+let sym_name fi = function
+  | Szero -> "0"
+  | Sreg iid -> (
+      match Hashtbl.find_opt fi.fi_instr_of iid with
+      | Some i when i.Ir.iname <> "" -> "%" ^ i.Ir.iname
+      | _ -> Printf.sprintf "#%d" iid)
+  | Sarg aid -> (
+      match Hashtbl.find_opt fi.fi_arg_of aid with
+      | Some a when a.Ir.aname <> "" -> "%" ^ a.Ir.aname
+      | _ -> Printf.sprintf "arg#%d" aid)
+  | Slen aid -> (
+      match Hashtbl.find_opt fi.fi_arg_of aid with
+      | Some a when a.Ir.aname <> "" -> Printf.sprintf "len(%%%s)" a.Ir.aname
+      | _ -> Printf.sprintf "len(arg#%d)" aid)
+
+let render_relations t : string list =
+  let lines = ref [] and total = ref 0 in
+  let push s = lines := s :: !lines in
+  List.iter
+    (fun (f : Ir.func) ->
+      match Hashtbl.find_opt t.fns f.Ir.fid with
+      | None -> ()
+      | Some fi ->
+          let fact (sa, sb, c) =
+            Printf.sprintf "  %s - %s <= %Ld" (sym_name fi sa) (sym_name fi sb)
+              c
+          in
+          let summary =
+            (Hashtbl.fold
+               (fun (a, b) c acc -> ((a, b), (Sarg a, Sarg b, c)) :: acc)
+               fi.fi_rel_args []
+            @ Hashtbl.fold
+                (fun (a, p) c acc -> ((a, p), (Sarg a, Slen p, c)) :: acc)
+                fi.fi_rel_len [])
+            |> List.sort compare |> List.map snd
+          in
+          let edges =
+            Hashtbl.fold (fun k cs acc -> (k, cs) :: acc) fi.fi_edge_cs []
+            |> List.sort compare
+          in
+          let guard =
+            List.concat_map
+              (fun ((pk, sk), cs) ->
+                List.map
+                  (fun (sa, sb, c) ->
+                    Printf.sprintf "  %s->%s:%s - %s <= %Ld"
+                      (Analysis.Cfg.block fi.fi_cfg pk).Ir.bname
+                      (Analysis.Cfg.block fi.fi_cfg sk).Ir.bname
+                      (sym_name fi sa) (sym_name fi sb) c)
+                  (List.concat_map (constr_facts t) cs))
+              edges
+          in
+          let flow =
+            List.map (fun (_, sa, sb, c) -> fact (sa, sb, c)) fi.fi_flow
+          in
+          let all = List.map fact summary @ guard @ flow in
+          if all <> [] then begin
+            total := !total + List.length all;
+            push (Printf.sprintf "%%%s:" f.Ir.fname);
+            List.iter push all
+          end)
+    t.rm.Ir.funcs;
+  push (Printf.sprintf "%d relational facts" !total);
+  List.rev !lines
+
+(* Proven argument facts keyed by argument position, for [Summaries] —
+   the checker consults them to decide which pointer arguments have a
+   usable length symbol at all. *)
+let export_relations t : (string * (int * Summaries.arg_bound) list) list =
+  List.filter_map
+    (fun (f : Ir.func) ->
+      match Hashtbl.find_opt t.fns f.Ir.fid with
+      | None -> None
+      | Some fi ->
+          let pos : (int, int) Hashtbl.t = Hashtbl.create 8 in
+          List.iteri
+            (fun k (a : Ir.arg) -> Hashtbl.replace pos a.Ir.aid k)
+            f.Ir.fargs;
+          let p aid = Hashtbl.find_opt pos aid in
+          let facts =
+            (Hashtbl.fold
+               (fun (a, b) c acc ->
+                 match (p a, p b) with
+                 | Some ja, Some jb -> (ja, Summaries.Ble_arg (jb, c)) :: acc
+                 | _ -> acc)
+               fi.fi_rel_args []
+            @ Hashtbl.fold
+                (fun (a, pp) c acc ->
+                  match (p a, p pp) with
+                  | Some ja, Some jp -> (ja, Summaries.Ble_len (jp, c)) :: acc
+                  | _ -> acc)
+                fi.fi_rel_len [])
+            |> List.sort compare
+          in
+          if facts = [] then None else Some (f.Ir.fname, facts))
     t.rm.Ir.funcs

@@ -37,7 +37,22 @@ type arg_summary = {
 
 type func_summary = { args : arg_summary array; pure : bool }
 
-type t = { table : (int, func_summary) Hashtbl.t; env : Types.env }
+(* A relational bound on an integer argument, proven by the range engine's
+   interprocedural rounds and keyed by argument position: the argument is
+   at most another argument plus a constant, or at most the element count
+   of the object behind a pointer argument plus a constant. The summary
+   table carries them so checkers can ask "does this pointer argument
+   have a usable length symbol at all?" without reaching into the range
+   analysis state. *)
+type arg_bound = Ble_arg of int * int64 | Ble_len of int * int64
+
+type t = {
+  table : (int, func_summary) Hashtbl.t;
+  env : Types.env;
+  mutable rel : (string * (int * arg_bound) list) list;
+      (* function name -> (arg position, bound) facts; installed by the
+         lint driver after the range analysis runs *)
+}
 
 let unknown_arg =
   { derefs = false; must_derefs = false; escapes = true; writes = true }
@@ -210,9 +225,16 @@ let analyze_function env lookup (f : Ir.func) : func_summary =
 let summary_equal (a : func_summary) (b : func_summary) =
   a.pure = b.pure && a.args = b.args
 
+let set_relations (t : t) rel = t.rel <- rel
+
+(* Relational bounds for the arguments of [f] (empty until the driver
+   installs the range engine's facts). *)
+let arg_bounds (t : t) (f : Ir.func) : (int * arg_bound) list =
+  match List.assoc_opt f.Ir.fname t.rel with Some l -> l | None -> []
+
 let compute (m : Ir.modl) : t =
   let env = Ir.type_env m in
-  let t = { table = Hashtbl.create 32; env } in
+  let t = { table = Hashtbl.create 32; env; rel = [] } in
   (* optimistic start for defined functions (greatest fixpoint for the
      guarantees, least for the existence facts); declarations are final *)
   List.iter

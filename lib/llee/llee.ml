@@ -715,8 +715,20 @@ let cache_doctor ?now t : string list =
         (if List.length qs = 1 then "y" else "ies")
       :: List.map
            (fun (name, ts, size) ->
-             Printf.sprintf "  %-40s %6d bytes  age %.0fs" name size
-               (Float.max 0.0 (now -. ts)))
+             (* post-mortem classification straight off the moved-aside
+                bytes: torn and bit-rotted entries both land here, and the
+                frame verdict tells a human which failure it was *)
+             let verdict =
+               match t.storage.Storage.open_quarantined name with
+               | Some e -> classify_frame e.Storage.data
+               | None -> "unreadable: quarantined bytes lost"
+               | exception _ ->
+                   t.stats.storage_errors <- t.stats.storage_errors + 1;
+                   "unreadable: quarantined bytes lost"
+             in
+             Printf.sprintf "  %-40s %6d bytes  age %.0fs  %s" name size
+               (Float.max 0.0 (now -. ts))
+               verdict)
            qs
 
 let purge_quarantined t : int =

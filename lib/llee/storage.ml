@@ -42,6 +42,10 @@ type t = {
       (* (name as stored, timestamp, size in bytes), deterministic order *)
   read_quarantined : string -> entry option;
       (* by the ORIGINAL cache name the entry was quarantined under *)
+  open_quarantined : string -> entry option;
+      (* by the STORED name [list_quarantined] reports (the sanitized
+         on-disk file name) — lets the doctor classify the damage of an
+         entry whose original cache name it cannot reconstruct *)
   purge_quarantined : unit -> int; (* delete all; returns how many *)
   available : bool;
   counters : counters;
@@ -57,6 +61,7 @@ let none =
     size = (fun () -> 0);
     list_quarantined = (fun () -> []);
     read_quarantined = (fun _ -> None);
+    open_quarantined = (fun _ -> None);
     purge_quarantined = (fun () -> 0);
     available = false;
     counters = fresh_counters ();
@@ -107,6 +112,9 @@ let in_memory () =
         |> List.sort compare);
     read_quarantined =
       (fun name -> Hashtbl.find_opt table (name ^ quarantine_suffix));
+    open_quarantined =
+      (* in memory the stored name IS the original cache name *)
+      (fun name -> Hashtbl.find_opt table (name ^ quarantine_suffix));
     purge_quarantined =
       (fun () ->
         let victims =
@@ -152,6 +160,36 @@ let on_disk ~dir =
     counters.unreadable <- counters.unreadable + 1;
     raise (Transient (Printf.sprintf "unreadable cache entry %s: %s" p msg))
   in
+  (* best-effort whole-file read for quarantine forensics: never raises,
+     never counts — a vanished or unreadable quarantined file is [None] *)
+  let read_file p : entry option =
+    match open_in_bin p with
+    | exception Sys_error _ -> None
+    | ic -> (
+        match
+          let len = in_channel_length ic in
+          let data = really_input_string ic len in
+          { data; timestamp = (Unix.stat p).Unix.st_mtime }
+        with
+        | entry ->
+            close_in_noerr ic;
+            Some entry
+        | exception (Sys_error _ | End_of_file | Unix.Unix_error _) ->
+            close_in_noerr ic;
+            None)
+  in
+  (* Chaos knob: with LLVA_CHAOS_SLOW_WRITE_US set, writes abandon the
+     atomic tmp+rename path and stream into the FINAL file in 512-byte
+     chunks with a flush and a pause between them. A kill -9 landing
+     mid-write then leaves a genuinely torn entry on disk — the state the
+     atomic path makes unreachable, and exactly what the crash-recovery
+     chaos scenario needs to provoke for real. Test-only; unset (the
+     default) keeps every write atomic. *)
+  let slow_write_us =
+    match Sys.getenv_opt "LLVA_CHAOS_SLOW_WRITE_US" with
+    | None -> 0
+    | Some s -> ( try max 0 (int_of_string (String.trim s)) with Failure _ -> 0)
+  in
   {
     read =
       (fun name ->
@@ -179,20 +217,37 @@ let on_disk ~dir =
     write =
       (fun name data ->
         let p = path name in
-        let tmp = Printf.sprintf "%s.%d.tmp" p (Unix.getpid ()) in
-        try
-          let oc = open_out_bin tmp in
-          (* a failing [output_string]/[close_out] (full disk, quota, I/O
-             error) must still close the fd — [close_out] does not close
-             on a flush failure — and must leave no tmp file behind *)
-          Fun.protect
-            ~finally:(fun () -> close_out_noerr oc)
-            (fun () ->
-              output_string oc data;
-              close_out oc);
-          Sys.rename tmp p
-        with Sys_error _ | Unix.Unix_error _ ->
-          (try Sys.remove tmp with Sys_error _ -> ()));
+        if slow_write_us > 0 then (
+          try
+            let oc = open_out_bin p in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                let n = String.length data in
+                let k = ref 0 in
+                while !k < n do
+                  let len = min 512 (n - !k) in
+                  output_substring oc data !k len;
+                  flush oc;
+                  Unix.sleepf (float_of_int slow_write_us *. 1e-6);
+                  k := !k + len
+                done)
+          with Sys_error _ | Unix.Unix_error _ -> ())
+        else
+          let tmp = Printf.sprintf "%s.%d.tmp" p (Unix.getpid ()) in
+          try
+            let oc = open_out_bin tmp in
+            (* a failing [output_string]/[close_out] (full disk, quota, I/O
+               error) must still close the fd — [close_out] does not close
+               on a flush failure — and must leave no tmp file behind *)
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc data;
+                close_out oc);
+            Sys.rename tmp p
+          with Sys_error _ | Unix.Unix_error _ ->
+            (try Sys.remove tmp with Sys_error _ -> ()));
     delete =
       (fun name -> try Sys.remove (path name) with Sys_error _ -> ());
     quarantine =
@@ -235,23 +290,14 @@ let on_disk ~dir =
                    | _ -> None
                    | exception (Unix.Unix_error _ | Sys_error _) -> None)
             |> List.sort compare);
-    read_quarantined =
-      (fun name ->
-        let p = path name ^ ".quarantined" in
-        match open_in_bin p with
-        | exception Sys_error _ -> None
-        | ic -> (
-            match
-              let len = in_channel_length ic in
-              let data = really_input_string ic len in
-              { data; timestamp = (Unix.stat p).Unix.st_mtime }
-            with
-            | entry ->
-                close_in_noerr ic;
-                Some entry
-            | exception (Sys_error _ | End_of_file | Unix.Unix_error _) ->
-                close_in_noerr ic;
-                None));
+    read_quarantined = (fun name -> read_file (path name ^ ".quarantined"));
+    open_quarantined =
+      (fun stored ->
+        (* [stored] is a file name [list_quarantined] produced itself
+           (suffix stripped); refuse anything that could escape [dir] *)
+        if String.equal stored (Filename.basename stored) then
+          read_file (Filename.concat dir (stored ^ ".quarantined"))
+        else None);
     purge_quarantined =
       (fun () ->
         match Sys.readdir dir with
@@ -287,6 +333,7 @@ let locked s =
     size = (fun () -> guard (fun () -> s.size ()));
     list_quarantined = (fun () -> guard (fun () -> s.list_quarantined ()));
     read_quarantined = (fun name -> guard (fun () -> s.read_quarantined name));
+    open_quarantined = (fun name -> guard (fun () -> s.open_quarantined name));
     purge_quarantined = (fun () -> guard (fun () -> s.purge_quarantined ()));
   }
 

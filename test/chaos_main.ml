@@ -287,12 +287,191 @@ let run_lint_chaos () =
     warm.Llee.stats.Llee.lint_runs warm.Llee.stats.Llee.cache_quarantined
     warm.Llee.stats.Llee.cache_repaired
 
+(* ---- scenario 5: kill -9 mid-cache-write, on a real process ----
+   Every other scenario injects faults through the storage API; this one
+   makes the failure real. A child llva-run populates an on-disk cache
+   with LLVA_CHAOS_SLOW_WRITE_US set, which turns its writes into slow,
+   non-atomic chunked streams into the final file — then SIGKILL lands
+   the moment a native entry grows past a threshold, guaranteeing the
+   torn state the atomic write path can never produce. Post-mortem:
+
+   - the cache really holds a damaged frame (classified off the bytes);
+   - a clean relaunch self-heals (exit 0, torn entry quarantined and
+     rewritten under its original name);
+   - --cache-doctor reports the quarantined entry and classifies the
+     damage as a checksum mismatch;
+   - a further warm launch is byte-identical on stdout to the healing
+     one (the repair really landed). *)
+
+let rm_rf dir =
+  let rec rm p =
+    match Unix.lstat p with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+        Unix.rmdir p
+    | _ -> Sys.remove p
+    | exception Unix.Unix_error _ -> ()
+  in
+  rm dir
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A module bulky enough that each per-function native cache entry takes
+   many write chunks: three ~600-instruction chains plus a main that
+   consumes their results (the lint gate must stay clean, or nothing
+   would be cached at all). *)
+let bulky_program () =
+  let buf = Buffer.create (1 lsl 16) in
+  for j = 0 to 2 do
+    Buffer.add_string buf (Printf.sprintf "int %%f%d(int %%x) {\nentry:\n" j);
+    for k = 0 to 599 do
+      Buffer.add_string buf
+        (Printf.sprintf "  %%a%d = add int %s, %d\n" k
+           (if k = 0 then "%x" else Printf.sprintf "%%a%d" (k - 1))
+           ((((j + 1) * k) mod 7) + 1))
+    done;
+    Buffer.add_string buf "  ret int %a599\n}\n\n"
+  done;
+  Buffer.add_string buf
+    "int %main() {\nentry:\n  %r1 = call int %f0(int 1)\n  %r2 = call int \
+     %f1(int %r1)\n  %r3 = call int %f2(int %r2)\n  %z = sub int %r3, %r3\n  \
+     ret int %z\n}\n";
+  Buffer.contents buf
+
+(* Spawn [llva_run args], stdout captured to a file, and return the pid.
+   [slow_us > 0] sets the chaos write knob in the child's environment. *)
+let spawn_llva_run exe ~slow_us ~out args =
+  let env =
+    let base =
+      Array.to_list (Unix.environment ())
+      |> List.filter (fun kv ->
+             not (String.length kv >= 24
+                 && String.sub kv 0 24 = "LLVA_CHAOS_SLOW_WRITE_US"))
+    in
+    Array.of_list
+      (if slow_us > 0 then
+         Printf.sprintf "LLVA_CHAOS_SLOW_WRITE_US=%d" slow_us :: base
+       else base)
+  in
+  let fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.create_process_env exe
+        (Array.of_list (exe :: args))
+        env Unix.stdin fd Unix.stderr)
+
+let run_kill9_chaos exe =
+  Printf.printf "%-17s %!" "kill9-chaos";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llva-kill9-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let input = Filename.concat dir "bulky.ll" in
+      let oc = open_out input in
+      output_string oc (bulky_program ());
+      close_out oc;
+      let cache = Filename.concat dir "cache" in
+      let out n = Filename.concat dir n in
+      let args = [ input; "--engine"; "llee-x86"; "--cache"; cache ] in
+      (* victim launch: slow non-atomic writes, killed mid-entry *)
+      let pid = spawn_llva_run exe ~slow_us:5000 ~out:(out "victim.out") args in
+      let big_entry () =
+        match Sys.readdir cache with
+        | exception Sys_error _ -> false
+        | files ->
+            Array.exists
+              (fun f ->
+                (not (Filename.check_suffix f ".tmp"))
+                &&
+                match Unix.stat (Filename.concat cache f) with
+                | { Unix.st_kind = Unix.S_REG; st_size; _ } -> st_size >= 4096
+                | _ -> false
+                | exception Unix.Unix_error _ -> false)
+              files
+      in
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      while (not (big_entry ())) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.001
+      done;
+      check "kill9: a native entry started growing on disk" (big_entry ());
+      Unix.kill pid Sys.sigkill;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WSIGNALED s -> check "kill9: child died of SIGKILL" (s = Sys.sigkill)
+      | _, _ -> check "kill9: child died of SIGKILL" false);
+      (* the wreckage is real: at least one on-disk entry must fail its
+         frame check (torn mid-write), classified straight off the bytes *)
+      let damaged =
+        Sys.readdir cache |> Array.to_list
+        |> List.filter (fun f -> not (Filename.check_suffix f ".tmp"))
+        |> List.filter (fun f ->
+               match Llee.classify_frame (read_file (Filename.concat cache f)) with
+               | s ->
+                   String.length s >= 3
+                   && (String.sub s 0 3 = "bad"
+                      || String.sub s 0 8 = "checksum")
+               | exception Sys_error _ -> false)
+      in
+      check "kill9: the kill left a torn entry behind" (damaged <> []);
+      t_torn := !t_torn + List.length damaged;
+      (* self-heal: a clean relaunch must succeed and repair in place *)
+      let heal = spawn_llva_run exe ~slow_us:0 ~out:(out "heal.out") args in
+      (match Unix.waitpid [] heal with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> check "kill9: healing relaunch exits 0" false);
+      let quarantined =
+        Sys.readdir cache |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".quarantined")
+      in
+      check "kill9: torn entry quarantined, not trusted" (quarantined <> []);
+      t_quarantined := !t_quarantined + List.length quarantined;
+      t_repaired := !t_repaired + List.length quarantined;
+      (* the doctor classifies the post-mortem *)
+      let doc =
+        spawn_llva_run exe ~slow_us:0 ~out:(out "doctor.out")
+          (args @ [ "--cache-doctor" ])
+      in
+      (match Unix.waitpid [] doc with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> check "kill9: cache doctor exits 0" false);
+      let report = read_file (out "doctor.out") in
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        m = 0 || go 0
+      in
+      check "kill9: doctor reports the quarantined entry"
+        (contains report "quarantined entr");
+      check "kill9: doctor classifies the torn frame"
+        (contains report "checksum mismatch");
+      (* the repair landed: one more launch, byte-identical stdout *)
+      let warm = spawn_llva_run exe ~slow_us:0 ~out:(out "warm.out") args in
+      (match Unix.waitpid [] warm with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> check "kill9: warm relaunch exits 0" false);
+      check "kill9: warm stdout identical to healing stdout"
+        (read_file (out "warm.out") = read_file (out "heal.out"));
+      Printf.printf "ok (torn %d, quarantined %d)\n%!" (List.length damaged)
+        (List.length quarantined))
+
 let () =
   Printf.printf "chaos campaign: %d workloads, fault seed %#x\n%!"
     (List.length Workloads.all) seed;
   List.iter run_workload Workloads.all;
   run_peep_chaos ();
   run_lint_chaos ();
+  (if Array.length Sys.argv > 1 then run_kill9_chaos Sys.argv.(1)
+   else Printf.printf "kill9-chaos        skipped (no llva-run path given)\n%!");
   Printf.printf
     "campaign totals: %d damaged serves, %d quarantined, %d repaired, %d torn \
      writes, %d failed writes, %d transient faults (%d retried)\n"

@@ -532,6 +532,7 @@ let test_json_roundtrip () =
       check_int "instr" a.Check.Diag.instr b.Check.Diag.instr;
       check_string "site" a.Check.Diag.site b.Check.Diag.site;
       check_string "message" a.Check.Diag.msg b.Check.Diag.msg;
+      check_string "relation" a.Check.Diag.relation b.Check.Diag.relation;
       check_bool "related" true
         (a.Check.Diag.related = b.Check.Diag.related))
     diags back;
@@ -570,6 +571,39 @@ let test_json_unicode_escapes () =
   check_bool "control char round-trips" true
     (Check.Json.parse (Check.Json.to_string (Check.Json.Str "\x01"))
     = Check.Json.Str "\x01")
+
+(* A diagnostic born from the relational layer carries the proven fact in
+   its [relation] field, renders it as a [rel: ...] suffix, and keeps it
+   through the JSON round trip. *)
+let test_relation_field () =
+  let diags =
+    lint_all
+      {|
+long %last(long %n) {
+entry:
+  %buf = alloca int, long %n
+  %first = getelementptr int* %buf, long 0
+  store int 7, int* %first
+  %slot = getelementptr int* %buf, long %n
+  %v = load int* %slot
+  %vw = cast int %v to long
+  ret long %vw
+}
+|}
+  in
+  match diags with
+  | [ d ] ->
+      check_string "check" "oob-access" d.Check.Diag.check;
+      check_bool "severity" true (d.Check.Diag.sev = Check.Diag.Error);
+      check_string "proven relation" "%n >= len(%buf)" d.Check.Diag.relation;
+      check_bool "text rendering shows the relation" true
+        (contains (Check.Diag.render_text diags) "[rel: %n >= len(%buf)]");
+      let back = Check.Diag.of_json (Check.Json.parse (Check.Diag.render_json diags)) in
+      check_string "relation survives the round trip" "%n >= len(%buf)"
+        (List.hd back).Check.Diag.relation
+  | ds ->
+      Alcotest.failf "expected exactly the symbolic oob error, got %d diags"
+        (List.length ds)
 
 (* ---------- cacheable verdicts ---------- *)
 
@@ -783,6 +817,7 @@ let suite =
     Alcotest.test_case "deterministic order" `Quick test_deterministic_order;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json unicode escapes" `Quick test_json_unicode_escapes;
+    Alcotest.test_case "relation field" `Quick test_relation_field;
     Alcotest.test_case "verdict roundtrip" `Quick test_verdict_roundtrip;
     Alcotest.test_case "verdict strict reader" `Quick test_verdict_strict_reader;
     Alcotest.test_case "workloads lint clean" `Slow test_workloads_clean;

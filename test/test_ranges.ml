@@ -270,6 +270,322 @@ let test_render () =
   check_bool "render shows the arg range" true (has "[6]");
   check_bool "render shows the scaled return" true (has "[18]")
 
+(* ---------- merge-point guard refinement ---------- *)
+
+(* A dominating merge whose reachable incoming edges ALL carry
+   constraints refines by the join of the per-edge refinements; one
+   unconstrained edge makes the join a no-op. *)
+let merge_src =
+  {|
+int %both(int %x) {
+entry:
+  %a = setlt int %x, 8
+  br bool %a, label %merge, label %try2
+try2:
+  %b = setlt int %x, 12
+  br bool %b, label %merge, label %out
+merge:
+  %u = add int %x, 0
+  ret int %u
+out:
+  ret int 0
+}
+
+int %oneplain(int %x) {
+entry:
+  %a = setlt int %x, 8
+  br bool %a, label %merge, label %mid
+mid:
+  br label %merge
+merge:
+  %u = add int %x, 0
+  ret int %u
+}
+
+int %main() {
+entry:
+  %r1 = call int %both(int 3)
+  %r2 = call int %both(int 30)
+  %r3 = call int %oneplain(int 3)
+  %r4 = call int %oneplain(int 30)
+  %s1 = add int %r1, %r2
+  %s2 = add int %r3, %r4
+  %s = add int %s1, %s2
+  ret int %s
+}
+|}
+
+let test_merge_join () =
+  let m = parse merge_src in
+  let t = R.compute m in
+  let both = func m "both" in
+  let x = Ir.Varg (List.hd both.Ir.fargs) in
+  check_itv "arg = join of call sites"
+    (R.Itv (3L, 30L))
+    (R.arg_range t both (List.hd both.Ir.fargs));
+  (* both edges into %merge carry an upper bound: join [3,7] u [3,11] *)
+  check_itv "all-edges-constrained merge refines"
+    (R.Itv (3L, 11L))
+    (R.range_at t both (instr both "u") x);
+  (* an unconditional edge into the merge keeps the unrefined range *)
+  let plain = func m "oneplain" in
+  let xp = Ir.Varg (List.hd plain.Ir.fargs) in
+  check_itv "unconstrained edge defeats the join"
+    (R.Itv (3L, 30L))
+    (R.range_at t plain (instr plain "u") xp);
+  check_bool "fixpoint" true (R.fixpoint_reached t)
+
+(* ---------- relational facts: guards, flow, summaries ---------- *)
+
+let sum_src =
+  {|
+%cap = global long 6
+
+long %sum(int* %buf, long %n) {
+entry:
+  br label %head
+head:
+  %i = phi long [ 0, %entry ], [ %inext, %body ]
+  %acc = phi long [ 0, %entry ], [ %accn, %body ]
+  %more = setlt long %i, %n
+  br bool %more, label %body, label %done
+body:
+  %slot = getelementptr int* %buf, long %i
+  %v = load int* %slot
+  %vw = cast int %v to long
+  %accn = add long %acc, %vw
+  %inext = add long %i, 1
+  br label %head
+done:
+  ret long %acc
+}
+
+long %main() {
+entry:
+  %n = load long* %cap
+  %buf = alloca int, long %n
+  %s = call long %sum(int* %buf, long %n)
+  ret long %s
+}
+|}
+
+let test_relational_queries () =
+  let m =
+    parse
+      {|
+int %g(int %x) {
+entry:
+  %lo = setge int %x, 2
+  br bool %lo, label %mid, label %no
+mid:
+  %hi = setlt int %x, 5
+  br bool %hi, label %yes, label %no
+yes:
+  %u = add int %x, 0
+  ret int %u
+no:
+  ret int 0
+}
+
+int %main() {
+entry:
+  %r1 = call int %g(int 0)
+  %r2 = call int %g(int 30)
+  %r = add int %r1, %r2
+  ret int %r
+}
+|}
+  in
+  let t = R.compute m in
+  let g = func m "g" in
+  let x = Ir.Varg (List.hd g.Ir.fargs) in
+  let at = instr g "u" in
+  (* both dominating guards land in the closed DBM as bounds against the
+     zero node: x <= 0 + 4 and x >= 0 + 2 *)
+  check_bool "guard upper bound" true
+    (R.rel_upper_at t g at x R.zero_sym = Some 4L);
+  check_bool "guard lower bound" true
+    (R.rel_lower_at t g at x R.zero_sym = Some 2L);
+  (* the flow equation u = x + 0 transports both bounds to %u *)
+  let u = Ir.Vreg at in
+  check_bool "flow equation upper" true
+    (R.rel_upper_at t g at u R.zero_sym = Some 4L);
+  check_bool "flow equation lower" true
+    (R.rel_lower_at t g at u R.zero_sym = Some 2L)
+
+(* The interprocedural round proves %n <= len(%buf) from the call site
+   that passes an allocation together with its own element count, and the
+   summary table republishes the fact per argument position. *)
+let test_relational_summaries () =
+  let m = parse sum_src in
+  let t = R.compute m in
+  let rel = R.export_relations t in
+  check_bool "sum has a published bound" true
+    (match List.assoc_opt "sum" rel with
+    | Some [ (1, Check.Summaries.Ble_len (0, 0L)) ] -> true
+    | _ -> false);
+  let s = Check.Summaries.compute m in
+  Check.Summaries.set_relations s rel;
+  check_bool "arg_bounds republishes it" true
+    (Check.Summaries.arg_bounds s (func m "sum")
+    = [ (1, Check.Summaries.Ble_len (0, 0L)) ]);
+  (* and the whole module lints clean: the loop access is range-proven *)
+  check_int "sum module lints clean" 0
+    (List.length (Check.Lint.run m))
+
+(* ---------- straddle warnings: retired vs still suppressed ---------- *)
+
+(* The DBM closes x <= y (var-var, useless to intervals because y's own
+   interval is unbounded) with y <= 4 into x <= 4: the straddle warning
+   the interval layer would emit is relationally retired. *)
+let retired_src =
+  {|
+%t5 = global [5 x int] [ int 0, int 1, int 2, int 3, int 4 ]
+%seed = global int 9
+
+int %via(int %x, int %y) {
+entry:
+  %ycap = setlt int %y, 5
+  br bool %ycap, label %a, label %out
+a:
+  %xle = setle int %x, %y
+  br bool %xle, label %use, label %out
+use:
+  %xnn = setge int %x, 0
+  br bool %xnn, label %go, label %out
+go:
+  %slot = getelementptr [5 x int]* %t5, long 0, int %x
+  %v = load int* %slot
+  ret int %v
+out:
+  ret int 0
+}
+
+int %main() {
+entry:
+  %u = load int* %seed
+  %r1 = call int %via(int 0, int %u)
+  %r2 = call int %via(int 7, int %u)
+  %s = add int %r1, %r2
+  ret int %s
+}
+|}
+
+let oob_warnings diags =
+  List.filter
+    (fun (d : Check.Diag.t) ->
+      d.Check.Diag.check = "oob-access" && d.Check.Diag.sev = Check.Diag.Warning)
+    diags
+
+let test_straddle_retired () =
+  let m = parse retired_src in
+  let diags = Check.Lint.run m in
+  check_int "relationally proven: no findings at all" 0 (List.length diags);
+  (* the proof really is relational: the interval at the access still
+     straddles, the DBM bound does not *)
+  let t = R.compute m in
+  let via = func m "via" in
+  let x = Ir.Varg (List.hd via.Ir.fargs) in
+  let at = instr via "v" in
+  check_itv "interval still straddles"
+    (R.Itv (0L, 7L))
+    (R.range_at t via at x);
+  check_bool "closed DBM bound is tight" true
+    (R.rel_upper_at t via at x R.zero_sym = Some 4L)
+
+(* A masked index in [0..7] over a 4-element table: commensurate, precise,
+   and no relational fact helps — the straddle warning must survive. *)
+let test_straddle_survives () =
+  let m =
+    parse
+      {|
+%t4 = global [4 x int] [ int 1, int 2, int 3, int 4 ]
+%seed = global int 9
+
+int %clipped() {
+entry:
+  %v = load int* %seed
+  %k = and int %v, 7
+  %slot = getelementptr [4 x int]* %t4, long 0, int %k
+  %x = load int* %slot
+  ret int %x
+}
+
+int %main() {
+entry:
+  %r = call int %clipped()
+  ret int %r
+}
+|}
+  in
+  check_int "masked straddle still warns" 1
+    (List.length (oob_warnings (Check.Lint.run m)))
+
+(* A widened loop counter over a fixed table spans billions of bytes: the
+   commensurate-width gate suppressed that noise before the relational
+   layer and must keep doing so. *)
+let test_straddle_gate_kept () =
+  let m =
+    parse
+      {|
+%t4 = global [4 x int] [ int 1, int 2, int 3, int 4 ]
+%seed = global int 9
+
+int %scanner(int %n) {
+entry:
+  br label %head
+head:
+  %i = phi int [ 0, %entry ], [ %inext, %body ]
+  %acc = phi int [ 0, %entry ], [ %accn, %body ]
+  %go = setlt int %i, %n
+  br bool %go, label %body, label %done
+body:
+  %slot = getelementptr [4 x int]* %t4, long 0, int %i
+  %v = load int* %slot
+  %accn = add int %acc, %v
+  %inext = add int %i, 1
+  br label %head
+done:
+  ret int %acc
+}
+
+int %main() {
+entry:
+  %v = load int* %seed
+  %r = call int %scanner(int %v)
+  ret int %r
+}
+|}
+  in
+  check_int "widened counter stays gate-suppressed" 0
+    (List.length (oob_warnings (Check.Lint.run m)))
+
+(* ---------- relational budget and determinism over the suite ---------- *)
+
+let test_workloads_relational () =
+  List.iter
+    (fun (w : Workloads.workload) ->
+      let m = Workloads.compile_optimized ~level:2 w in
+      let t = R.compute m in
+      check_bool (w.Workloads.name ^ " fixpoint with relations on") true
+        (R.fixpoint_reached t);
+      check_bool (w.Workloads.name ^ " within the DBM node budget") true
+        (R.rel_within_budget t))
+    Workloads.all
+
+(* Two independent computations must render the same relational fact
+   table, byte for byte. *)
+let test_relations_deterministic () =
+  let w = Option.get (Workloads.find "ptrdist-anagram") in
+  let table () =
+    let m = Workloads.compile_optimized ~level:2 w in
+    String.concat "\n" (R.render_relations (R.compute m))
+  in
+  let a = table () in
+  check_string "identical relations table across runs" a (table ());
+  let m = Workloads.compile_optimized ~level:2 w in
+  check_bool "the table is not vacuous" true (R.rel_fact_count (R.compute m) > 0)
+
 let suite =
   [
     Alcotest.test_case "interval algebra" `Quick test_algebra;
@@ -280,4 +596,15 @@ let suite =
     Alcotest.test_case "workloads reach fixpoint" `Slow test_workloads_fixpoint;
     Alcotest.test_case "deterministic reports" `Quick test_json_deterministic;
     Alcotest.test_case "range table rendering" `Quick test_render;
+    Alcotest.test_case "merge-point refinement" `Quick test_merge_join;
+    Alcotest.test_case "relational queries" `Quick test_relational_queries;
+    Alcotest.test_case "relational summaries" `Quick test_relational_summaries;
+    Alcotest.test_case "straddle relationally retired" `Quick
+      test_straddle_retired;
+    Alcotest.test_case "straddle survives" `Quick test_straddle_survives;
+    Alcotest.test_case "straddle gate kept" `Quick test_straddle_gate_kept;
+    Alcotest.test_case "workloads within relational budget" `Slow
+      test_workloads_relational;
+    Alcotest.test_case "deterministic relations table" `Quick
+      test_relations_deterministic;
   ]
