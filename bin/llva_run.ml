@@ -12,10 +12,43 @@
 
 open Cmdliner
 
-let run input engine stats opt fuel cache_dir peephole doctor purge diff =
+let run input engine stats opt fuel cache_dir peephole doctor purge diff
+    certify =
   let m = Tool_common.load_module input in
   Tool_common.check_verify m;
   if opt > 0 then ignore (Transform.Passmgr.optimize ~level:opt m);
+  if certify then begin
+    (* certification mode: lockstep-validate the translation of every
+       certifiable function and exit without running the program. With
+       --cache the verdict is read from / recorded to the #tv# entry;
+       without it the checker runs fresh. Exit 126 on any mismatch. *)
+    let target =
+      match engine with
+      | "llee-sparc" | "sparc" -> Llee.Sparc
+      | "llee-x86" | "x86" | "interp" -> Llee.X86
+      | e ->
+          Printf.eprintf "--certify: unknown engine %s\n" e;
+          exit 2
+    in
+    let storage =
+      match cache_dir with
+      | Some dir -> Llee.Storage.on_disk ~dir
+      | None -> Llee.Storage.none
+    in
+    let eng = Llee.of_module ~storage ~peephole ~target m in
+    let v = Llee.certify eng in
+    List.iter print_endline (Llee.Tv.report v);
+    if stats then begin
+      Printf.eprintf "--- stats ---\n";
+      Printf.eprintf "tv runs: %d\n" eng.Llee.stats.Llee.tv_runs;
+      Printf.eprintf "tv skipped (verdict cached): %d\n"
+        eng.Llee.stats.Llee.tv_skipped;
+      Printf.eprintf "tv mismatches: %d\n" eng.Llee.stats.Llee.tv_mismatches;
+      Printf.eprintf "tv time: %.3f ms\n"
+        (eng.Llee.stats.Llee.tv_time *. 1000.0)
+    end;
+    exit (if Llee.Tv.clean v then 0 else 126)
+  end;
   if doctor || purge || diff <> None then begin
     (* forensics mode: inspect the quarantined entries of the on-disk
        cache and exit without executing the program *)
@@ -133,6 +166,12 @@ let run input engine stats opt fuel cache_dir peephole doctor purge diff =
             eng.Llee.stats.Llee.peep_table_loads;
           Printf.sprintf "peephole time: %.3f ms"
             (eng.Llee.stats.Llee.peep_time *. 1000.0);
+          Printf.sprintf "tv runs: %d" eng.Llee.stats.Llee.tv_runs;
+          Printf.sprintf "tv skipped (verdict cached): %d"
+            eng.Llee.stats.Llee.tv_skipped;
+          Printf.sprintf "tv mismatches: %d" eng.Llee.stats.Llee.tv_mismatches;
+          Printf.sprintf "tv time: %.3f ms"
+            (eng.Llee.stats.Llee.tv_time *. 1000.0);
           Printf.sprintf "cycles: %Ld" eng.Llee.stats.Llee.cycles;
         ]
   | e ->
@@ -189,11 +228,21 @@ let diff =
           "with --cache-doctor: compare FUNC's quarantined entry against a \
            fresh translation")
 
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "lockstep-certify the native translation of every certifiable \
+           function against the reference interpreter and exit without \
+           executing (0 clean, 126 on a mismatch); with --cache the verdict \
+           is recorded as a #tv# entry and reused on later runs")
+
 let cmd =
   Cmd.v
     (Cmd.info "llva-run" ~doc:"execute LLVA programs")
     Term.(
       const run $ input $ engine $ stats $ opt $ fuel $ cache_dir $ peephole
-      $ doctor $ purge $ diff)
+      $ doctor $ purge $ diff $ certify)
 
 let () = exit (Cmd.eval cmd)

@@ -839,49 +839,86 @@ let check_div_zero ctx ~k_func (f : Ir.func) =
   Ir.iter_instrs
     (fun i ->
       match i.Ir.op with
-      | Ir.Binop ((Ir.Div | Ir.Rem) as op) -> (
+      | Ir.Binop ((Ir.Div | Ir.Rem) as op) ->
           let divisor = i.Ir.operands.(1) in
+          let dividend = i.Ir.operands.(0) in
           let is_int_zero =
             match divisor with
             | Ir.Const { ckind = Ir.Cint 0L; cty } -> Types.is_integer cty
             | Ir.Const { ckind = Ir.Czero; cty } -> Types.is_integer cty
             | _ -> false
           in
-          if is_int_zero then
-            ctx.emit
-              (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Error ~k_func f i
-                 (Printf.sprintf "%s by constant zero" (Ir.binop_name op)))
-          else if
-            match Types.resolve ctx.env (Ir.type_of_value divisor) with
-            | rty -> Types.is_integer rty
-            | exception Types.Unresolved _ -> false
-          then
-            match Ranges.range_at ctx.ranges f i divisor with
-            | Ranges.Itv (0L, 0L) ->
-                ctx.emit
-                  (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Error ~k_func
-                     f i
-                     (Printf.sprintf "%s by divisor that is provably zero"
-                        (Ir.binop_name op)))
-            | Ranges.Itv (lo, hi) as r
-              when lo <= 0L && 0L <= hi
-                   && informative ctx (Ir.type_of_value divisor) r ->
-                ctx.emit
-                  (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Warning
-                     ~k_func f i
-                     (Printf.sprintf
-                        "%s by divisor whose range %s includes zero"
-                        (Ir.binop_name op) (Ranges.to_string r)))
-            | _ -> ())
+          (if is_int_zero then
+             ctx.emit
+               (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Error ~k_func f i
+                  (Printf.sprintf "%s by constant zero" (Ir.binop_name op)))
+           else if
+             match Types.resolve ctx.env (Ir.type_of_value divisor) with
+             | rty -> Types.is_integer rty
+             | exception Types.Unresolved _ -> false
+           then
+             match Ranges.range_at ctx.ranges f i divisor with
+             | Ranges.Itv (0L, 0L) ->
+                 ctx.emit
+                   (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Error ~k_func
+                      f i
+                      (Printf.sprintf "%s by divisor that is provably zero"
+                         (Ir.binop_name op)))
+             | Ranges.Itv (lo, hi) as r
+               when lo <= 0L && 0L <= hi
+                    && informative ctx (Ir.type_of_value divisor) r ->
+                 ctx.emit
+                   (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Warning
+                      ~k_func f i
+                      (Printf.sprintf
+                         "%s by divisor whose range %s includes zero"
+                         (Ir.binop_name op) (Ranges.to_string r)))
+             | _ -> ());
+          (* the -1 divisor corner: signed INT_MIN / -1 overflows the
+             quotient and traps (Eval.Overflow), exactly like a zero
+             divisor *)
+          (match Types.resolve ctx.env (Ir.type_of_value divisor) with
+          | rty when Types.is_signed rty -> (
+              let minv =
+                Int64.neg (Int64.shift_left 1L (Types.bitwidth rty - 1))
+              in
+              let rb = Ranges.range_at ctx.ranges f i divisor
+              and ra = Ranges.range_at ctx.ranges f i dividend in
+              match (ra, rb) with
+              | Ranges.Itv (al, ah), Ranges.Itv (-1L, -1L)
+                when al = minv && ah = minv ->
+                  ctx.emit
+                    (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Error
+                       ~k_func f i
+                       (Printf.sprintf
+                          "%s of %Ld by -1 provably overflows %s (traps)"
+                          (Ir.binop_name op) minv (Types.to_string rty)))
+              | (Ranges.Itv (al, ah) as ra), (Ranges.Itv (bl, bh) as rb)
+                when al <= minv && minv <= ah && bl <= -1L && -1L <= bh
+                     && informative ctx (Ir.type_of_value dividend) ra
+                     && informative ctx (Ir.type_of_value divisor) rb ->
+                  ctx.emit
+                    (Diag.at_instr ~check:"div-by-zero" ~sev:Diag.Warning
+                       ~k_func f i
+                       (Printf.sprintf
+                          "%s dividend range %s and divisor range %s admit \
+                           the %Ld / -1 overflow"
+                          (Ir.binop_name op) (Ranges.to_string ra)
+                          (Ranges.to_string rb) minv))
+              | _ -> ())
+          | _ -> ()
+          | exception Types.Unresolved _ -> ())
       | _ -> ())
     f
 
 (* ---------- shift amounts beyond the bit width ---------- *)
 
-(* The evaluator masks shift amounts modulo 64, so a shift by [>= width]
-   is well-defined but almost certainly not what the program meant (the
-   C-source analog is undefined). Error when the amount provably always
-   exceeds the width; warning when an informative range says it might. *)
+(* The evaluator reduces shift amounts modulo the declared bit width of
+   the operand type (see Eval), so a shift by [>= width] is well-defined
+   but almost certainly not what the program meant (the C-source analog
+   is undefined, and [shl x:int, 40] silently shifts by 8). Error when
+   the amount provably always exceeds the width; warning when an
+   informative range says it might. *)
 let check_shift ctx ~k_func (f : Ir.func) =
   Ir.iter_instrs
     (fun i ->

@@ -541,7 +541,9 @@ let binop_ranges ty op (a : itv) (b : itv) : itv =
           end
           else top
       | Ir.Shl ->
-          if bl >= 0L && bh <= 63L && al >= 0L then
+          (* amounts are reduced modulo the declared width (Eval), so the
+             endpoint transfer is only valid below it *)
+          if bl >= 0L && bh < Int64.of_int (Types.bitwidth ty) && al >= 0L then
             match
               (shl64 al (Int64.to_int bl), shl64 ah (Int64.to_int bh))
             with
@@ -552,7 +554,7 @@ let binop_ranges ty op (a : itv) (b : itv) : itv =
           (* arithmetic shift on canonical representatives matches the
              logical shift the unsigned types use, because their
              representatives are non-negative *)
-          if bl >= 0L && bh <= 63L then begin
+          if bl >= 0L && bh < Int64.of_int (Types.bitwidth ty) then begin
             let s1 = Int64.to_int bl and s2 = Int64.to_int bh in
             let c1 = Int64.shift_right al s1
             and c2 = Int64.shift_right al s2
@@ -594,7 +596,8 @@ let binop_itv ty op (a : itv) (b : itv) : itv =
       | Eval.I (_, r) ->
           if ty = Types.Ulong && r < 0L then Top else Itv (r, r)
       | _ -> top_of ty
-      | exception Eval.Division_by_zero -> Bot)
+      | exception Eval.Division_by_zero -> Bot
+      | exception Eval.Overflow -> Bot)
   | _ -> binop_ranges ty op a b
 
 let setcc_itv t fi bk cmp (a : Ir.value) (b : Ir.value) : itv =

@@ -25,6 +25,7 @@ module Trace = Trace
 module Pool = Pool
 module Outcome = Outcome
 module Crc32 = Crc32
+module Tv = Tv
 
 type target = X86 | Sparc
 
@@ -53,6 +54,10 @@ type stats = {
   mutable peep_searches : int; (* superoptimizer searches actually run *)
   mutable peep_table_loads : int; (* rewrite tables loaded from storage *)
   mutable peep_time : float; (* seconds acquiring the table (search or load) *)
+  mutable tv_runs : int; (* lockstep certifications actually computed *)
+  mutable tv_skipped : int; (* recorded #tv# verdicts reused instead *)
+  mutable tv_mismatches : int; (* mismatching functions in the verdict *)
+  mutable tv_time : float; (* seconds spent in the lockstep checker *)
 }
 
 let fresh_stats () =
@@ -77,6 +82,10 @@ let fresh_stats () =
     peep_searches = 0;
     peep_table_loads = 0;
     peep_time = 0.0;
+    tv_runs = 0;
+    tv_skipped = 0;
+    tv_mismatches = 0;
+    tv_time = 0.0;
   }
 
 type t = {
@@ -157,6 +166,12 @@ let lint_entry_name t =
 let peep_entry_name t =
   Printf.sprintf "%s.#peep#.%s.v%d" t.key (target_name t.target)
     Superopt.Table.version
+
+(* The translation-validation verdict entry: keyed by the module content
+   hash, the target (certification is of one translation) and the
+   checker version — a [Tv.version] bump orphans recorded verdicts. *)
+let tv_entry_name t =
+  Printf.sprintf "%s.#tv#.%s.v%d" t.key (target_name t.target) Tv.version
 
 (* ---------- contained storage operations ---------- *)
 
@@ -377,6 +392,61 @@ let verdict t : Check.Lint.verdict =
         (frame_entry
            (Check.Json.to_string ~pretty:false
               (Check.Lint.verdict_to_json v)));
+      v
+
+(* ---------- translation validation (lockstep certification) ---------- *)
+
+(* Obtain the module's lockstep-certification verdict for this target,
+   reusing a recorded one when the storage cache holds a fresh,
+   well-formed [#tv#] entry for this exact module hash, target and
+   checker version ([tv_skipped] counts the reuse — a warm launch never
+   re-runs the checker). A missing, stale, or corrupt entry certifies
+   exactly once ([tv_runs]) and writes the verdict back through the
+   storage API, with the same quarantine / re-check / repair self-healing
+   as every other entry. Mismatching verdicts are recorded too — they
+   document the divergence — and [tv_mismatches] counts the mismatching
+   functions in whichever verdict this launch ends up holding. *)
+let certify ?seed ?vectors t : Tv.verdict =
+  let name = tv_entry_name t in
+  let recorded =
+    match read_cached t name with
+    | None -> None
+    | Some data -> (
+        match unframe_entry data with
+        | Bad_magic ->
+            t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
+            None
+        | Bad_checksum ->
+            quarantine_entry t name;
+            None
+        | Payload payload -> (
+            match Tv.verdict_of_json (Check.Json.parse payload) with
+            | v when v.Tv.v_target = target_name t.target -> Some v
+            | _ ->
+                (* a verdict for the other target under this target's
+                   name was never valid *)
+                t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
+                None
+            | exception Check.Json.Parse_error _ ->
+                t.stats.cache_corrupt <- t.stats.cache_corrupt + 1;
+                None))
+  in
+  match recorded with
+  | Some v ->
+      t.stats.tv_skipped <- t.stats.tv_skipped + 1;
+      t.stats.tv_mismatches <- t.stats.tv_mismatches + Tv.mismatches v;
+      v
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let v =
+        Tv.certify_module ?seed ?vectors ~target:(target_name t.target) t.m
+      in
+      t.stats.tv_time <- t.stats.tv_time +. (Unix.gettimeofday () -. t0);
+      t.stats.tv_runs <- t.stats.tv_runs + 1;
+      t.stats.tv_mismatches <- t.stats.tv_mismatches + Tv.mismatches v;
+      storage_write t name
+        (frame_entry
+           (Check.Json.to_string ~pretty:false (Tv.verdict_to_json v)));
       v
 
 (* The gate itself: with no storage there is nothing to protect (nothing
@@ -701,12 +771,34 @@ let classify_frame data =
   | Bad_checksum -> "checksum mismatch: payload damaged at rest"
   | Payload _ -> "frame intact (entry was readable when quarantined)"
 
+(* The recorded lockstep-certification state for this module and target,
+   read without stats side effects: the doctor reports, it never heals. *)
+let tv_doctor_line t : string =
+  match t.storage.Storage.read (tv_entry_name t) with
+  | None -> "tv verdict: none recorded for this module/target"
+  | exception _ -> "tv verdict: storage unavailable"
+  | Some e -> (
+      match unframe_entry e.Storage.data with
+      | Bad_magic | Bad_checksum ->
+          "tv verdict: recorded entry damaged (next certify quarantines it)"
+      | Payload p -> (
+          match Tv.verdict_of_json (Check.Json.parse p) with
+          | v ->
+              Printf.sprintf
+                "tv verdict: %d certified, %d skipped, %d mismatched (%s, tv \
+                 v%d)"
+                (Tv.certified v)
+                (List.length v.Tv.v_results - Tv.certified v - Tv.mismatches v)
+                (Tv.mismatches v) v.Tv.v_target v.Tv.v_version
+          | exception Check.Json.Parse_error _ ->
+              "tv verdict: recorded entry undecodable (stale version?)"))
+
 (* One line per quarantined file: name as stored, size, age relative to
    [now] (a parameter so reports are reproducible in tests). *)
 let cache_doctor ?now t : string list =
   let now = match now with Some n -> n | None -> Unix.gettimeofday () in
   match t.storage.Storage.list_quarantined () with
-  | [] -> [ "cache doctor: no quarantined entries" ]
+  | [] -> [ "cache doctor: no quarantined entries"; tv_doctor_line t ]
   | exception _ ->
       t.stats.storage_errors <- t.stats.storage_errors + 1;
       [ "cache doctor: storage unavailable" ]
@@ -730,6 +822,7 @@ let cache_doctor ?now t : string list =
                (Float.max 0.0 (now -. ts))
                verdict)
            qs
+      @ [ tv_doctor_line t ]
 
 let purge_quarantined t : int =
   try t.storage.Storage.purge_quarantined ()

@@ -10,9 +10,13 @@ open Llva
 
 type trap_kind =
   | Division_by_zero
+  | Overflow (* signed INT_MIN / -1 division or remainder *)
   | Memory_fault of int64
   | Privilege_violation
   | Uncaught_unwind
+  | Invalid_operation of string (* an ill-typed operation the verifier
+                                   should have refused (e.g. a float →
+                                   pointer cast); contained, not crashed *)
 
 type t =
   | Exit of int (* the guest program returned / called exit *)
@@ -23,9 +27,11 @@ type t =
 
 let trap_to_string = function
   | Division_by_zero -> "division by zero"
+  | Overflow -> "division overflow"
   | Memory_fault a -> Printf.sprintf "memory fault at 0x%Lx" a
   | Privilege_violation -> "privilege violation"
   | Uncaught_unwind -> "uncaught unwind"
+  | Invalid_operation msg -> "invalid operation: " ^ msg
 
 (* The process exit codes the CLI maps outcomes to. 134 is the
    SIGABRT-style convention for guest traps, 124 the timeout convention
@@ -48,16 +54,19 @@ let to_string = function
    type; map them all into the shared one. *)
 let of_interp_trap = function
   | Interp.Division_by_zero -> Division_by_zero
+  | Interp.Overflow -> Overflow
   | Interp.Memory_fault a -> Memory_fault a
   | Interp.Privilege_violation -> Privilege_violation
 
 let of_x86_trap = function
   | X86lite.Sim.Division_by_zero -> Division_by_zero
+  | X86lite.Sim.Overflow -> Overflow
   | X86lite.Sim.Memory_fault a -> Memory_fault a
   | X86lite.Sim.Privilege_violation -> Privilege_violation
 
 let of_sparc_trap = function
   | Sparclite.Sim.Division_by_zero -> Division_by_zero
+  | Sparclite.Sim.Overflow -> Overflow
   | Sparclite.Sim.Memory_fault a -> Memory_fault a
   | Sparclite.Sim.Privilege_violation -> Privilege_violation
 
@@ -83,6 +92,11 @@ let protect ~engine ?(current = fun () -> "main") (f : unit -> int) : t =
   | exception Sparclite.Sim.Out_of_fuel -> Fuel_exhausted
   | exception Vmem.Memory.Fault a -> trapped (Memory_fault a)
   | exception Eval.Division_by_zero -> trapped Division_by_zero
+  | exception Eval.Overflow -> trapped Overflow
+  | exception Invalid_argument msg ->
+      (* e.g. Eval.cast float → pointer on an ill-typed module; must be
+         contained as an outcome, never escape as an OCaml exception *)
+      trapped (Invalid_operation msg)
 
 (* ---------- direct-engine entry points ---------- *)
 

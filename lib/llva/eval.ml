@@ -4,7 +4,18 @@
 
    Integer values are stored as canonical int64 representatives (see
    [Ir.normalize_int]); [Float]-typed values are rounded through 32-bit
-   precision after every operation. *)
+   precision after every operation.
+
+   Corner-case semantics, fixed here once for every execution path:
+   - Shift amounts are interpreted as unsigned counts and reduced modulo
+     the *declared* bit width of the operand type, so [shl x:int, 40]
+     shifts by 8 — consistent with the lint shift-range model, not the
+     63-bit mask of the underlying int64 representative.
+   - Signed division and remainder raise [Overflow] on INT_MIN / -1 at
+     every width (the one in-range divisor that overflows the quotient;
+     x86 idiv delivers #DE for it, so the trap is part of the contract).
+   - Floating comparisons follow IEEE-754 unordered semantics: when
+     either operand is NaN, Eq/Lt/Gt/Le/Ge are false and Ne is true. *)
 
 type scalar =
   | B of bool
@@ -14,7 +25,7 @@ type scalar =
   | Undef of Types.t
 
 exception Division_by_zero
-exception Overflow (* reserved: delivered only when ExceptionsEnabled *)
+exception Overflow (* signed INT_MIN / -1 division or remainder *)
 
 let type_of = function
   | B _ -> Types.Bool
@@ -57,6 +68,15 @@ let norm ty v = I (ty, Ir.normalize_int ty v)
 let udiv64 a b = Int64.unsigned_div a b
 let urem64 a b = Int64.unsigned_rem a b
 
+(* Smallest signed value at the type's width, as a canonical
+   (sign-extended) representative. *)
+let min_signed ty = Int64.neg (Int64.shift_left 1L (Types.bitwidth ty - 1))
+
+(* Shift amounts are unsigned counts reduced modulo the declared bit
+   width — NOT masked to the 6 bits of the int64 representative. *)
+let shift_amount ty b =
+  Int64.to_int (Int64.unsigned_rem b (Int64.of_int (Types.bitwidth ty)))
+
 let int_binop op ty a b =
   let open Int64 in
   match op with
@@ -65,7 +85,11 @@ let int_binop op ty a b =
   | Ir.Mul -> norm ty (mul a b)
   | Ir.Div ->
       if equal b 0L then raise Division_by_zero
-      else if Types.is_signed ty then norm ty (div a b)
+      else if Types.is_signed ty then begin
+        (* INT_MIN / -1 overflows the quotient at every width *)
+        if equal b minus_one && equal a (min_signed ty) then raise Overflow;
+        norm ty (div a b)
+      end
       else
         (* operate on the unsigned canonical bits within the width *)
         let mask v =
@@ -75,7 +99,11 @@ let int_binop op ty a b =
         norm ty (udiv64 (mask a) (mask b))
   | Ir.Rem ->
       if equal b 0L then raise Division_by_zero
-      else if Types.is_signed ty then norm ty (rem a b)
+      else if Types.is_signed ty then begin
+        (* x86 idiv faults on INT_MIN rem -1 too (same #DE delivery) *)
+        if equal b minus_one && equal a (min_signed ty) then raise Overflow;
+        norm ty (rem a b)
+      end
       else
         let mask v =
           if Types.bitwidth ty = 64 then v
@@ -86,10 +114,10 @@ let int_binop op ty a b =
   | Ir.Or -> norm ty (logor a b)
   | Ir.Xor -> norm ty (logxor a b)
   | Ir.Shl ->
-      let sh = to_int (logand b 63L) in
+      let sh = shift_amount ty b in
       norm ty (shift_left a sh)
   | Ir.Shr ->
-      let sh = to_int (logand b 63L) in
+      let sh = shift_amount ty b in
       if Types.is_signed ty then norm ty (shift_right a sh)
       else
         let w = Types.bitwidth ty in
@@ -135,7 +163,7 @@ let binop op a b =
   | Undef ty, _ | _, Undef ty -> Undef ty
   | _ -> invalid_arg "Eval.binop: mixed operand kinds"
 
-let compare_scalars ty cmp a b =
+let compare_ordered ty cmp a b =
   let c =
     match (a, b) with
     | I (ity, x), I (_, y) ->
@@ -161,6 +189,15 @@ let compare_scalars ty cmp a b =
     | Ir.Ge -> c >= 0
   in
   B r
+
+let compare_scalars ty cmp a b =
+  match (a, b) with
+  | F (_, x), F (_, y) when Float.is_nan x || Float.is_nan y ->
+      (* IEEE-754 unordered semantics: comparisons against NaN are
+         false, except Ne which is true. [Float.compare]'s total order
+         must not be used here — it would make NaN == NaN hold. *)
+      B (cmp = Ir.Ne)
+  | _ -> compare_ordered ty cmp a b
 
 (* The paper's cast instruction: the sole conversion mechanism. Sign
    extension follows the *source* type's signedness (original LLVM 1.x

@@ -4,7 +4,14 @@
 
     Integer values are stored as canonical [int64] representatives (see
     {!Ir.normalize_int}); [Float]-typed values round through 32-bit
-    precision after every operation. *)
+    precision after every operation.
+
+    Corner cases are pinned down here once for every execution path:
+    shift amounts are unsigned counts reduced modulo the declared bit
+    width of the operand type; signed [INT_MIN / -1] division and
+    remainder raise {!Overflow} at every width; floating comparisons
+    follow IEEE-754 unordered semantics (NaN makes [Eq]/[Lt]/[Gt]/[Le]/
+    [Ge] false and [Ne] true). *)
 
 type scalar =
   | B of bool
@@ -28,14 +35,18 @@ val to_float : scalar -> float
 (** {1 Operations} *)
 
 val int_binop : Ir.binop -> Types.t -> int64 -> int64 -> scalar
-(** Integer operation at the given type's width and signedness.
-    @raise Division_by_zero on a zero divisor. *)
+(** Integer operation at the given type's width and signedness. Shift
+    amounts are reduced modulo the type's bit width (unsigned count).
+    @raise Division_by_zero on a zero divisor.
+    @raise Overflow on signed [INT_MIN / -1] (division or remainder). *)
 
 val binop : Ir.binop -> scalar -> scalar -> scalar
 (** Dispatch on operand kinds (integer, float, bool, pointer). *)
 
 val compare_scalars : Types.t -> Ir.cmp -> scalar -> scalar -> scalar
-(** The [setcc] instructions; signedness follows the operand type. *)
+(** The [setcc] instructions; signedness follows the operand type.
+    Floating comparisons are IEEE-754 unordered: when either operand is
+    NaN, every relation except [Ne] is false. *)
 
 val cast : src_ty:Types.t -> dst_ty:Types.t -> scalar -> scalar
 (** The paper's sole conversion mechanism; sign extension follows the

@@ -5,7 +5,11 @@
 open Llva
 open Sparc
 
-type trap_kind = Division_by_zero | Memory_fault of int64 | Privilege_violation
+type trap_kind =
+  | Division_by_zero
+  | Overflow (* signed INT_MIN / -1 division or remainder *)
+  | Memory_fault of int64
+  | Privilege_violation
 
 exception Trap of trap_kind
 exception Unwound
@@ -98,6 +102,7 @@ let rec deliver_trap st kind : unit =
           let num =
             match kind with
             | Division_by_zero -> 0L
+            | Overflow -> 0L (* same divide-fault class as x86 #DE *)
             | Memory_fault _ -> 1L
             | Privilege_violation -> 2L
           in
@@ -194,15 +199,18 @@ and cc_holds st cc =
       | Gtu -> uc > 0
       | Leu -> uc <= 0
       | Geu -> uc >= 0)
-  | Ffloat (a, b) -> (
-      let c = Float.compare a b in
-      match cc with
-      | Eq -> c = 0
-      | Ne -> c <> 0
-      | Lt | Ltu -> c < 0
-      | Gt | Gtu -> c > 0
-      | Le | Leu -> c <= 0
-      | Ge | Geu -> c >= 0)
+  | Ffloat (a, b) ->
+      (* IEEE-754 unordered: NaN makes every relation except Ne false *)
+      if Float.is_nan a || Float.is_nan b then cc = Ne
+      else (
+        let c = Float.compare a b in
+        match cc with
+        | Eq -> c = 0
+        | Ne -> c <> 0
+        | Lt | Ltu -> c < 0
+        | Gt | Gtu -> c > 0
+        | Le | Leu -> c <= 0
+        | Ge | Geu -> c >= 0)
 
 and do_call st ~target ~except ~ret_pc =
   match target with
@@ -249,7 +257,8 @@ and step st =
           | Eval.I (_, v) -> wreg st rd v
           | _ -> ()
           | exception Eval.Division_by_zero ->
-              deliver_trap st Division_by_zero)
+              deliver_trap st Division_by_zero
+          | exception Eval.Overflow -> deliver_trap st Overflow)
       | Sll | Srl | Sra -> (
           let iop = if op = Sll then Ir.Shl else Ir.Shr in
           let ty = if op = Srl then ty_of_width w false else ty in

@@ -49,6 +49,7 @@ let fold_instr (i : Ir.instr) : Ir.value option =
         match Eval.binop op (s 0) (s 1) with
         | result -> const_of_scalar i.Ir.ity result
         | exception Eval.Division_by_zero -> None (* preserve the trap *)
+        | exception Eval.Overflow -> None (* preserve the trap *)
         | exception Invalid_argument _ -> None)
     | Ir.Setcc c -> (
         match

@@ -83,6 +83,7 @@ let run_function (f : Ir.func) : int =
               match Eval.binop op a b with
               | r -> set_lattice i (Known r)
               | exception Eval.Division_by_zero -> set_lattice i Bottom
+              | exception Eval.Overflow -> set_lattice i Bottom
               | exception Invalid_argument _ -> set_lattice i Bottom))
       | Ir.Setcc c -> (
           match (lat_of_value i.Ir.operands.(0), lat_of_value i.Ir.operands.(1)) with

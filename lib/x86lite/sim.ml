@@ -7,7 +7,11 @@
 open Llva
 open X86
 
-type trap_kind = Division_by_zero | Memory_fault of int64 | Privilege_violation
+type trap_kind =
+  | Division_by_zero
+  | Overflow (* signed INT_MIN / -1 division or remainder (#DE class) *)
+  | Memory_fault of int64
+  | Privilege_violation
 
 exception Trap of trap_kind
 exception Unwound
@@ -120,6 +124,7 @@ let rec deliver_trap st kind : unit =
           let num =
             match kind with
             | Division_by_zero -> 0L
+            | Overflow -> 0L (* x86 #DE covers both divide faults *)
             | Memory_fault _ -> 1L
             | Privilege_violation -> 2L
           in
@@ -242,15 +247,18 @@ and cc_holds st cc =
       | Gtu -> uc > 0
       | Leu -> uc <= 0
       | Geu -> uc >= 0)
-  | Ffloat (a, b) -> (
-      let c = Float.compare a b in
-      match cc with
-      | Eq -> c = 0
-      | Ne -> c <> 0
-      | Lt | Ltu -> c < 0
-      | Gt | Gtu -> c > 0
-      | Le | Leu -> c <= 0
-      | Ge | Geu -> c >= 0)
+  | Ffloat (a, b) ->
+      (* IEEE-754 unordered: NaN makes every relation except Ne false *)
+      if Float.is_nan a || Float.is_nan b then cc = Ne
+      else (
+        let c = Float.compare a b in
+        match cc with
+        | Eq -> c = 0
+        | Ne -> c <> 0
+        | Lt | Ltu -> c < 0
+        | Gt | Gtu -> c > 0
+        | Le | Leu -> c <= 0
+        | Ge | Geu -> c >= 0)
 
 and do_call st ~target ~except ~ret_pc =
   match target with
@@ -308,7 +316,8 @@ and step st =
       | Eval.I (_, v) -> write_op st dst v
       | _ -> ()
       | exception Eval.Division_by_zero ->
-          deliver_trap st Division_by_zero)
+          deliver_trap st Division_by_zero
+      | exception Eval.Overflow -> deliver_trap st Overflow)
   | Shift (left, w, s, dst, src) ->
       let ty = ty_of_width w s in
       let a = read_op st dst and b = read_op st src in

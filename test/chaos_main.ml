@@ -287,6 +287,53 @@ let run_lint_chaos () =
     warm.Llee.stats.Llee.lint_runs warm.Llee.stats.Llee.cache_quarantined
     warm.Llee.stats.Llee.cache_repaired
 
+(* ---- scenario 6: a damaged per-module [#tv#] certification entry ----
+   The lockstep-certification verdict rides the same checksummed frame as
+   native code and lint verdicts. Flip one payload byte and the next
+   [Llee.certify] must quarantine the entry, re-run the lockstep checker
+   exactly once, and write the repaired verdict back; the launch after
+   that reuses it without recertifying. *)
+let run_tv_chaos () =
+  Printf.printf "%-17s %!" "tv-chaos";
+  let w = Option.get (Workloads.find "ptrdist-anagram") in
+  let m = Workloads.compile_optimized ~level:1 w in
+  let bytes = Llva.Encode.encode m in
+  let s = Storage.in_memory () in
+  let eng = Llee.load ~storage:s ~target:Llee.X86 bytes in
+  let v0 = Llee.certify eng in
+  check "tv chaos: baseline certifies clean" (Llee.Tv.clean v0);
+  check "tv chaos: baseline computed the verdict"
+    (eng.Llee.stats.Llee.tv_runs = 1 && eng.Llee.stats.Llee.tv_skipped = 0);
+  let tname = Llee.tv_entry_name eng in
+  (match s.Storage.read tname with
+  | None -> check "tv chaos: verdict entry recorded" false
+  | Some e ->
+      let d = Bytes.of_string e.Storage.data in
+      let k = Bytes.length d - 1 in
+      Bytes.set d k (Char.chr (Char.code (Bytes.get d k) lxor 0xff));
+      s.Storage.write tname (Bytes.to_string d));
+  let warm = with_storage eng s in
+  let v1 = Llee.certify warm in
+  check "tv chaos: recertified verdict clean" (Llee.Tv.clean v1);
+  check "tv chaos: damaged verdict quarantined, recertified exactly once"
+    (warm.Llee.stats.Llee.cache_quarantined = 1
+    && warm.Llee.stats.Llee.cache_repaired = 1
+    && warm.Llee.stats.Llee.tv_runs = 1
+    && warm.Llee.stats.Llee.tv_skipped = 0);
+  t_quarantined := !t_quarantined + warm.Llee.stats.Llee.cache_quarantined;
+  t_repaired := !t_repaired + warm.Llee.stats.Llee.cache_repaired;
+  t_damaged := !t_damaged + 1;
+  let healed = with_storage eng s in
+  let v2 = Llee.certify healed in
+  check "tv chaos: healed launch reuses the repaired verdict"
+    (healed.Llee.stats.Llee.tv_runs = 0
+    && healed.Llee.stats.Llee.tv_skipped = 1
+    && healed.Llee.stats.Llee.cache_quarantined = 0);
+  check "tv chaos: repaired verdict identical" (v2 = v1);
+  Printf.printf "ok (recertifications %d, quar %d, rep %d)\n%!"
+    warm.Llee.stats.Llee.tv_runs warm.Llee.stats.Llee.cache_quarantined
+    warm.Llee.stats.Llee.cache_repaired
+
 (* ---- scenario 5: kill -9 mid-cache-write, on a real process ----
    Every other scenario injects faults through the storage API; this one
    makes the failure real. A child llva-run populates an on-disk cache
@@ -470,6 +517,7 @@ let () =
   List.iter run_workload Workloads.all;
   run_peep_chaos ();
   run_lint_chaos ();
+  run_tv_chaos ();
   (if Array.length Sys.argv > 1 then run_kill9_chaos Sys.argv.(1)
    else Printf.printf "kill9-chaos        skipped (no llva-run path given)\n%!");
   Printf.printf

@@ -726,7 +726,10 @@ let test_cache_doctor () =
   ignore (run_ok eng);
   check_bool "healthy cache: nothing to report" true
     (Llee.cache_doctor ~now:10.0 eng
-    = [ "cache doctor: no quarantined entries" ]);
+    = [
+        "cache doctor: no quarantined entries";
+        "tv verdict: none recorded for this module/target";
+      ]);
   (* damage one native entry; the next launch quarantines and repairs *)
   let cname = Llee.cache_name eng "hot" in
   (match storage.Llee.Storage.read cname with
@@ -758,7 +761,10 @@ let test_cache_doctor () =
   check_int "purge removes one" 1 (Llee.purge_quarantined warm);
   check_bool "purged: doctor clean again" true
     (Llee.cache_doctor ~now:10.0 warm
-    = [ "cache doctor: no quarantined entries" ]);
+    = [
+        "cache doctor: no quarantined entries";
+        "tv verdict: none recorded for this module/target";
+      ]);
   check_bool "live entry untouched by purge" true
     (storage.Llee.Storage.read cname <> None);
   let healed = Llee.fresh_run warm in

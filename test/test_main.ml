@@ -18,4 +18,5 @@ let () =
       ("codegen", Test_codegen.suite);
       ("lint", Test_lint.suite);
       ("ranges", Test_ranges.suite);
+      ("tv", Test_tv.suite);
     ]

@@ -1,0 +1,393 @@
+(* Regressions for the Eval semantics corners the translation-validation
+   campaign flushed out, plus unit coverage of the lockstep checker
+   itself.
+
+   Each numeric fix has a test that fails on the pre-fix semantics:
+   - IEEE-754 unordered NaN comparisons (every relation but Ne false);
+   - shift amounts reduced modulo the operand's declared width, not a
+     blanket [land 63];
+   - signed INT_MIN / -1 division and remainder trapping as an
+     arithmetic overflow (exit 134) on all five engines;
+   - cast corners: fp->int out-of-range and NaN, float->pointer
+     contained by [Outcome.protect], bool and pointer round-trips. *)
+
+open Llva
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* run a program on all five engines and require one shared observable *)
+let all_engines_agree tag src =
+  let m = Gen.parse src in
+  (match Gen.divergence m with
+  | None -> ()
+  | Some report -> Alcotest.failf "%s: engines diverge:\n%s" tag report);
+  match Gen.engine_results m with
+  | (_, o, _) :: _ -> o
+  | [] -> assert false
+
+(* ---- IEEE-754 unordered comparisons ---- *)
+
+let test_nan_compare_eval () =
+  List.iter
+    (fun ty ->
+      let n = Eval.F (ty, Float.nan) in
+      let one = Eval.F (ty, 1.0) in
+      let bool_of v = match v with Eval.B b -> b | _ -> assert false in
+      List.iter
+        (fun (cmp, name) ->
+          check_bool
+            (Printf.sprintf "%s nan cmp nan" name)
+            (cmp = Ir.Ne)
+            (bool_of (Eval.compare_scalars ty cmp n n));
+          check_bool
+            (Printf.sprintf "%s nan cmp 1.0" name)
+            (cmp = Ir.Ne)
+            (bool_of (Eval.compare_scalars ty cmp n one));
+          check_bool
+            (Printf.sprintf "%s 1.0 cmp nan" name)
+            (cmp = Ir.Ne)
+            (bool_of (Eval.compare_scalars ty cmp one n)))
+        [
+          (Ir.Eq, "eq"); (Ir.Ne, "ne"); (Ir.Lt, "lt");
+          (Ir.Le, "le"); (Ir.Gt, "gt"); (Ir.Ge, "ge");
+        ];
+      (* ordered operands still compare as before *)
+      check_bool "1.0 lt 2.0" true
+        (bool_of (Eval.compare_scalars ty Ir.Lt one (Eval.F (ty, 2.0)))))
+    [ Types.Float; Types.Double ]
+
+(* NaN is manufactured at runtime (0.0 / 0.0 through a global) so no
+   front-end folding can hide the comparison from the engines. *)
+let nan_compare_program =
+  {|
+%zero = global double 0.0
+
+int %main() {
+entry:
+  %z = load double* %zero
+  %n = div double %z, %z
+  %eq = seteq double %n, %n
+  %ne = setne double %n, %n
+  %lt = setlt double %n, %z
+  %ge = setge double %n, %z
+  %a = cast bool %eq to int
+  %b = cast bool %ne to int
+  %c = cast bool %lt to int
+  %d = cast bool %ge to int
+  %b2 = mul int %b, 2
+  %c2 = mul int %c, 4
+  %d2 = mul int %d, 8
+  %s1 = add int %a, %b2
+  %s2 = add int %s1, %c2
+  %s3 = add int %s2, %d2
+  ret int %s3
+}
+|}
+
+let test_nan_compare_engines () =
+  match all_engines_agree "nan compare" nan_compare_program with
+  | Llee.Outcome.Exit c -> check_int "only ne holds on NaN" 2 c
+  | o -> Alcotest.failf "unexpected outcome: %s" (Llee.Outcome.to_string o)
+
+(* ---- shift amounts reduce modulo the declared width ---- *)
+
+let test_shift_widths () =
+  let signed_tys =
+    [
+      (Types.Sbyte, 8); (Types.Ubyte, 8); (Types.Short, 16); (Types.Ushort, 16);
+      (Types.Int, 32); (Types.Uint, 32); (Types.Long, 64); (Types.Ulong, 64);
+    ]
+  in
+  List.iter
+    (fun (ty, w) ->
+      let tyname = Types.to_string ty in
+      let int_of v = match v with Eval.I (_, x) -> x | _ -> assert false in
+      (* shifting by exactly the width is shifting by zero *)
+      check_string
+        (Printf.sprintf "%s: shl by width is identity" tyname)
+        "1"
+        (Int64.to_string
+           (int_of (Eval.int_binop Ir.Shl ty 1L (Int64.of_int w))));
+      (* width + 3 reduces to 3 *)
+      check_string
+        (Printf.sprintf "%s: shl by width+3 is shl 3" tyname)
+        "8"
+        (Int64.to_string
+           (int_of (Eval.int_binop Ir.Shl ty 1L (Int64.of_int (w + 3)))));
+      (* a shift strictly inside the width still works *)
+      check_string
+        (Printf.sprintf "%s: shl 2" tyname)
+        "20"
+        (Int64.to_string (int_of (Eval.int_binop Ir.Shl ty 5L 2L)));
+      (* arithmetic shr of a negative value by the width is identity *)
+      if Types.is_signed ty then
+        check_string
+          (Printf.sprintf "%s: shr by width is identity" tyname)
+          "-8"
+          (Int64.to_string
+             (int_of (Eval.int_binop Ir.Shr ty (-8L) (Int64.of_int w)))))
+    signed_tys
+
+let shift_program =
+  {|
+%amt = global ubyte 19
+
+int %main() {
+entry:
+  %a = load ubyte* %amt
+  %x = shl short 3, ubyte %a
+  %y = shr short %x, ubyte %a
+  %w = cast short %y to int
+  ret int %w
+}
+|}
+
+let test_shift_engines () =
+  (* 19 mod 16 = 3: shl 3 then shr 3 round-trips the value *)
+  match all_engines_agree "over-wide shift" shift_program with
+  | Llee.Outcome.Exit c -> check_int "shl/shr by 19 on short" 3 c
+  | o -> Alcotest.failf "unexpected outcome: %s" (Llee.Outcome.to_string o)
+
+(* ---- signed INT_MIN / -1 traps as overflow ---- *)
+
+let test_intmin_div_eval () =
+  List.iter
+    (fun (ty, minv) ->
+      let tyname = Types.to_string ty in
+      List.iter
+        (fun op ->
+          match Eval.int_binop op ty minv (-1L) with
+          | exception Eval.Overflow -> ()
+          | v ->
+              Alcotest.failf "%s: INT_MIN/-1 %s returned %s" tyname
+                (match op with Ir.Div -> "div" | _ -> "rem")
+                (Eval.to_string v))
+        [ Ir.Div; Ir.Rem ];
+      (* one away from the corner divides fine *)
+      match Eval.int_binop Ir.Div ty (Int64.add minv 1L) (-1L) with
+      | Eval.I (_, v) ->
+          check_string
+            (Printf.sprintf "%s: (INT_MIN+1)/-1" tyname)
+            (Int64.to_string (Int64.neg (Int64.add minv 1L)))
+            (Int64.to_string v)
+      | _ -> Alcotest.fail "expected an integer")
+    [
+      (Types.Sbyte, -128L);
+      (Types.Short, -32768L);
+      (Types.Int, -2147483648L);
+      (Types.Long, Int64.min_int);
+    ]
+
+let intmin_program =
+  {|
+%m1 = global int -1
+
+int %main() {
+entry:
+  %d = load int* %m1
+  %q = div int -2147483648, %d
+  ret int %q
+}
+|}
+
+let test_intmin_div_engines () =
+  let m = Gen.parse intmin_program in
+  (match Gen.divergence m with
+  | None -> ()
+  | Some report -> Alcotest.failf "INT_MIN/-1 diverges:\n%s" report);
+  List.iter
+    (fun (name, o, _) ->
+      (match o with
+      | Llee.Outcome.Trapped { kind = Llee.Outcome.Overflow; _ } -> ()
+      | o ->
+          Alcotest.failf "%s: expected overflow trap, got %s" name
+            (Llee.Outcome.to_string o));
+      check_int (name ^ ": overflow exits 134") 134 (Llee.Outcome.exit_code o))
+    (Gen.engine_results m)
+
+(* unsigned division by the all-ones pattern must NOT trap *)
+let test_unsigned_allones_divisor () =
+  match Eval.int_binop Ir.Div Types.Uint 0x80000000L 0xFFFFFFFFL with
+  | Eval.I (_, v) -> check_string "uint 0x80000000 / 0xFFFFFFFF" "0" (Int64.to_string v)
+  | _ -> Alcotest.fail "expected an integer"
+
+(* ---- cast corners ---- *)
+
+let test_cast_corners_eval () =
+  let cast src dst v = Eval.cast ~src_ty:src ~dst_ty:dst v in
+  let int_of v = match v with Eval.I (_, x) -> x | _ -> assert false in
+  (* NaN converts to zero on every integer width *)
+  List.iter
+    (fun ty ->
+      check_string
+        ("nan -> " ^ Types.to_string ty)
+        "0"
+        (Int64.to_string
+           (int_of (cast Types.Double ty (Eval.F (Types.Double, Float.nan))))))
+    [ Types.Sbyte; Types.Short; Types.Int; Types.Long; Types.Ulong ];
+  (* in-range conversions truncate toward zero *)
+  check_string "2.9 -> int" "2"
+    (Int64.to_string (int_of (cast Types.Double Types.Int (Eval.F (Types.Double, 2.9)))));
+  check_string "-2.9 -> int" "-2"
+    (Int64.to_string (int_of (cast Types.Double Types.Int (Eval.F (Types.Double, -2.9)))));
+  (* out-of-range values normalize through the destination width the
+     same way on every engine (pinned by the differential fuzz); at the
+     Eval layer the result must at least be a canonical representative *)
+  List.iter
+    (fun x ->
+      List.iter
+        (fun ty ->
+          let v = int_of (cast Types.Double ty (Eval.F (Types.Double, x))) in
+          check_string
+            (Printf.sprintf "%g -> %s canonical" x (Types.to_string ty))
+            (Int64.to_string (Ir.normalize_int ty v))
+            (Int64.to_string v))
+        [ Types.Sbyte; Types.Ubyte; Types.Int; Types.Uint; Types.Long ])
+    [ 1e300; -1e300; Float.infinity; Float.neg_infinity ];
+  (* bool round-trips *)
+  (match cast Types.Bool Types.Int (Eval.B true) with
+  | Eval.I (_, 1L) -> ()
+  | v -> Alcotest.failf "true -> int: %s" (Eval.to_string v));
+  (match cast Types.Int Types.Bool (Eval.I (Types.Int, 42L)) with
+  | Eval.B true -> ()
+  | v -> Alcotest.failf "42 -> bool: %s" (Eval.to_string v));
+  (match cast Types.Int Types.Bool (Eval.I (Types.Int, 0L)) with
+  | Eval.B false -> ()
+  | v -> Alcotest.failf "0 -> bool: %s" (Eval.to_string v));
+  (* pointer <-> integer round-trip *)
+  let pty = Types.Pointer Types.Sbyte in
+  (match cast pty Types.Long (Eval.P 0x1234L) with
+  | Eval.I (_, 0x1234L) -> ()
+  | v -> Alcotest.failf "ptr -> long: %s" (Eval.to_string v));
+  match cast Types.Long pty (Eval.I (Types.Long, 0x1234L)) with
+  | Eval.P 0x1234L -> ()
+  | v -> Alcotest.failf "long -> ptr: %s" (Eval.to_string v)
+
+(* the float -> pointer cast is ill-typed; [Outcome.protect] must map
+   the resulting [Invalid_argument] into a contained outcome instead of
+   letting it take down the engine *)
+let test_float_to_pointer_contained () =
+  let o =
+    Llee.Outcome.protect ~engine:"test" (fun () ->
+        ignore
+          (Eval.cast ~src_ty:Types.Double ~dst_ty:(Types.Pointer Types.Sbyte)
+             (Eval.F (Types.Double, 1.0)));
+        0)
+  in
+  match o with
+  | Llee.Outcome.Trapped { kind = Llee.Outcome.Invalid_operation _; _ } -> ()
+  | o ->
+      Alcotest.failf "float->pointer escaped protect: %s"
+        (Llee.Outcome.to_string o)
+
+(* fp -> int with out-of-range, NaN-producing and negative sources: the
+   exact destination value is pinned by Eval, and all five engines must
+   land on it together *)
+let cast_corner_program init_big init_neg =
+  Printf.sprintf
+    {|
+%%big = global double %s
+%%neg = global float %s
+
+int %%main() {
+entry:
+  %%b = load double* %%big
+  %%n = load float* %%neg
+  %%nan = div double %%b, %%b
+  %%x1 = cast double %%b to sbyte
+  %%x2 = cast double %%b to ushort
+  %%x3 = cast float %%n to int
+  %%x4 = cast double %%nan to long
+  %%w1 = cast sbyte %%x1 to int
+  %%w2 = cast ushort %%x2 to int
+  %%w4 = cast long %%x4 to int
+  %%s1 = add int %%w1, %%w2
+  %%s2 = add int %%s1, %%x3
+  %%s3 = add int %%s2, %%w4
+  %%m = and int %%s3, 127
+  ret int %%m
+}
+|}
+    init_big init_neg
+
+let test_cast_corner_engines () =
+  List.iter
+    (fun (big, neg) ->
+      ignore
+        (all_engines_agree
+           (Printf.sprintf "cast corners (%s, %s)" big neg)
+           (cast_corner_program big neg)))
+    [ ("0.0", "0.0"); ("1.0e300", "-3.4e38"); ("-2.5", "7.9") ]
+
+(* ---- the lockstep checker itself ---- *)
+
+let test_tv_json_roundtrip () =
+  let v =
+    {
+      Llee.Tv.v_version = Llee.Tv.version;
+      v_target = "x86lite";
+      v_results =
+        [
+          ("f", Llee.Tv.Certified { vectors = 12 });
+          ("g", Llee.Tv.Skipped { reason = "pointer return" });
+          ("h", Llee.Tv.Mismatch { vector = "f(3)"; detail = "ret differs" });
+        ];
+    }
+  in
+  let json = Llee.Tv.verdict_to_json v in
+  let v2 =
+    Llee.Tv.verdict_of_json
+      (Check.Json.parse (Check.Json.to_string ~pretty:false json))
+  in
+  check_bool "verdict round-trips" true (v = v2);
+  check_int "mismatch count" 1 (Llee.Tv.mismatches v2);
+  check_int "certified count" 1 (Llee.Tv.certified v2);
+  (* a stale version must be rejected, forcing recertification *)
+  let stale =
+    Check.Json.to_string ~pretty:false
+      (Llee.Tv.verdict_to_json { v with Llee.Tv.v_version = 999 })
+  in
+  match Llee.Tv.verdict_of_json (Check.Json.parse stale) with
+  | _ -> Alcotest.fail "stale version accepted"
+  | exception Check.Json.Parse_error _ -> ()
+
+let test_tv_catches_divergence () =
+  let truth =
+    Gen.parse "int %f(int %x) {\nentry:\n  %r = add int %x, 1\n  ret int %r\n}\n"
+  in
+  let lie =
+    Gen.parse "int %f(int %x) {\nentry:\n  %r = add int %x, 2\n  ret int %r\n}\n"
+  in
+  let v = Llee.Tv.certify_module ~target:"x86lite" ~native:lie truth in
+  check_int "divergent translation caught" 1 (Llee.Tv.mismatches v);
+  let honest = Llee.Tv.certify_module ~target:"x86lite" truth in
+  check_bool "honest translation certifies" true
+    (Llee.Tv.clean honest && Llee.Tv.certified honest = 1)
+
+let suite =
+  [
+    Alcotest.test_case "NaN comparisons (Eval)" `Quick test_nan_compare_eval;
+    Alcotest.test_case "NaN comparisons (five engines)" `Quick
+      test_nan_compare_engines;
+    Alcotest.test_case "shift amounts mod width (Eval)" `Quick
+      test_shift_widths;
+    Alcotest.test_case "over-wide shift (five engines)" `Quick
+      test_shift_engines;
+    Alcotest.test_case "INT_MIN / -1 overflow (Eval)" `Quick
+      test_intmin_div_eval;
+    Alcotest.test_case "INT_MIN / -1 overflow (five engines)" `Quick
+      test_intmin_div_engines;
+    Alcotest.test_case "unsigned all-ones divisor" `Quick
+      test_unsigned_allones_divisor;
+    Alcotest.test_case "cast corners (Eval)" `Quick test_cast_corners_eval;
+    Alcotest.test_case "float->pointer contained" `Quick
+      test_float_to_pointer_contained;
+    Alcotest.test_case "cast corners (five engines)" `Quick
+      test_cast_corner_engines;
+    Alcotest.test_case "tv verdict JSON round-trip" `Quick
+      test_tv_json_roundtrip;
+    Alcotest.test_case "tv catches a lying translation" `Quick
+      test_tv_catches_divergence;
+  ]

@@ -1,0 +1,166 @@
+(* @tv gate: translation validation.
+
+   Part 1 (lockstep certification): every workload of the paper's
+   Table 2 is lockstep-certified on both targets through [Llee.certify]
+   over in-memory storage. The cold launch must compute a clean verdict
+   ([tv_runs] = 1) and record it as a [#tv#] cache entry; a warm launch
+   over the same storage must reuse the recorded verdict without
+   re-running the checker ([tv_skipped] = 1, [tv_runs] = 0) and decode
+   it to the identical verdict.
+
+   Part 2 (the checker catches lies): certifying a module against a
+   deliberately divergent native translation must produce a Mismatch —
+   on the return value and on the trap outcome, on both targets.
+
+   Part 3 (differential fuzz): fixed-seed random programs spanning every
+   integer width, signed and unsigned division/remainder, over-wide
+   shifts, casts, float arithmetic and NaN comparisons, stack memory,
+   and multi-function calls run on all five engines; the observable
+   behavior must be identical everywhere. Any divergence is shrunk to a
+   minimal .ll repro and printed. Override the campaign size with
+   TV_FUZZ_N. *)
+
+module Storage = Llee.Storage
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "  FAIL %s\n%!" name
+  end
+
+let with_storage eng storage = { (Llee.fresh_run eng) with Llee.storage }
+
+(* ---- part 1: lockstep certification of the workload table ---- *)
+
+let certify_workload (w : Workloads.workload) =
+  Printf.printf "%-17s %!" w.Workloads.name;
+  let m = Workloads.compile_optimized ~level:1 w in
+  let bytes = Llva.Encode.encode m in
+  let totals =
+    List.map
+      (fun target ->
+        let tname = Llee.target_name target in
+        let tag = Printf.sprintf "%s/%s" w.Workloads.name tname in
+        let storage = Storage.in_memory () in
+        let cold = Llee.load ~storage ~target bytes in
+        let v = Llee.certify cold in
+        check (tag ^ ": certifies clean") (Llee.Tv.clean v);
+        if not (Llee.Tv.clean v) then
+          List.iter (fun l -> Printf.printf "    %s\n%!" l) (Llee.Tv.report v);
+        check
+          (tag ^ ": cold launch computed the verdict")
+          (cold.Llee.stats.Llee.tv_runs = 1
+          && cold.Llee.stats.Llee.tv_skipped = 0);
+        check
+          (tag ^ ": certifies at least one function")
+          (Llee.Tv.certified v > 0);
+        if Llee.Tv.certified v = 0 then
+          List.iter (fun l -> Printf.printf "    %s\n%!" l) (Llee.Tv.report v);
+        (* warm: the recorded #tv# entry is reused, never recomputed *)
+        let warm = with_storage cold storage in
+        let v2 = Llee.certify warm in
+        check
+          (tag ^ ": warm launch reuses the recorded verdict")
+          (warm.Llee.stats.Llee.tv_runs = 0
+          && warm.Llee.stats.Llee.tv_skipped = 1);
+        check (tag ^ ": recorded verdict decodes identically") (v2 = v);
+        Llee.Tv.certified v)
+      [ Llee.X86; Llee.Sparc ]
+  in
+  Printf.printf "certified %s\n%!"
+    (String.concat "+" (List.map string_of_int totals))
+
+(* ---- part 2: the checker must catch a lying translation ---- *)
+
+let mismatch_selftest () =
+  Printf.printf "%-17s %!" "mismatch-probe";
+  let truth =
+    Gen.parse
+      "int %f(int %x) {\nentry:\n  %r = add int %x, 1\n  ret int %r\n}\n"
+  in
+  let off_by_one =
+    Gen.parse
+      "int %f(int %x) {\nentry:\n  %r = add int %x, 2\n  ret int %r\n}\n"
+  in
+  (* a translation that traps where the reference does not *)
+  let trappy =
+    Gen.parse
+      "int %f(int %x) {\nentry:\n  %z = sub int %x, %x\n  %r = div int %x, \
+       %z\n  ret int %r\n}\n"
+  in
+  List.iter
+    (fun target ->
+      let v = Llee.Tv.certify_module ~target ~native:off_by_one truth in
+      check
+        (Printf.sprintf "%s: wrong return value caught" target)
+        (Llee.Tv.mismatches v = 1);
+      let v2 = Llee.Tv.certify_module ~target ~native:trappy truth in
+      check
+        (Printf.sprintf "%s: spurious trap caught" target)
+        (Llee.Tv.mismatches v2 = 1);
+      (* and the honest translation certifies *)
+      let v3 = Llee.Tv.certify_module ~target truth in
+      check
+        (Printf.sprintf "%s: honest translation certifies" target)
+        (Llee.Tv.clean v3 && Llee.Tv.certified v3 = 1))
+    [ "x86lite"; "sparclite" ];
+  Printf.printf "ok\n%!"
+
+(* ---- part 3: cross-engine differential fuzz ---- *)
+
+let fuzz () =
+  let n =
+    match Sys.getenv_opt "TV_FUZZ_N" with
+    | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 40)
+    | None -> 40
+  in
+  Printf.printf "%-17s %!" (Printf.sprintf "fuzz(%d seeds)" n);
+  let t0 = Unix.gettimeofday () in
+  let diverged = ref 0 in
+  for seed = 1 to n do
+    let m = Gen.random_full_program (Random.State.make [| 0xF0CC; seed |]) in
+    (match Llva.Verify.verify_module m with
+    | [] -> ()
+    | errs ->
+        incr failures;
+        Printf.printf "  FAIL seed %d: generator produced invalid IR: %s\n%!"
+          seed
+          (String.concat "; " errs));
+    match Gen.divergence m with
+    | None -> ()
+    | Some report ->
+        incr diverged;
+        incr failures;
+        let small = Gen.shrink_divergence m in
+        let why = Option.value ~default:report (Gen.divergence small) in
+        Printf.printf
+          "  FAIL seed %d: engines diverge\n%s\nminimized repro:\n%s\n%!" seed
+          why
+          (Llva.Pretty.module_to_string small)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "ok (%d programs x %d engines in %.1fs, %.1f programs/s)\n%!" n
+    (List.length Gen.engine_names)
+    dt
+    (float_of_int n /. dt);
+  if !diverged > 0 then
+    Printf.printf "  %d divergent program(s) found\n%!" !diverged
+
+let () =
+  Printf.printf "translation validation: %d workloads, tv v%d\n%!"
+    (List.length Workloads.all)
+    Llee.Tv.version;
+  (* TV_FUZZ_ONLY skips the workload certification for a fast fuzz-only
+     campaign (development loop; the full gate always runs both) *)
+  if Sys.getenv_opt "TV_FUZZ_ONLY" = None then begin
+    List.iter certify_workload Workloads.all;
+    mismatch_selftest ()
+  end;
+  fuzz ();
+  if !failures > 0 then begin
+    Printf.printf "translation validation FAILED: %d assertion(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "translation validation passed\n"
